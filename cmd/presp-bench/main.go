@@ -1,0 +1,34 @@
+// Command presp-bench regenerates the paper's evaluation: every table
+// (I-VI) and figure (3, 4), printed as the same rows/series the paper
+// reports, from the simulated PR-ESP platform.
+//
+// Usage:
+//
+//	presp-bench            # everything
+//	presp-bench -only 3    # just Table III
+//	presp-bench -only fig4
+//	presp-bench -only map   # the Section IV design-space sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	only := flag.String("only", "", "run one experiment: 1..6, fig3, fig4 (default: all)")
+	flag.Parse()
+
+	targets := []string{"1", "2", "3", "4", "5", "6", "fig3", "fig4", "map", "stability"}
+	if *only != "" {
+		targets = []string{strings.ToLower(strings.TrimPrefix(strings.ToLower(*only), "table"))}
+	}
+	for _, t := range targets {
+		if err := runOne(t); err != nil {
+			fmt.Fprintln(os.Stderr, "presp-bench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+
+	"presp/internal/experiments"
+)
+
+// runOne executes one experiment target and prints its table.
+func runOne(target string) error {
+	switch target {
+	case "1":
+		r, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "2":
+		r, err := experiments.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "3":
+		r, err := experiments.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "4":
+		r, err := experiments.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "5":
+		r, err := experiments.Table5()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "6":
+		r, err := experiments.Table6()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "fig3":
+		r, err := experiments.Fig3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "fig4":
+		r, err := experiments.Fig4(experiments.Fig4Options{Compress: true})
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	case "map":
+		r, err := experiments.StrategyMap()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+		fmt.Printf("size-driven choice within 3%% of the exhaustive best on %.0f%% of %d designs\n\n",
+			r.Agreement(0.03)*100, len(r.Points))
+	case "stability":
+		r, err := experiments.Stability(32, 0.03)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+	default:
+		return fmt.Errorf("unknown experiment %q (want 1..6, fig3, fig4, map or stability)", target)
+	}
+	return nil
+}

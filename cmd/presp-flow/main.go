@@ -1,0 +1,206 @@
+// Command presp-flow runs the PR-ESP FPGA flow on a SoC configuration:
+// parse, split, parallel out-of-context synthesis, floorplanning, the
+// size-driven strategy choice, orchestrated P&R and bitstream
+// generation — the single-make-target experience of the paper.
+//
+// Usage:
+//
+//	presp-flow -preset SOC_2                 # a built-in configuration
+//	presp-flow -config my_soc.json           # a JSON tile-grid config
+//	presp-flow -preset SoC_A -strategy serial -baseline both
+//
+// Presets: SOC_1..SOC_4 (characterization), SoC_A..SoC_D (WAMI flow
+// evaluation), SoC_X/SoC_Y/SoC_Z (WAMI runtime systems).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"presp/internal/core"
+	"presp/internal/experiments"
+	"presp/internal/flow"
+	"presp/internal/fpga"
+	"presp/internal/report"
+	"presp/internal/socgen"
+)
+
+func main() {
+	preset := flag.String("preset", "", "built-in SoC (SOC_1..SOC_4, SoC_A..SoC_D, SoC_X/Y/Z)")
+	configPath := flag.String("config", "", "path to a JSON SoC configuration")
+	strategy := flag.String("strategy", "", "force a strategy: serial, semi, fully (default: size-driven choice)")
+	tau := flag.Int("tau", core.DefaultSemiTau, "semi-parallel degree")
+	compress := flag.Bool("compress", true, "compress bitstreams")
+	baseline := flag.String("baseline", "", "also run a baseline: mono, dfx or both")
+	scripts := flag.Bool("scripts", false, "print the auto-generated CAD scripts")
+	flag.Parse()
+
+	if err := run(*preset, *configPath, *strategy, *tau, *compress, *baseline, *scripts); err != nil {
+		fmt.Fprintln(os.Stderr, "presp-flow:", err)
+		os.Exit(1)
+	}
+}
+
+func run(preset, configPath, strategy string, tau int, compress bool, baseline string, scripts bool) error {
+	cfg, err := loadConfig(preset, configPath)
+	if err != nil {
+		return err
+	}
+	d, err := experiments.ElaborateConfig(cfg)
+	if err != nil {
+		return err
+	}
+	opt := flow.Options{Compress: compress}
+	if strategy != "" {
+		kind, err := parseStrategy(strategy)
+		if err != nil {
+			return err
+		}
+		strat, err := core.ForceStrategy(d, kind, tau)
+		if err != nil {
+			return err
+		}
+		opt.Strategy = strat
+	}
+	res, err := flow.RunPRESP(d, opt)
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	if scripts && res.Scripts != nil {
+		printScripts(res.Scripts)
+	}
+
+	switch baseline {
+	case "":
+	case "mono":
+		return printBaseline("monolithic", flow.RunMonolithic, d, opt, res)
+	case "dfx":
+		return printBaseline("standard DFX", flow.RunStandardDFX, d, opt, res)
+	case "both":
+		if err := printBaseline("monolithic", flow.RunMonolithic, d, opt, res); err != nil {
+			return err
+		}
+		return printBaseline("standard DFX", flow.RunStandardDFX, d, opt, res)
+	default:
+		return fmt.Errorf("unknown baseline %q (want mono, dfx or both)", baseline)
+	}
+	return nil
+}
+
+func loadConfig(preset, configPath string) (*socgen.Config, error) {
+	switch {
+	case preset != "" && configPath != "":
+		return nil, fmt.Errorf("-preset and -config are mutually exclusive")
+	case configPath != "":
+		data, err := os.ReadFile(configPath)
+		if err != nil {
+			return nil, err
+		}
+		return socgen.ParseConfig(data)
+	case preset != "":
+		cfg, err := experiments.PresetConfig(preset)
+		if err != nil {
+			return nil, err
+		}
+		return cfg, nil
+	default:
+		return nil, fmt.Errorf("need -preset or -config (try -preset SOC_2)")
+	}
+}
+
+func parseStrategy(s string) (core.StrategyKind, error) {
+	switch s {
+	case "serial":
+		return core.Serial, nil
+	case "semi", "semi-parallel":
+		return core.SemiParallel, nil
+	case "fully", "fully-parallel":
+		return core.FullyParallel, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q (want serial, semi or fully)", s)
+	}
+}
+
+func printResult(res *flow.Result) {
+	d := res.Design
+	m := res.Strategy.Metrics
+	fmt.Printf("SoC %s on %s (%s)\n", d.Cfg.Name, d.Dev.Board, d.Dev.Name)
+	fmt.Printf("  static part: %s\n", d.StaticResources)
+	fmt.Printf("  reconfigurable: %d partitions, %s\n", len(d.RPs), d.ReconfigurableResources())
+	fmt.Printf("  metrics: κ=%.3f α_av=%.3f γ=%.3f -> class %s -> %s (τ=%d)\n",
+		m.Kappa, m.AlphaAv, m.Gamma, res.Strategy.Class, res.Strategy.Kind, res.Strategy.Tau)
+
+	t := report.New("flow timing (modelled minutes)", "stage", "time")
+	t.AddRow("synthesis (parallel OoC)", report.Minutes(float64(res.SynthWall)))
+	if res.Strategy.Kind != core.Serial {
+		t.AddRow("static pre-route", report.Minutes(float64(res.TStatic)))
+		t.AddRow("max in-context run", report.Minutes(float64(res.MaxOmega)))
+	}
+	t.AddRow("P&R wall", report.Minutes(float64(res.PRWall)))
+	t.AddRow("bitstream generation", report.Minutes(float64(res.BitgenWall)))
+	t.AddRow("total (synth+P&R)", report.Minutes(float64(res.Total)))
+	fmt.Println(t)
+
+	if res.Plan != nil {
+		names := make([]string, 0, len(res.Plan.Pblocks))
+		for n := range res.Plan.Pblocks {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("floorplan:")
+		for _, n := range names {
+			pb := res.Plan.Pblocks[n]
+			fmt.Printf("  %s (%d kLUT area)\n", pb, pb.ResourcesOn(d.Dev)[fpga.LUT]/1000)
+		}
+	}
+	if res.FullBitstream != nil {
+		fmt.Printf("bitstreams: full %.0f KB", res.FullBitstream.SizeKB())
+		for _, bs := range res.PartialBitstreams {
+			fmt.Printf(", %s %.0f KB", bs.Name, bs.SizeKB())
+		}
+		fmt.Println()
+	}
+}
+
+type flowFunc func(*socgen.Design, flow.Options) (*flow.Result, error)
+
+func printBaseline(label string, f flowFunc, d *socgen.Design, opt flow.Options, presp *flow.Result) error {
+	opt.Strategy = nil
+	res, err := f(d, opt)
+	if err != nil {
+		return err
+	}
+	gain := (float64(res.Total) - float64(presp.Total)) / float64(res.Total)
+	fmt.Printf("\nbaseline %s: synth %s, P&R %s, total %s (PR-ESP gain %s)\n",
+		label,
+		report.Minutes(float64(res.SynthWall)),
+		report.Minutes(float64(res.PRWall)),
+		report.Minutes(float64(res.Total)),
+		report.Pct(gain))
+	return nil
+}
+
+func printScripts(s *flow.Scripts) {
+	fmt.Println("\n=== auto-generated scripts ===")
+	names := make([]string, 0, len(s.Synthesis))
+	for n := range s.Synthesis {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("--- synth_%s.tcl ---\n%s\n", n, s.Synthesis[n])
+	}
+	fmt.Printf("--- floorplan.xdc ---\n%s\n", s.FloorplanXDC)
+	names = names[:0]
+	for n := range s.Implementation {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("--- impl_%s.tcl ---\n%s\n", n, s.Implementation[n])
+	}
+	fmt.Printf("--- Makefile ---\n%s\n", s.Makefile)
+}

@@ -1,0 +1,152 @@
+// Command presp-sim runs the WAMI application on a runtime SoC under
+// the reconfiguration manager and reports per-frame timing, energy and
+// reconfiguration behaviour (the Fig 4 machinery, exposed for
+// exploration).
+//
+// Usage:
+//
+//	presp-sim -soc SoC_Y -frames 10 -edge 128
+//	presp-sim -soc SoC_Z -no-compress     # compression ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"presp/internal/accel"
+	"presp/internal/bitstream"
+	"presp/internal/experiments"
+	"presp/internal/flow"
+	"presp/internal/noc"
+	"presp/internal/reconfig"
+	"presp/internal/report"
+	"presp/internal/sim"
+	"presp/internal/wami"
+)
+
+func main() {
+	soc := flag.String("soc", "SoC_Y", "runtime SoC: SoC_X, SoC_Y or SoC_Z")
+	frames := flag.Int("frames", 6, "frame count (first frame is warm-up)")
+	edge := flag.Int("edge", 128, "frame edge length in pixels")
+	iters := flag.Int("lk-iters", 1, "Lucas-Kanade iterations per frame")
+	noCompress := flag.Bool("no-compress", false, "disable bitstream compression")
+	flag.Parse()
+
+	if err := run(*soc, *frames, *edge, *iters, !*noCompress); err != nil {
+		fmt.Fprintln(os.Stderr, "presp-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(socName string, frames, edge, iters int, compress bool) error {
+	cfg, alloc, err := wami.RuntimeSoC(socName)
+	if err != nil {
+		return err
+	}
+	d, err := experiments.ElaborateConfig(cfg)
+	if err != nil {
+		return err
+	}
+	plan, err := flow.FloorplanDesign(d, nil)
+	if err != nil {
+		return err
+	}
+	reg := accel.Default()
+	if err := wami.AddTo(reg); err != nil {
+		return err
+	}
+	eng := sim.NewEngine()
+	rt, err := reconfig.New(eng, d, reg, plan, reconfig.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	am := make(map[string][]string, len(alloc))
+	for tileName, idxs := range alloc {
+		for _, idx := range idxs {
+			am[tileName] = append(am[tileName], wami.Names[idx])
+		}
+	}
+	bss, err := flow.GenerateRuntimeBitstreams(d, plan, am, reg, compress)
+	if err != nil {
+		return err
+	}
+	var stagedKB float64
+	for tileName, m := range bss {
+		for acc, bs := range m {
+			if err := rt.RegisterBitstream(tileName, acc, bs); err != nil {
+				return err
+			}
+			stagedKB += bs.SizeKB()
+		}
+	}
+	pcfg := wami.DefaultPipelineConfig()
+	pcfg.LKIterations = iters
+	runner, err := wami.NewRunner(rt, alloc, pcfg)
+	if err != nil {
+		return err
+	}
+	src, err := wami.NewFrameSource(edge, 0.7, -0.4, 3)
+	if err != nil {
+		return err
+	}
+	rep, err := runner.ProcessFrames(src, frames)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s: %d reconfigurable tiles, %d staged bitstreams (%.0f KB, compress=%v)\n",
+		socName, len(alloc), countBitstreams(bss), stagedKB, compress)
+	missing := wami.MissingKernels(alloc)
+	if len(missing) > 0 {
+		fmt.Printf("kernels on CPU fallback: %v\n", missing)
+	}
+	t := report.New("per-frame results", "frame", "time (ms)", "energy (J)", "reconfigs", "LK iters", "detections")
+	for i, f := range rep.Frames {
+		t.AddRow(i, fmt.Sprintf("%.2f", f.Time.Seconds()*1000), fmt.Sprintf("%.3f", f.Energy),
+			f.Reconfigurations, f.LKIters, f.Detections)
+	}
+	fmt.Println(t)
+	fmt.Printf("steady state: %.4f s/frame, %.3f J/frame; %d reconfigurations (%.3f s total), %d CPU kernels\n",
+		rep.TimePerFrame(), rep.EnergyPerFrame(),
+		rep.Stats.Reconfigurations, rep.Stats.ReconfigTime.Seconds(), rep.Stats.CPUFallbacks)
+	bd := rt.Meter().Breakdown()
+	fmt.Println("energy breakdown (J):")
+	for _, name := range rt.Meter().Consumers() {
+		if bd[name] > 0.0005 {
+			fmt.Printf("  %-14s %.3f\n", name, bd[name])
+		}
+	}
+	fmt.Println("NoC plane traffic (flits):")
+	for p := noc.Plane(0); p < noc.NumPlanes; p++ {
+		ps := rt.Network().PlaneStats(p)
+		if ps.TotalFlits > 0 {
+			fmt.Printf("  %-10s %d\n", p, ps.TotalFlits)
+		}
+	}
+	tl := rt.Timeline()
+	if n := len(tl); n > 0 {
+		fmt.Printf("last reconfigurations (%d total):\n", n)
+		for _, ev := range tl[max(0, n-5):] {
+			fmt.Printf("  %-8v %-5s <- %-16s %4d KB in %v\n",
+				ev.Start.Truncate(time.Microsecond), ev.Tile, ev.Accel, ev.Bytes/1024, ev.End-ev.Start)
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func countBitstreams(bss map[string]map[string]*bitstream.Bitstream) int {
+	n := 0
+	for _, m := range bss {
+		n += len(m)
+	}
+	return n
+}

@@ -1,0 +1,77 @@
+// Quickstart: build a small partially reconfigurable SoC, run the
+// PR-ESP FPGA flow on it, and inspect what the size-driven technique
+// decided — the shortest path from a tile-grid description to full and
+// partial bitstreams.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"presp"
+)
+
+func main() {
+	// A platform targets one evaluation board.
+	p, err := presp.NewPlatform("VC707")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Describe the SoC: a 3x3 tile grid with a Leon3 processor, a memory
+	// controller, the auxiliary tile (which hosts the reconfiguration
+	// controller) and three reconfigurable accelerator tiles.
+	cfg := &presp.Config{
+		Name:   "quickstart",
+		Board:  "VC707",
+		Cols:   3,
+		Rows:   3,
+		FreqHz: 78e6,
+		Tiles: []presp.Tile{
+			{Name: "cpu0", Kind: presp.TileCPU, Pos: presp.Coord{X: 0, Y: 0}},
+			{Name: "mem0", Kind: presp.TileMem, Pos: presp.Coord{X: 1, Y: 0}},
+			{Name: "aux0", Kind: presp.TileAux, Pos: presp.Coord{X: 2, Y: 0}},
+			{Name: "rt_1", Kind: presp.TileReconf, AccelName: "fft", Pos: presp.Coord{X: 0, Y: 1}},
+			{Name: "rt_2", Kind: presp.TileReconf, AccelName: "gemm", Pos: presp.Coord{X: 1, Y: 1}},
+			{Name: "rt_3", Kind: presp.TileReconf, AccelName: "sort", Pos: presp.Coord{X: 2, Y: 1}},
+		},
+	}
+
+	soc, err := p.BuildSoC(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The size metrics and taxonomy class drive the strategy choice.
+	m, err := soc.Metrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cls, err := soc.Classify()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("metrics: κ=%.3f α_av=%.3f γ=%.3f -> class %s\n", m.Kappa, m.AlphaAv, m.Gamma, cls)
+
+	// One call runs the whole flow: parallel out-of-context synthesis,
+	// floorplanning, strategy choice, orchestrated P&R, bitstreams.
+	res, err := p.RunFlow(soc, presp.FlowOptions{Compress: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("strategy: %s (τ=%d)\n", res.Strategy.Kind, res.Strategy.Tau)
+	fmt.Printf("synthesis: %.0f min, P&R: %.0f min, total: %.0f min (modelled)\n",
+		float64(res.SynthWall), float64(res.PRWall), float64(res.Total))
+	fmt.Printf("full bitstream: %.0f KB\n", res.FullBitstream.SizeKB())
+	for _, bs := range res.PartialBitstreams {
+		fmt.Printf("partial: %-28s %.0f KB (compression %.1fx)\n", bs.Name, bs.SizeKB(), bs.CompressionRatio())
+	}
+
+	// Compare against the monolithic baseline.
+	mono, err := p.RunMonolithicFlow(soc, presp.FlowOptions{SkipBitstreams: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gain := (float64(mono.Total) - float64(res.Total)) / float64(mono.Total) * 100
+	fmt.Printf("monolithic baseline: %.0f min -> PR-ESP gain %.1f%%\n", float64(mono.Total), gain)
+}

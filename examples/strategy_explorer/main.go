@@ -1,0 +1,128 @@
+// Strategy explorer: sweep the design space of reconfigurable SoCs and
+// watch the size-driven algorithm switch between serial, semi-parallel
+// and fully-parallel implementations — an empirical regeneration of the
+// paper's Table I from whole-flow runs rather than the decision rule.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"presp"
+)
+
+// design builds a 4x4 SoC with n reconfigurable tiles of the given
+// accelerator type; bigCPU selects the CVA6 core to grow the static
+// part.
+func design(name string, n int, acc string) *presp.Config {
+	cfg := &presp.Config{
+		Name: name, Board: "VC707", Cols: 4, Rows: 4, FreqHz: 78e6,
+		Tiles: []presp.Tile{
+			{Name: "cpu0", Kind: presp.TileCPU, Pos: presp.Coord{X: 0, Y: 0}},
+			{Name: "mem0", Kind: presp.TileMem, Pos: presp.Coord{X: 1, Y: 0}},
+			{Name: "aux0", Kind: presp.TileAux, Pos: presp.Coord{X: 2, Y: 0}},
+		},
+	}
+	slots := []presp.Coord{
+		{X: 3, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1}, {X: 2, Y: 1}, {X: 3, Y: 1},
+		{X: 0, Y: 2}, {X: 1, Y: 2}, {X: 2, Y: 2}, {X: 3, Y: 2},
+		{X: 0, Y: 3}, {X: 1, Y: 3}, {X: 2, Y: 3},
+	}
+	for i := 0; i < n && i < len(slots); i++ {
+		cfg.Tiles = append(cfg.Tiles, presp.Tile{
+			Name:      fmt.Sprintf("rt_%d", i+1),
+			Kind:      presp.TileReconf,
+			AccelName: acc,
+			Pos:       slots[i],
+		})
+	}
+	return cfg
+}
+
+func main() {
+	p, err := presp.NewPlatform("VC707")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("design space sweep: accelerator mix vs chosen strategy (modelled minutes)")
+	fmt.Printf("%-22s %6s %6s %6s %-6s %-15s %8s %8s %8s\n",
+		"design", "κ", "α_av", "γ", "class", "chosen", "serial", "semi", "fully")
+
+	cases := []struct {
+		label string
+		n     int
+		acc   string
+	}{
+		{"8 small MACs", 8, "mac"},
+		{"12 small MACs", 12, "mac"},
+		{"2 sorters", 2, "sort"},
+		{"3 sorters", 3, "sort"},
+		{"3 FFTs", 3, "fft"},
+		{"4 conv engines", 4, "conv2d"},
+		{"1 conv engine", 1, "conv2d"},
+	}
+	for _, c := range cases {
+		cfg := design(c.label, c.n, c.acc)
+		soc, err := p.BuildSoC(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := soc.Metrics()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cls, err := soc.Classify()
+		if err != nil {
+			log.Fatal(err)
+		}
+		chosen, err := p.ChooseStrategy(soc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Evaluate all three strategies to see whether the choice wins.
+		times := map[presp.StrategyKind]float64{}
+		for _, kind := range []presp.StrategyKind{presp.Serial, presp.SemiParallel, presp.FullyParallel} {
+			t, ok := runWith(p, soc, kind)
+			if ok {
+				times[kind] = t
+			}
+		}
+		fmt.Printf("%-22s %6.2f %6.3f %6.2f %-6s %-15s %8s %8s %8s\n",
+			c.label, m.Kappa, m.AlphaAv, m.Gamma, cls, chosen.Kind,
+			fmtTime(times, presp.Serial), fmtTime(times, presp.SemiParallel), fmtTime(times, presp.FullyParallel))
+	}
+}
+
+// runWith forces one strategy and returns the P&R wall time; strategies
+// that do not apply (semi-parallel with too few tiles) report !ok.
+func runWith(p *presp.Platform, soc *presp.SoC, kind presp.StrategyKind) (float64, bool) {
+	tau := 1
+	switch kind {
+	case presp.SemiParallel:
+		tau = 2
+	case presp.FullyParallel:
+		tau = len(soc.Design.RPs)
+	}
+	strat, err := forceStrategy(soc, kind, tau)
+	if err != nil {
+		return 0, false
+	}
+	res, err := p.RunFlow(soc, presp.FlowOptions{Strategy: strat, SkipBitstreams: true})
+	if err != nil {
+		return 0, false
+	}
+	return float64(res.PRWall), true
+}
+
+func forceStrategy(soc *presp.SoC, kind presp.StrategyKind, tau int) (*presp.Strategy, error) {
+	return presp.ForceStrategy(soc, kind, tau)
+}
+
+func fmtTime(times map[presp.StrategyKind]float64, k presp.StrategyKind) string {
+	t, ok := times[k]
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", t)
+}

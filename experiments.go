@@ -1,0 +1,86 @@
+package presp
+
+import (
+	"fmt"
+	"strings"
+
+	"presp/internal/experiments"
+)
+
+// ExperimentNames lists the paper artifacts RunExperiment regenerates.
+func ExperimentNames() []string {
+	return []string{
+		"table1", "table2", "table3", "table4", "table5", "table6",
+		"fig3", "fig4", "map", "stability",
+	}
+}
+
+// RunExperiment regenerates one of the paper's evaluation artifacts and
+// returns the rendered table: "table1".."table6" and "fig3"/"fig4" are
+// the paper's tables and figures; "map" is the Section IV design-space
+// sweep and "stability" the strategy-winner sensitivity analysis.
+func RunExperiment(name string) (string, error) {
+	switch strings.ToLower(name) {
+	case "table1", "1":
+		r, err := experiments.Table1()
+		if err != nil {
+			return "", err
+		}
+		return r.Render().String(), nil
+	case "table2", "2":
+		r, err := experiments.Table2()
+		if err != nil {
+			return "", err
+		}
+		return r.Render().String(), nil
+	case "table3", "3":
+		r, err := experiments.Table3()
+		if err != nil {
+			return "", err
+		}
+		return r.Render().String(), nil
+	case "table4", "4":
+		r, err := experiments.Table4()
+		if err != nil {
+			return "", err
+		}
+		return r.Render().String(), nil
+	case "table5", "5":
+		r, err := experiments.Table5()
+		if err != nil {
+			return "", err
+		}
+		return r.Render().String(), nil
+	case "table6", "6":
+		r, err := experiments.Table6()
+		if err != nil {
+			return "", err
+		}
+		return r.Render().String(), nil
+	case "fig3":
+		r, err := experiments.Fig3()
+		if err != nil {
+			return "", err
+		}
+		return r.Render().String(), nil
+	case "fig4":
+		r, err := experiments.Fig4(experiments.Fig4Options{Compress: true})
+		if err != nil {
+			return "", err
+		}
+		return r.Render().String(), nil
+	case "map":
+		r, err := experiments.StrategyMap()
+		if err != nil {
+			return "", err
+		}
+		return r.Render().String(), nil
+	case "stability":
+		r, err := experiments.Stability(32, 0.03)
+		if err != nil {
+			return "", err
+		}
+		return r.Render().String(), nil
+	}
+	return "", fmt.Errorf("presp: unknown experiment %q (want %v)", name, ExperimentNames())
+}

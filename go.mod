@@ -1,0 +1,3 @@
+module presp
+
+go 1.22

@@ -1,0 +1,265 @@
+package accel
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"presp/internal/fpga"
+)
+
+func TestDefaultRegistryProfiles(t *testing.T) {
+	// The characterization accelerators must report the paper's
+	// Table II LUT utilizations exactly.
+	want := map[string]int{
+		"mac":    2450,
+		"conv2d": 36741,
+		"gemm":   30617,
+		"fft":    33690,
+		"sort":   20468,
+	}
+	r := Default()
+	for name, luts := range want {
+		d, err := r.Lookup(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := d.Resources[fpga.LUT]; got != luts {
+			t.Errorf("%s LUTs: got %d want %d", name, got, luts)
+		}
+		if d.Kernel == nil {
+			t.Errorf("%s has no functional model", name)
+		}
+		if d.CyclesPerInvocation(1000) <= d.CyclesPerInvocation(0) {
+			t.Errorf("%s latency not monotone in workload", name)
+		}
+	}
+}
+
+func TestRegistryDuplicateAndUnknown(t *testing.T) {
+	r := Default()
+	err := r.Register(&Descriptor{
+		Name:                "mac",
+		Resources:           fpga.NewResources(1, 1, 0, 0),
+		CyclesPerInvocation: func(int) int64 { return 1 },
+		ActivePowerW:        0.1,
+	})
+	if err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if _, err := r.Lookup("warp-drive"); err == nil {
+		t.Fatal("unknown accelerator found")
+	}
+}
+
+func TestDescriptorValidation(t *testing.T) {
+	valid := func() *Descriptor {
+		return &Descriptor{
+			Name:                "x",
+			Resources:           fpga.NewResources(100, 100, 0, 0),
+			CyclesPerInvocation: func(int) int64 { return 1 },
+			ActivePowerW:        0.5,
+		}
+	}
+	cases := []func(*Descriptor){
+		func(d *Descriptor) { d.Name = "" },
+		func(d *Descriptor) { d.Resources = fpga.Resources{} },
+		func(d *Descriptor) { d.CyclesPerInvocation = nil },
+		func(d *Descriptor) { d.ActivePowerW = 0 },
+	}
+	for i, mutate := range cases {
+		d := valid()
+		mutate(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: invalid descriptor accepted", i)
+		}
+	}
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid descriptor rejected: %v", err)
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	names := Default().Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("names not sorted: %v", names)
+	}
+	if len(names) != 5 {
+		t.Fatalf("default registry should hold 5 accelerators, has %v", names)
+	}
+}
+
+func TestMACKernel(t *testing.T) {
+	out, err := (MACKernel{}).Run([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0][0] != 32 {
+		t.Fatalf("mac: got %g want 32", out[0][0])
+	}
+	if _, err := (MACKernel{}).Run([][]float64{{1}, {1, 2}}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := (MACKernel{}).Run([][]float64{{1}}); err == nil {
+		t.Fatal("single input accepted")
+	}
+}
+
+func TestConv2DImpulse(t *testing.T) {
+	// Convolving an impulse with a filter recovers the flipped filter
+	// footprint centred at the impulse.
+	n := 5
+	img := make([]float64, n*n)
+	img[2*n+2] = 1 // centre
+	filt := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	out, err := (Conv2DKernel{K: 3}).Run([][]float64{img, filt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output at (x,y) = Σ img(x+fx-1, y+fy-1)·filt(fx,fy): at (1,1) the
+	// impulse sits at offset (fx=2, fy=2) → filt[8] = 9.
+	if out[0][1*n+1] != 9 {
+		t.Fatalf("conv impulse at (1,1): got %g want 9", out[0][1*n+1])
+	}
+	if out[0][2*n+2] != 5 {
+		t.Fatalf("conv impulse centre: got %g want 5", out[0][2*n+2])
+	}
+}
+
+func TestConv2DErrors(t *testing.T) {
+	k := Conv2DKernel{K: 3}
+	if _, err := k.Run([][]float64{make([]float64, 10), make([]float64, 9)}); err == nil {
+		t.Fatal("non-square image accepted")
+	}
+	if _, err := k.Run([][]float64{make([]float64, 16), make([]float64, 4)}); err == nil {
+		t.Fatal("wrong filter size accepted")
+	}
+}
+
+func TestGEMMIdentity(t *testing.T) {
+	n := 4
+	id := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+	}
+	a := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i * i % 17)
+	}
+	out, err := (GEMMKernel{}).Run([][]float64{a, id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if out[0][i] != a[i] {
+			t.Fatalf("A·I != A at %d: %g vs %g", i, out[0][i], a[i])
+		}
+	}
+}
+
+func TestGEMMKnownProduct(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{5, 6, 7, 8}
+	out, err := (GEMMKernel{}).Run([][]float64{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{19, 22, 43, 50}
+	for i := range want {
+		if out[0][i] != want[i] {
+			t.Fatalf("gemm: got %v want %v", out[0], want)
+		}
+	}
+}
+
+func TestFFTAgainstNaiveDFT(t *testing.T) {
+	n := 16
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i)*0.7) + 0.3*float64(i%3)
+	}
+	out, err := (FFTKernel{}).Run([][]float64{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < n; k++ {
+		var re, im float64
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k*j) / float64(n)
+			re += x[j] * math.Cos(ang)
+			im += x[j] * math.Sin(ang)
+		}
+		if math.Abs(out[0][2*k]-re) > 1e-9 || math.Abs(out[0][2*k+1]-im) > 1e-9 {
+			t.Fatalf("FFT bin %d: got (%g,%g) want (%g,%g)", k, out[0][2*k], out[0][2*k+1], re, im)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if _, err := (FFTKernel{}).Run([][]float64{make([]float64, 12)}); err == nil {
+		t.Fatal("length 12 accepted")
+	}
+	if _, err := (FFTKernel{}).Run([][]float64{{}}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestSortKernelProperty(t *testing.T) {
+	f := func(in []float64) bool {
+		for i, v := range in {
+			if math.IsNaN(v) {
+				in[i] = 0 // NaN breaks total order; the DMA never carries NaN
+			}
+		}
+		orig := append([]float64(nil), in...)
+		out, err := (SortKernel{}).Run([][]float64{in})
+		if err != nil {
+			return false
+		}
+		if !sort.Float64sAreSorted(out[0]) {
+			return false
+		}
+		// The output must be a permutation of the input.
+		sort.Float64s(orig)
+		for i := range orig {
+			if out[0][i] != orig[i] {
+				return false
+			}
+		}
+		return len(in) == len(out[0])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	if _, err := (SortKernel{}).Run([][]float64{in}); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestNVDLADescriptor(t *testing.T) {
+	d := NVDLA()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Kernel != nil {
+		t.Fatal("NVDLA integrates structurally; it ships no generic kernel model")
+	}
+	if d.Resources[fpga.LUT] < 50000 {
+		t.Fatalf("NVDLA small should be a large block, got %d LUTs", d.Resources[fpga.LUT])
+	}
+	r := Default()
+	if err := r.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup("nvdla"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+package accel
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// MACKernel computes a multiply-accumulate: out = Σ a[i]*b[i].
+// Inputs: in[0] = a, in[1] = b. Output: out[0] = [dot].
+type MACKernel struct{}
+
+// Name implements Kernel.
+func (MACKernel) Name() string { return "mac" }
+
+// Run implements Kernel.
+func (MACKernel) Run(in [][]float64) ([][]float64, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("mac: want 2 inputs, got %d", len(in))
+	}
+	a, b := in[0], in[1]
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("mac: length mismatch %d vs %d", len(a), len(b))
+	}
+	var acc float64
+	for i := range a {
+		acc += a[i] * b[i]
+	}
+	return [][]float64{{acc}}, nil
+}
+
+// Conv2DKernel computes a 2-D convolution with a KxK filter over a square
+// image, zero-padded so the output has the input shape.
+// Inputs: in[0] = image (n*n, row major), in[1] = filter (K*K).
+type Conv2DKernel struct {
+	// K is the filter size (odd).
+	K int
+}
+
+// Name implements Kernel.
+func (Conv2DKernel) Name() string { return "conv2d" }
+
+// Run implements Kernel.
+func (k Conv2DKernel) Run(in [][]float64) ([][]float64, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("conv2d: want 2 inputs, got %d", len(in))
+	}
+	img, filt := in[0], in[1]
+	n := int(math.Sqrt(float64(len(img))))
+	if n*n != len(img) {
+		return nil, fmt.Errorf("conv2d: image length %d is not a square", len(img))
+	}
+	K := k.K
+	if K <= 0 {
+		K = 3
+	}
+	if len(filt) != K*K {
+		return nil, fmt.Errorf("conv2d: filter length %d, want %d", len(filt), K*K)
+	}
+	half := K / 2
+	out := make([]float64, n*n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			var acc float64
+			for fy := 0; fy < K; fy++ {
+				for fx := 0; fx < K; fx++ {
+					iy, ix := y+fy-half, x+fx-half
+					if iy < 0 || iy >= n || ix < 0 || ix >= n {
+						continue
+					}
+					acc += img[iy*n+ix] * filt[fy*K+fx]
+				}
+			}
+			out[y*n+x] = acc
+		}
+	}
+	return [][]float64{out}, nil
+}
+
+// GEMMKernel computes C = A x B for square matrices.
+// Inputs: in[0] = A (n*n), in[1] = B (n*n).
+type GEMMKernel struct{}
+
+// Name implements Kernel.
+func (GEMMKernel) Name() string { return "gemm" }
+
+// Run implements Kernel.
+func (GEMMKernel) Run(in [][]float64) ([][]float64, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("gemm: want 2 inputs, got %d", len(in))
+	}
+	a, b := in[0], in[1]
+	n := int(math.Sqrt(float64(len(a))))
+	if n*n != len(a) || len(b) != len(a) {
+		return nil, fmt.Errorf("gemm: inputs must be equal square matrices")
+	}
+	c := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for kk := 0; kk < n; kk++ {
+			aik := a[i*n+kk]
+			if aik == 0 {
+				continue
+			}
+			row := b[kk*n : kk*n+n]
+			dst := c[i*n : i*n+n]
+			for j := range row {
+				dst[j] += aik * row[j]
+			}
+		}
+	}
+	return [][]float64{c}, nil
+}
+
+// FFTKernel computes an in-order radix-2 FFT of a real input sequence
+// whose length must be a power of two. The output interleaves real and
+// imaginary parts: out[0] = [re0, im0, re1, im1, ...].
+type FFTKernel struct{}
+
+// Name implements Kernel.
+func (FFTKernel) Name() string { return "fft" }
+
+// Run implements Kernel.
+func (FFTKernel) Run(in [][]float64) ([][]float64, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("fft: want 1 input, got %d", len(in))
+	}
+	x := in[0]
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	buf := make([]complex128, n)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	fftInPlace(buf)
+	out := make([]float64, 2*n)
+	for i, c := range buf {
+		out[2*i] = real(c)
+		out[2*i+1] = imag(c)
+	}
+	return [][]float64{out}, nil
+}
+
+// fftInPlace performs an iterative radix-2 Cooley-Tukey FFT.
+func fftInPlace(a []complex128) {
+	n := len(a)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := a[i+j]
+				v := a[i+j+length/2] * w
+				a[i+j] = u + v
+				a[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// SortKernel sorts its input ascending (vector sorting accelerator).
+type SortKernel struct{}
+
+// Name implements Kernel.
+func (SortKernel) Name() string { return "sort" }
+
+// Run implements Kernel.
+func (SortKernel) Run(in [][]float64) ([][]float64, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("sort: want 1 input, got %d", len(in))
+	}
+	out := append([]float64(nil), in[0]...)
+	sort.Float64s(out)
+	return [][]float64{out}, nil
+}

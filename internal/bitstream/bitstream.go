@@ -1,0 +1,172 @@
+// Package bitstream models Xilinx configuration bitstreams at the frame
+// level: full-device and partial bitstreams, with the word-oriented
+// compression Vivado's BITSTREAM.GENERAL.COMPRESS option applies. The
+// PR-ESP flow generates compressed partial bitstreams to reduce the
+// memory-access latency of runtime reconfiguration (Section VI), so the
+// compressed sizes drive the reconfiguration-time model.
+package bitstream
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"presp/internal/fpga"
+)
+
+// Kind distinguishes full from partial bitstreams.
+type Kind int
+
+const (
+	// Full configures the whole device.
+	Full Kind = iota
+	// Partial configures a single reconfigurable partition.
+	Partial
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == Partial {
+		return "partial"
+	}
+	return "full"
+}
+
+// Bitstream is one generated configuration image.
+type Bitstream struct {
+	// Name identifies the image (e.g. "SoC_Y.rt_2.fft.pbs").
+	Name string
+	// Kind is full or partial.
+	Kind Kind
+	// Frames is the configuration frame count covered.
+	Frames int
+	// RawBytes is the uncompressed image size.
+	RawBytes int
+	// Data is the (possibly compressed) image payload.
+	Data []byte
+	// Compressed records whether Data is compressed.
+	Compressed bool
+}
+
+// Size returns the stored payload size in bytes.
+func (b *Bitstream) Size() int { return len(b.Data) }
+
+// SizeKB returns the payload size in binary kilobytes, the unit of the
+// paper's Table VI.
+func (b *Bitstream) SizeKB() float64 { return float64(len(b.Data)) / 1024.0 }
+
+// CompressionRatio returns raw/stored size.
+func (b *Bitstream) CompressionRatio() float64 {
+	if len(b.Data) == 0 {
+		return 0
+	}
+	return float64(b.RawBytes) / float64(len(b.Data))
+}
+
+// Generator produces deterministic frame payloads whose statistics track
+// the configured-logic density of the covered fabric, so compressed
+// sizes respond to utilization the way real bitstreams do.
+type Generator struct {
+	dev *fpga.Device
+}
+
+// NewGenerator returns a generator for device d.
+func NewGenerator(d *fpga.Device) *Generator {
+	return &Generator{dev: d}
+}
+
+// densityFor maps a fabric fill fraction (used LUTs / region LUTs) to the
+// fraction of non-zero configuration words. Even a fully-packed region
+// leaves most configuration words at their defaults (routing frames are
+// sparse), which is why Vivado's compression is so effective.
+func densityFor(fill float64) float64 {
+	if fill < 0 {
+		fill = 0
+	}
+	if fill > 1 {
+		fill = 1
+	}
+	return 0.015 + 0.095*fill
+}
+
+// Partial generates the compressed partial bitstream for a partition
+// occupying pblock pb with usedLUTs of logic, on behalf of module name.
+func (g *Generator) Partial(name string, pb fpga.Pblock, usedLUTs int, compress bool) (*Bitstream, error) {
+	frames := pb.Frames(g.dev)
+	if frames <= 0 {
+		return nil, fmt.Errorf("bitstream: pblock %s covers no frames", pb.Name)
+	}
+	areaLUTs := pb.ResourcesOn(g.dev)[fpga.LUT]
+	fill := 0.0
+	if areaLUTs > 0 {
+		fill = float64(usedLUTs) / float64(areaLUTs)
+	}
+	raw := g.frames(name, frames, densityFor(fill))
+	bs := &Bitstream{
+		Name:     name,
+		Kind:     Partial,
+		Frames:   frames,
+		RawBytes: len(raw),
+	}
+	if compress {
+		bs.Data = CompressRLE(raw)
+		bs.Compressed = true
+	} else {
+		bs.Data = raw
+	}
+	return bs, nil
+}
+
+// FullDevice generates the full-device bitstream for a design using
+// usedLUTs of the fabric.
+func (g *Generator) FullDevice(name string, usedLUTs int, compress bool) (*Bitstream, error) {
+	// Approximate the device frame count from grid geometry.
+	pb := fpga.Pblock{Name: name, X0: 0, Y0: 0, X1: g.dev.GridCols() - 1, Y1: g.dev.GridRows() - 1}
+	frames := pb.Frames(g.dev)
+	fill := float64(usedLUTs) / float64(g.dev.Total[fpga.LUT])
+	raw := g.frames(name, frames, densityFor(fill))
+	bs := &Bitstream{Name: name, Kind: Full, Frames: frames, RawBytes: len(raw)}
+	if compress {
+		bs.Data = CompressRLE(raw)
+		bs.Compressed = true
+	} else {
+		bs.Data = raw
+	}
+	return bs, nil
+}
+
+// frames renders the raw frame payload: per frame, a deterministic
+// pseudo-random subset of words is configured (non-zero).
+func (g *Generator) frames(seedName string, frames int, density float64) []byte {
+	words := frames * g.dev.FrameWords
+	out := make([]byte, words*4)
+	rng := splitmix64(hashString(seedName))
+	threshold := uint64(density * float64(1<<32))
+	for w := 0; w < words; w++ {
+		r := rng.next()
+		if uint64(uint32(r)) < threshold {
+			binary.LittleEndian.PutUint32(out[w*4:], uint32(r>>32)|1)
+		}
+	}
+	return out
+}
+
+// splitmix64 is a tiny deterministic PRNG (no math/rand dependency so
+// generation is reproducible across Go versions).
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func hashString(s string) splitmix64 {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return splitmix64(h)
+}

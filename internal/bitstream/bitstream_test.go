@@ -1,0 +1,196 @@
+package bitstream
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"presp/internal/fpga"
+)
+
+func TestRLERoundtripKnown(t *testing.T) {
+	raw := make([]byte, 4096)
+	for i := 100; i < 140; i++ {
+		raw[i] = byte(i)
+	}
+	comp := CompressRLE(raw)
+	back, err := DecompressRLE(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, back) {
+		t.Fatal("roundtrip corrupted data")
+	}
+	if len(comp) >= len(raw) {
+		t.Fatalf("sparse data did not compress: %d -> %d", len(raw), len(comp))
+	}
+}
+
+func TestRLERoundtripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		comp := CompressRLE(data)
+		back, err := DecompressRLE(comp)
+		if err != nil {
+			return false
+		}
+		// Compression pads to a word boundary; the prefix must match
+		// and the padding must be zeros.
+		if len(back) < len(data) {
+			return false
+		}
+		if !bytes.Equal(back[:len(data)], data) {
+			return false
+		}
+		for _, b := range back[len(data):] {
+			if b != 0 {
+				return false
+			}
+		}
+		return len(back)-len(data) < 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLEAllZeros(t *testing.T) {
+	raw := make([]byte, 1<<16)
+	comp := CompressRLE(raw)
+	if len(comp) > 16 {
+		t.Fatalf("64KB of zeros should compress to a few bytes, got %d", len(comp))
+	}
+}
+
+func TestRLEIncompressible(t *testing.T) {
+	raw := make([]byte, 4096)
+	for i := range raw {
+		raw[i] = byte(i*7 + i/13) // no runs
+	}
+	comp := CompressRLE(raw)
+	back, err := DecompressRLE(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, back) {
+		t.Fatal("roundtrip corrupted data")
+	}
+	// Overhead must stay small (one literal header).
+	if len(comp) > len(raw)+16 {
+		t.Fatalf("literal overhead too big: %d -> %d", len(raw), len(comp))
+	}
+}
+
+func TestDecompressRejectsCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{0x05, 0x01},             // unknown tag
+		{0x00, 0x04},             // run without word
+		{0x01, 0x10, 0x01, 0x02}, // literal count beyond data
+	}
+	for i, c := range cases {
+		if _, err := DecompressRLE(c); err == nil {
+			t.Errorf("case %d: corrupt stream decompressed", i)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g := NewGenerator(fpga.VC707())
+	pb := fpga.Pblock{Name: "p", X0: 0, Y0: 0, X1: 3, Y1: 1}
+	a, err := g.Partial("x", pb, 30000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Partial("x", pb, 30000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Data, b.Data) {
+		t.Fatal("same name/pblock/usage must generate identical bitstreams")
+	}
+	c, err := g.Partial("y", pb, 30000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Data, c.Data) {
+		t.Fatal("different modules should differ in content")
+	}
+}
+
+func TestPartialSizeTracksUtilization(t *testing.T) {
+	g := NewGenerator(fpga.VC707())
+	pb := fpga.Pblock{Name: "p", X0: 0, Y0: 0, X1: 7, Y1: 1}
+	sparse, err := g.Partial("s", pb, 5000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := g.Partial("d", pb, 80000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Size() <= sparse.Size() {
+		t.Fatalf("denser logic should compress worse: %d vs %d", sparse.Size(), dense.Size())
+	}
+	if sparse.RawBytes != dense.RawBytes {
+		t.Fatal("same pblock must have the same raw size")
+	}
+}
+
+func TestPartialSizesInPaperRange(t *testing.T) {
+	// The evaluation's reconfigurable regions produce compressed partial
+	// bitstreams of a few hundred KB (Table VI reports 245-397 KB).
+	g := NewGenerator(fpga.VC707())
+	pb := fpga.Pblock{Name: "p", X0: 0, Y0: 0, X1: 7, Y1: 0} // 8 cells ~ a WAMI region
+	bs, err := g.Partial("wami", pb, 34000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb := bs.SizeKB()
+	if kb < 100 || kb > 800 {
+		t.Fatalf("partial bitstream %f KB outside plausible range", kb)
+	}
+}
+
+func TestUncompressedPartial(t *testing.T) {
+	g := NewGenerator(fpga.VC707())
+	pb := fpga.Pblock{Name: "p", X0: 0, Y0: 0, X1: 3, Y1: 1}
+	bs, err := g.Partial("x", pb, 30000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Compressed || bs.Size() != bs.RawBytes {
+		t.Fatal("uncompressed bitstream should equal its raw size")
+	}
+	if bs.CompressionRatio() != 1 {
+		t.Fatalf("uncompressed ratio: got %g", bs.CompressionRatio())
+	}
+}
+
+func TestFullDeviceBitstream(t *testing.T) {
+	g := NewGenerator(fpga.VC707())
+	full, err := g.FullDevice("soc.bit", 150000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Kind != Full {
+		t.Fatal("wrong kind")
+	}
+	// The whole xc7vx485t image is ~20 MB; the model must be the same
+	// order of magnitude.
+	if full.RawBytes < 5<<20 || full.RawBytes > 80<<20 {
+		t.Fatalf("full bitstream raw size %d implausible", full.RawBytes)
+	}
+}
+
+func TestPartialRejectsEmptyPblock(t *testing.T) {
+	g := NewGenerator(fpga.VC707())
+	pb := fpga.Pblock{Name: "inv", X0: 2, Y0: 2, X1: 1, Y1: 1}
+	if _, err := g.Partial("x", pb, 100, true); err == nil {
+		t.Fatal("inverted pblock accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Full.String() != "full" || Partial.String() != "partial" {
+		t.Fatal("kind names wrong")
+	}
+}

@@ -1,0 +1,97 @@
+package bitstream
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// CompressRLE compresses a raw frame payload with the word-oriented
+// run-length scheme Vivado's compression mode uses in spirit: runs of
+// identical 32-bit words become (marker, count, word) triples; literal
+// stretches are copied with a (literal, count) header.
+//
+// Layout: the stream is a sequence of records.
+//
+//	0x00 <uvarint n> <word>    — the word repeats n times (n >= 4)
+//	0x01 <uvarint n> <n words> — n literal words
+func CompressRLE(raw []byte) []byte {
+	if len(raw)%4 != 0 {
+		// Pad to a word boundary; real bitstreams are word aligned.
+		pad := 4 - len(raw)%4
+		raw = append(append([]byte(nil), raw...), make([]byte, pad)...)
+	}
+	n := len(raw) / 4
+	words := make([]uint32, n)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint32(raw[i*4:])
+	}
+
+	var out []byte
+	var lit []uint32
+	flushLit := func() {
+		if len(lit) == 0 {
+			return
+		}
+		out = append(out, 0x01)
+		out = binary.AppendUvarint(out, uint64(len(lit)))
+		for _, w := range lit {
+			out = binary.LittleEndian.AppendUint32(out, w)
+		}
+		lit = lit[:0]
+	}
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && words[j] == words[i] {
+			j++
+		}
+		run := j - i
+		if run >= 4 {
+			flushLit()
+			out = append(out, 0x00)
+			out = binary.AppendUvarint(out, uint64(run))
+			out = binary.LittleEndian.AppendUint32(out, words[i])
+		} else {
+			for k := 0; k < run; k++ {
+				lit = append(lit, words[i])
+			}
+		}
+		i = j
+	}
+	flushLit()
+	return out
+}
+
+// DecompressRLE inverts CompressRLE.
+func DecompressRLE(data []byte) ([]byte, error) {
+	var out []byte
+	for pos := 0; pos < len(data); {
+		tag := data[pos]
+		pos++
+		count, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("bitstream: corrupt RLE count at offset %d", pos)
+		}
+		pos += n
+		switch tag {
+		case 0x00:
+			if pos+4 > len(data) {
+				return nil, fmt.Errorf("bitstream: truncated run record at offset %d", pos)
+			}
+			w := data[pos : pos+4]
+			pos += 4
+			for i := uint64(0); i < count; i++ {
+				out = append(out, w...)
+			}
+		case 0x01:
+			need := int(count) * 4
+			if pos+need > len(data) {
+				return nil, fmt.Errorf("bitstream: truncated literal record at offset %d", pos)
+			}
+			out = append(out, data[pos:pos+need]...)
+			pos += need
+		default:
+			return nil, fmt.Errorf("bitstream: unknown RLE tag 0x%02x at offset %d", tag, pos-1)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"presp/internal/socgen"
+)
+
+// CostEvaluator predicts the end-to-end P&R wall time of implementing
+// design d under strategy s (internal/flow provides one backed by the
+// calibrated CAD model).
+type CostEvaluator interface {
+	EvaluateStrategy(d *socgen.Design, s *Strategy) (minutes float64, err error)
+}
+
+// ChooseWithModel is the model-based alternative to the paper's
+// rule-based Table I decision: instead of classifying by the resource
+// profile, it evaluates every applicable strategy (serial, semi-parallel
+// τ = 2..min(N-1, maxSemiTau), fully parallel) under the cost evaluator
+// and returns the predicted-fastest plan.
+//
+// The paper's algorithm is the rule-based one — it costs nothing and
+// needs no tool model at decision time. ChooseWithModel exists for the
+// ablation comparing the two: with a perfectly calibrated model the
+// exhaustive evaluation is optimal by construction, and the interesting
+// question is how close the O(1) rule gets.
+func ChooseWithModel(d *socgen.Design, eval CostEvaluator, maxSemiTau int) (*Strategy, error) {
+	if eval == nil {
+		return nil, fmt.Errorf("core: nil cost evaluator")
+	}
+	m, err := ComputeMetrics(d)
+	if err != nil {
+		return nil, err
+	}
+	if maxSemiTau <= 0 {
+		maxSemiTau = 4
+	}
+	var candidates []*Strategy
+	serial, err := ForceStrategy(d, Serial, 1)
+	if err != nil {
+		return nil, err
+	}
+	candidates = append(candidates, serial)
+	if m.N >= 2 {
+		full, err := ForceStrategy(d, FullyParallel, m.N)
+		if err != nil {
+			return nil, err
+		}
+		candidates = append(candidates, full)
+	}
+	for tau := 2; tau < m.N && tau <= maxSemiTau; tau++ {
+		semi, err := ForceStrategy(d, SemiParallel, tau)
+		if err != nil {
+			return nil, err
+		}
+		candidates = append(candidates, semi)
+	}
+
+	var best *Strategy
+	bestTime := 0.0
+	for _, cand := range candidates {
+		t, err := eval.EvaluateStrategy(d, cand)
+		if err != nil {
+			return nil, fmt.Errorf("core: evaluating %s τ=%d: %w", cand.Kind, cand.Tau, err)
+		}
+		if best == nil || t < bestTime {
+			best, bestTime = cand, t
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: no applicable strategy for %s", d.Cfg.Name)
+	}
+	return best, nil
+}

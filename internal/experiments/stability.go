@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"presp/internal/core"
+	"presp/internal/flow"
+	"presp/internal/report"
+	"presp/internal/vivado"
+	"presp/internal/wami"
+)
+
+// StabilityResult reports how robust the Table IV strategy winners are
+// to CAD run-to-run variation: the flow is re-run under many jitter
+// realizations of the cost model, and each SoC's winner is compared to
+// the paper's claim.
+type StabilityResult struct {
+	// JitterFrac is the injected per-stage variation.
+	JitterFrac float64
+	// Seeds is the realization count.
+	Seeds int
+	// WinnerStability maps SoC name to the fraction of seeds where the
+	// paper's winner stayed fastest.
+	WinnerStability map[string]float64
+	// ChooserRegret maps SoC name to the mean fractional time lost by
+	// following the size-driven choice instead of the per-seed best.
+	ChooserRegret map[string]float64
+}
+
+// paperWinners are the Table IV claims.
+var paperWinners = map[string]core.StrategyKind{
+	"SoC_A": core.FullyParallel,
+	"SoC_B": core.Serial,
+	"SoC_C": core.SemiParallel,
+	"SoC_D": core.FullyParallel,
+}
+
+// Stability runs the sensitivity analysis with `seeds` jitter
+// realizations at the given fractional variation.
+func Stability(seeds int, jitterFrac float64) (*StabilityResult, error) {
+	if seeds <= 0 {
+		seeds = 20
+	}
+	if jitterFrac <= 0 {
+		jitterFrac = 0.03
+	}
+	res := &StabilityResult{
+		JitterFrac:      jitterFrac,
+		Seeds:           seeds,
+		WinnerStability: make(map[string]float64),
+		ChooserRegret:   make(map[string]float64),
+	}
+	for _, name := range wami.FlowSoCNames() {
+		cfg, err := wami.FlowSoC(name)
+		if err != nil {
+			return nil, err
+		}
+		d, err := elaborate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		chosen, err := core.Choose(d)
+		if err != nil {
+			return nil, err
+		}
+		stable := 0
+		var regret float64
+		for seed := 0; seed < seeds; seed++ {
+			model := vivado.DefaultCostModel()
+			model.JitterFrac = jitterFrac
+			model.JitterSeed = uint64(seed) + 1
+			times := make(map[core.StrategyKind]float64)
+			for _, kind := range []core.StrategyKind{core.Serial, core.SemiParallel, core.FullyParallel} {
+				strat, err := core.ForceStrategy(d, kind, core.DefaultSemiTau)
+				if err != nil {
+					continue
+				}
+				r, err := flow.RunPRESP(d, flow.Options{Model: model, Strategy: strat, SkipBitstreams: true})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: stability %s seed %d: %w", name, seed, err)
+				}
+				times[kind] = float64(r.PRWall)
+			}
+			best := core.Serial
+			for kind, tm := range times {
+				if tm < times[best] {
+					best = kind
+				}
+			}
+			if best == paperWinners[name] {
+				stable++
+			}
+			if t, ok := times[chosen.Kind]; ok && times[best] > 0 {
+				regret += (t - times[best]) / times[best]
+			}
+		}
+		res.WinnerStability[name] = float64(stable) / float64(seeds)
+		res.ChooserRegret[name] = regret / float64(seeds)
+	}
+	return res, nil
+}
+
+// Render builds the stability table.
+func (r *StabilityResult) Render() *report.Table {
+	t := report.New(
+		fmt.Sprintf("Strategy-winner stability under ±%.0f%% CAD jitter (%d realizations)",
+			r.JitterFrac*100, r.Seeds),
+		"SoC", "paper winner", "stable", "chooser regret")
+	for _, name := range wami.FlowSoCNames() {
+		t.AddRow(name,
+			paperWinners[name].String(),
+			fmt.Sprintf("%.0f%%", r.WinnerStability[name]*100),
+			fmt.Sprintf("%.1f%%", r.ChooserRegret[name]*100))
+	}
+	return t
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+
+	"presp/internal/core"
+	"presp/internal/flow"
+	"presp/internal/noc"
+	"presp/internal/report"
+	"presp/internal/socgen"
+	"presp/internal/tile"
+)
+
+// StrategyPoint is one design of the characterization sweep: its size
+// metrics, taxonomy class, the strategy the size-driven algorithm
+// chooses, and the empirically best strategy found by running all of
+// them — the methodology Section IV used to build Table I.
+type StrategyPoint struct {
+	// Label describes the design ("4x conv2d").
+	Label string
+	// N is the reconfigurable tile count.
+	N int
+	// Metrics are the Eq. (1) values.
+	Metrics core.Metrics
+	// Class is the taxonomy class.
+	Class core.Class
+	// Chosen is the algorithm's pick.
+	Chosen core.StrategyKind
+	// Times maps each applicable strategy to its P&R minutes.
+	Times map[core.StrategyKind]float64
+	// Best is the empirically fastest strategy.
+	Best core.StrategyKind
+}
+
+// ChosenWithin reports whether the algorithm's pick is within frac of
+// the empirical best.
+func (p *StrategyPoint) ChosenWithin(frac float64) bool {
+	best, ok := p.Times[p.Best]
+	if !ok {
+		return false
+	}
+	chosen, ok := p.Times[p.Chosen]
+	if !ok {
+		return false
+	}
+	return chosen <= best*(1+frac)
+}
+
+// StrategyMapResult is the sweep outcome.
+type StrategyMapResult struct {
+	Points []StrategyPoint
+}
+
+// Agreement returns the fraction of points where the chosen strategy is
+// within tol of the empirical best.
+func (r *StrategyMapResult) Agreement(tol float64) float64 {
+	if len(r.Points) == 0 {
+		return 0
+	}
+	hits := 0
+	for i := range r.Points {
+		if r.Points[i].ChosenWithin(tol) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(r.Points))
+}
+
+// sweepDesign builds a 4x4 SoC hosting n reconfigurable tiles of the
+// named accelerator.
+func sweepDesign(label, acc string, n int) *socgen.Config {
+	cfg := &socgen.Config{
+		Name: label, Board: "VC707", Cols: 4, Rows: 4, FreqHz: 78e6,
+		Tiles: []tile.Tile{
+			{Name: "cpu0", Kind: tile.CPU, Core: tile.Leon3, Pos: noc.Coord{X: 0, Y: 0}},
+			{Name: "mem0", Kind: tile.Mem, Pos: noc.Coord{X: 1, Y: 0}},
+			{Name: "aux0", Kind: tile.Aux, Pos: noc.Coord{X: 2, Y: 0}},
+		},
+	}
+	slots := []noc.Coord{
+		{X: 3, Y: 0}, {X: 0, Y: 1}, {X: 1, Y: 1}, {X: 2, Y: 1}, {X: 3, Y: 1},
+		{X: 0, Y: 2}, {X: 1, Y: 2}, {X: 2, Y: 2}, {X: 3, Y: 2},
+		{X: 0, Y: 3}, {X: 1, Y: 3}, {X: 2, Y: 3}, {X: 3, Y: 3},
+	}
+	for i := 0; i < n && i < len(slots); i++ {
+		cfg.Tiles = append(cfg.Tiles, tile.Tile{
+			Name:      fmt.Sprintf("rt_%d", i+1),
+			Kind:      tile.Reconf,
+			AccelName: acc,
+			Pos:       slots[i],
+		})
+	}
+	return cfg
+}
+
+// StrategyMap sweeps accelerator type and count across the feasible
+// design space and, for every design, compares the size-driven choice
+// against exhaustively running serial, semi-parallel (τ=2) and fully
+// parallel implementations.
+func StrategyMap() (*StrategyMapResult, error) {
+	res := &StrategyMapResult{}
+	sweeps := []struct {
+		acc    string
+		counts []int
+	}{
+		{"mac", []int{2, 4, 8, 12}},
+		{"sort", []int{1, 2, 3, 4, 6}},
+		{"fft", []int{2, 3, 4}},
+		{"gemm", []int{2, 3, 4, 5}},
+		{"conv2d", []int{1, 2, 4}},
+	}
+	for _, sw := range sweeps {
+		for _, n := range sw.counts {
+			label := fmt.Sprintf("%dx %s", n, sw.acc)
+			cfg := sweepDesign(label, sw.acc, n)
+			d, err := elaborate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			pt := StrategyPoint{Label: label, N: n, Times: make(map[core.StrategyKind]float64)}
+			pt.Metrics, err = core.ComputeMetrics(d)
+			if err != nil {
+				return nil, err
+			}
+			pt.Class, err = core.Classify(pt.Metrics)
+			if err != nil {
+				return nil, err
+			}
+			chosen, err := core.Choose(d)
+			if err != nil {
+				return nil, err
+			}
+			pt.Chosen = chosen.Kind
+			for _, kind := range []core.StrategyKind{core.Serial, core.SemiParallel, core.FullyParallel} {
+				strat, err := core.ForceStrategy(d, kind, core.DefaultSemiTau)
+				if err != nil {
+					continue // strategy not applicable (e.g. semi with N<3)
+				}
+				r, err := flow.RunPRESP(d, flow.Options{Strategy: strat, SkipBitstreams: true})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s %s: %w", label, kind, err)
+				}
+				pt.Times[kind] = float64(r.PRWall)
+			}
+			best := core.Serial
+			for kind, tm := range pt.Times {
+				if tm < pt.Times[best] {
+					best = kind
+				}
+			}
+			pt.Best = best
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+// Render builds the sweep table.
+func (r *StrategyMapResult) Render() *report.Table {
+	t := report.New("Strategy map — size-driven choice vs exhaustive search (modelled minutes)",
+		"design", "N", "κ%", "γ", "class", "serial", "semi", "fully", "chosen", "best")
+	for i := range r.Points {
+		p := &r.Points[i]
+		cell := func(k core.StrategyKind) string {
+			v, ok := p.Times[k]
+			if !ok {
+				return "-"
+			}
+			out := report.Minutes(v)
+			if k == p.Chosen {
+				out = report.Bold(out)
+			}
+			return out
+		}
+		t.AddRow(p.Label, p.N,
+			fmt.Sprintf("%.1f", p.Metrics.Kappa*100),
+			fmt.Sprintf("%.2f", p.Metrics.Gamma),
+			p.Class.String(),
+			cell(core.Serial), cell(core.SemiParallel), cell(core.FullyParallel),
+			p.Chosen.String(), p.Best.String())
+	}
+	return t
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"presp/internal/core"
+	"presp/internal/flow"
+	"presp/internal/report"
+	"presp/internal/socgen"
+)
+
+// Table3Entry is the result of implementing one SoC at one parallelism
+// degree.
+type Table3Entry struct {
+	// Tau is the parallel run count (1 = serial).
+	Tau int
+	// TStatic is the static pre-route time in minutes (0 for serial).
+	TStatic float64
+	// Omega is the longest in-context run in minutes (0 for serial).
+	Omega float64
+	// Total is the end-to-end P&R time in minutes.
+	Total float64
+}
+
+// Table3SoC aggregates the characterization of one SoC.
+type Table3SoC struct {
+	Name    string
+	Metrics core.Metrics
+	Entries []Table3Entry
+}
+
+// Best returns the τ with the shortest total time.
+func (s *Table3SoC) Best() Table3Entry {
+	best := s.Entries[0]
+	for _, e := range s.Entries[1:] {
+		if e.Total < best.Total {
+			best = e
+		}
+	}
+	return best
+}
+
+// Entry returns the measurement at the given τ.
+func (s *Table3SoC) Entry(tau int) (Table3Entry, error) {
+	for _, e := range s.Entries {
+		if e.Tau == tau {
+			return e, nil
+		}
+	}
+	return Table3Entry{}, fmt.Errorf("experiments: %s has no τ=%d run", s.Name, tau)
+}
+
+// Table3Result reproduces the Vivado characterization (Table III).
+type Table3Result struct {
+	SoCs []Table3SoC
+}
+
+// table3Taus lists the parallelism degrees the paper sweeps per SoC.
+var table3Taus = map[string][]int{
+	"SOC_1": {1, 2, 3, 4, 5, 16},
+	"SOC_2": {1, 2, 3, 4},
+	"SOC_3": {1, 2, 3},
+	"SOC_4": {1, 2, 3, 4, 5},
+}
+
+// Table3 runs the characterization sweep on SOC_1..SOC_4.
+func Table3() (*Table3Result, error) {
+	res := &Table3Result{}
+	for _, cfg := range socgen.CharacterizationSoCs() {
+		soc, err := characterize(cfg, table3Taus[cfg.Name])
+		if err != nil {
+			return nil, err
+		}
+		res.SoCs = append(res.SoCs, *soc)
+	}
+	return res, nil
+}
+
+// characterize sweeps one SoC across the given parallelism degrees.
+func characterize(cfg *socgen.Config, taus []int) (*Table3SoC, error) {
+	d, err := elaborate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.ComputeMetrics(d)
+	if err != nil {
+		return nil, err
+	}
+	soc := &Table3SoC{Name: cfg.Name, Metrics: m}
+	for _, tau := range taus {
+		strat, err := strategyForTau(d, tau)
+		if err != nil {
+			return nil, err
+		}
+		r, err := flow.RunPRESP(d, flow.Options{Strategy: strat, SkipBitstreams: true})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s τ=%d: %w", cfg.Name, tau, err)
+		}
+		soc.Entries = append(soc.Entries, Table3Entry{
+			Tau:     tau,
+			TStatic: float64(r.TStatic),
+			Omega:   float64(r.MaxOmega),
+			Total:   float64(r.PRWall),
+		})
+	}
+	sort.Slice(soc.Entries, func(i, j int) bool { return soc.Entries[i].Tau < soc.Entries[j].Tau })
+	return soc, nil
+}
+
+// strategyForTau maps a τ to the corresponding forced strategy.
+func strategyForTau(d *socgen.Design, tau int) (*core.Strategy, error) {
+	n := len(d.RPs)
+	switch {
+	case tau <= 1:
+		return core.ForceStrategy(d, core.Serial, 1)
+	case tau >= n:
+		return core.ForceStrategy(d, core.FullyParallel, n)
+	default:
+		return core.ForceStrategy(d, core.SemiParallel, tau)
+	}
+}
+
+// SoC returns the named SoC's characterization.
+func (r *Table3Result) SoC(name string) (*Table3SoC, error) {
+	for i := range r.SoCs {
+		if r.SoCs[i].Name == name {
+			return &r.SoCs[i], nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: no characterization for %q", name)
+}
+
+// Render builds the Table III layout.
+func (r *Table3Result) Render() *report.Table {
+	t := report.New("Table III — Vivado characterization under different parallelism (modelled minutes)",
+		"SoC", "α_av%", "κ%", "γ", "τ", "t_static", "Ω", "T_tot")
+	for _, s := range r.SoCs {
+		best := s.Best()
+		for _, e := range s.Entries {
+			total := report.Minutes(e.Total)
+			if e.Tau == best.Tau {
+				total = report.Bold(total)
+			}
+			t.AddRow(s.Name,
+				fmt.Sprintf("%.1f", s.Metrics.AlphaAv*100),
+				fmt.Sprintf("%.1f", s.Metrics.Kappa*100),
+				fmt.Sprintf("%.2f", s.Metrics.Gamma),
+				e.Tau,
+				report.Minutes(e.TStatic),
+				report.Minutes(e.Omega),
+				total)
+		}
+	}
+	return t
+}

@@ -1,0 +1,184 @@
+// Package floorplan automates DPR floorplanning in the way PR-ESP adapts
+// the FLORA tool (Section IV): given the post-synthesis resource needs
+// of every reconfigurable partition and the target device, it produces
+// non-overlapping, clock-region-aligned pblocks that satisfy each
+// partition's resources (with head-room) and the vendor's technology
+// constraints, while leaving enough fabric free for the static part.
+package floorplan
+
+import (
+	"fmt"
+	"sort"
+
+	"presp/internal/fpga"
+)
+
+// Request asks for one partition's placement.
+type Request struct {
+	// Name is the partition name (becomes the pblock name).
+	Name string
+	// Need is the partition's post-synthesis resource requirement — the
+	// largest reconfigurable module that must fit the partition.
+	Need fpga.Resources
+}
+
+// Options tunes the floorplanner.
+type Options struct {
+	// Slack is the resource head-room factor (reserved = need × slack).
+	// Values below 1.05 make P&R closure unrealistic; default 1.25.
+	Slack float64
+	// StaticNeed is the static part's resource requirement; the planner
+	// fails when the free fabric cannot host it.
+	StaticNeed fpga.Resources
+}
+
+// Plan is the floorplanning result.
+type Plan struct {
+	// Pblocks maps partition name to its placement.
+	Pblocks map[string]fpga.Pblock
+	// RPFraction is the fraction of fabric LUTs reserved by all pblocks.
+	RPFraction float64
+	// FreeCells is the placement-cell count left to the static part.
+	FreeCells int
+}
+
+// Floorplan places every request on device d. The algorithm is
+// first-fit-decreasing over clock regions with column-shaped candidates
+// preferred (vertically aligned pblocks cross fewer configuration
+// column boundaries), followed by a shrink pass that trims any excess
+// regions a rectangle shape forced.
+func Floorplan(d *fpga.Device, reqs []Request, opt Options) (*Plan, error) {
+	if d == nil {
+		return nil, fmt.Errorf("floorplan: nil device")
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("floorplan: no partitions to place")
+	}
+	slack := opt.Slack
+	if slack == 0 {
+		slack = 1.25
+	}
+	if slack < 1.05 {
+		return nil, fmt.Errorf("floorplan: slack %.2f below the 1.05 closure minimum", slack)
+	}
+	seen := make(map[string]bool, len(reqs))
+	for _, r := range reqs {
+		if r.Name == "" {
+			return nil, fmt.Errorf("floorplan: request with empty name")
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("floorplan: duplicate partition %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Need[fpga.LUT] <= 0 {
+			return nil, fmt.Errorf("floorplan: partition %q needs no LUTs", r.Name)
+		}
+	}
+
+	cell := d.CellResources()
+	// Cells needed per request, after slack, driven by the scarcest
+	// resource kind.
+	cellsFor := func(need fpga.Resources) int {
+		padded := need.Scale(slack)
+		max := 1
+		for _, k := range fpga.Kinds() {
+			if cell[k] == 0 {
+				if padded[k] > 0 {
+					return -1
+				}
+				continue
+			}
+			n := (padded[k] + cell[k] - 1) / cell[k]
+			if n > max {
+				max = n
+			}
+		}
+		return max
+	}
+
+	type job struct {
+		req   Request
+		cells int
+	}
+	jobs := make([]job, 0, len(reqs))
+	for _, r := range reqs {
+		n := cellsFor(r.Need)
+		if n < 0 {
+			return nil, fmt.Errorf("floorplan: partition %q needs a resource device %s lacks", r.Name, d.Name)
+		}
+		if n > d.Cells() {
+			return nil, fmt.Errorf("floorplan: partition %q needs %d placement cells, device %s has %d",
+				r.Name, n, d.Name, d.Cells())
+		}
+		jobs = append(jobs, job{req: r, cells: n})
+	}
+	// First-fit decreasing: biggest partitions claim fabric first.
+	sort.Slice(jobs, func(i, j int) bool {
+		if jobs[i].cells != jobs[j].cells {
+			return jobs[i].cells > jobs[j].cells
+		}
+		return jobs[i].req.Name < jobs[j].req.Name
+	})
+
+	occ := fpga.NewOccupancy(d)
+	plan := &Plan{Pblocks: make(map[string]fpga.Pblock, len(jobs))}
+	for _, jb := range jobs {
+		pb, ok := place(d, occ, jb.req.Name, jb.cells)
+		if !ok {
+			return nil, fmt.Errorf("floorplan: cannot place partition %q (%d placement cells) — fabric exhausted",
+				jb.req.Name, jb.cells)
+		}
+		if err := occ.Claim(pb); err != nil {
+			return nil, err
+		}
+		plan.Pblocks[jb.req.Name] = pb
+	}
+
+	plan.FreeCells = occ.FreeCells()
+	reserved := 0
+	for _, pb := range plan.Pblocks {
+		reserved += pb.ResourcesOn(d)[fpga.LUT]
+	}
+	plan.RPFraction = float64(reserved) / float64(d.Total[fpga.LUT])
+
+	if !opt.StaticNeed.IsZero() {
+		free := cell.Scale(float64(plan.FreeCells))
+		if !free.Covers(opt.StaticNeed) {
+			return nil, fmt.Errorf("floorplan: static part (%s) does not fit the %d free placement cells (%s)",
+				opt.StaticNeed, plan.FreeCells, free)
+		}
+	}
+	return plan, nil
+}
+
+// place finds the first free rectangle of `cells` placement cells,
+// preferring shapes that tile exactly (no over-allocation) and, among
+// those, wide-and-short shapes that stay within one clock-region row
+// where possible; falls back to the smallest enclosing rectangle.
+func place(d *fpga.Device, occ *fpga.Occupancy, name string, cells int) (fpga.Pblock, bool) {
+	type shape struct{ w, h int }
+	var shapes []shape
+	for h := 1; h <= d.GridRows(); h++ {
+		if cells%h == 0 && cells/h <= d.GridCols() {
+			shapes = append(shapes, shape{w: cells / h, h: h})
+		}
+	}
+	// Fallback shapes that over-allocate minimally.
+	for h := 1; h <= d.GridRows(); h++ {
+		w := (cells + h - 1) / h
+		if w <= d.GridCols() {
+			shapes = append(shapes, shape{w: w, h: h})
+		}
+	}
+	for _, s := range shapes {
+		for y := 0; y+s.h <= d.GridRows(); y++ {
+			for x := 0; x+s.w <= d.GridCols(); x++ {
+				pb := fpga.Pblock{Name: name, X0: x, Y0: y, X1: x + s.w - 1, Y1: y + s.h - 1}
+				if occ.CanClaim(pb) {
+					return pb, true
+				}
+			}
+		}
+	}
+	return fpga.Pblock{}, false
+}

@@ -1,0 +1,179 @@
+package floorplan
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"presp/internal/fpga"
+)
+
+func req(name string, luts int) Request {
+	return Request{Name: name, Need: fpga.NewResources(luts, luts, luts/450, luts/900)}
+}
+
+func TestFloorplanBasic(t *testing.T) {
+	d := fpga.VC707()
+	plan, err := Floorplan(d, []Request{req("a", 30000), req("b", 20000)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Pblocks) != 2 {
+		t.Fatalf("pblocks: got %d", len(plan.Pblocks))
+	}
+	for name, pb := range plan.Pblocks {
+		if pb.Name != name {
+			t.Fatalf("pblock name mismatch: %s vs %s", pb.Name, name)
+		}
+		if err := pb.Validate(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := plan.Pblocks["a"], plan.Pblocks["b"]
+	if a.Overlaps(b) {
+		t.Fatal("pblocks overlap")
+	}
+	if plan.RPFraction <= 0 || plan.RPFraction >= 1 {
+		t.Fatalf("reserved fraction %g implausible", plan.RPFraction)
+	}
+}
+
+func TestFloorplanSatisfiesNeedsWithSlack(t *testing.T) {
+	d := fpga.VC707()
+	needs := []Request{req("x", 33690), req("y", 2450), req("z", 20468)}
+	plan, err := Floorplan(d, needs, Options{Slack: 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range needs {
+		pb := plan.Pblocks[r.Name]
+		avail := pb.ResourcesOn(d)
+		if !avail.Covers(r.Need.Scale(1.25)) {
+			t.Errorf("%s: pblock %s does not cover need+slack %s", r.Name, avail, r.Need.Scale(1.25))
+		}
+	}
+}
+
+func TestFloorplanValidation(t *testing.T) {
+	d := fpga.VC707()
+	if _, err := Floorplan(nil, []Request{req("a", 100)}, Options{}); err == nil {
+		t.Fatal("nil device accepted")
+	}
+	if _, err := Floorplan(d, nil, Options{}); err == nil {
+		t.Fatal("empty request list accepted")
+	}
+	if _, err := Floorplan(d, []Request{req("", 100)}, Options{}); err == nil {
+		t.Fatal("unnamed request accepted")
+	}
+	if _, err := Floorplan(d, []Request{req("a", 100), req("a", 200)}, Options{}); err == nil {
+		t.Fatal("duplicate request accepted")
+	}
+	if _, err := Floorplan(d, []Request{req("a", 0)}, Options{}); err == nil {
+		t.Fatal("zero-LUT request accepted")
+	}
+	if _, err := Floorplan(d, []Request{req("a", 100)}, Options{Slack: 1.0}); err == nil {
+		t.Fatal("slack below closure minimum accepted")
+	}
+}
+
+func TestFloorplanFabricExhaustion(t *testing.T) {
+	d := fpga.VC707()
+	// One partition larger than the device.
+	if _, err := Floorplan(d, []Request{req("big", 400000)}, Options{}); err == nil {
+		t.Fatal("oversized partition placed")
+	}
+	// Many partitions that cannot coexist.
+	var reqs []Request
+	for i := 0; i < 12; i++ {
+		reqs = append(reqs, req(fmt.Sprintf("p%d", i), 30000))
+	}
+	if _, err := Floorplan(d, reqs, Options{}); err == nil {
+		t.Fatal("over-committed fabric accepted")
+	}
+}
+
+func TestFloorplanStaticNeedCheck(t *testing.T) {
+	d := fpga.VC707()
+	reqs := []Request{req("a", 100000), req("b", 80000)}
+	// Plenty of partitions plus a static part that no longer fits.
+	if _, err := Floorplan(d, reqs, Options{StaticNeed: fpga.NewResources(100000, 0, 0, 0)}); err == nil {
+		t.Fatal("static part that does not fit accepted")
+	}
+	// A small static part is fine.
+	if _, err := Floorplan(d, reqs, Options{StaticNeed: fpga.NewResources(30000, 0, 0, 0)}); err != nil {
+		t.Fatalf("feasible static part rejected: %v", err)
+	}
+}
+
+func TestFloorplanSixteenSmallPartitions(t *testing.T) {
+	// SOC_1's layout: sixteen 2450-LUT partitions must coexist thanks to
+	// sub-clock-region granularity.
+	d := fpga.VC707()
+	var reqs []Request
+	for i := 0; i < 16; i++ {
+		reqs = append(reqs, req(fmt.Sprintf("mac%d", i), 2450))
+	}
+	plan, err := Floorplan(d, reqs, Options{StaticNeed: fpga.NewResources(82267, 0, 0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Pblocks) != 16 {
+		t.Fatalf("placed %d of 16", len(plan.Pblocks))
+	}
+}
+
+// TestFloorplanDisjointProperty: any feasible plan has pairwise
+// disjoint pblocks, each covering its padded request.
+func TestFloorplanDisjointProperty(t *testing.T) {
+	d := fpga.VC707()
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 || len(sizes) > 8 {
+			return true
+		}
+		var reqs []Request
+		for i, s := range sizes {
+			luts := 1000 + int(s)%30000
+			reqs = append(reqs, req(fmt.Sprintf("p%d", i), luts))
+		}
+		plan, err := Floorplan(d, reqs, Options{})
+		if err != nil {
+			return true // infeasible inputs may be rejected
+		}
+		names := make([]string, 0, len(plan.Pblocks))
+		for n := range plan.Pblocks {
+			names = append(names, n)
+		}
+		for i := 0; i < len(names); i++ {
+			for j := i + 1; j < len(names); j++ {
+				if plan.Pblocks[names[i]].Overlaps(plan.Pblocks[names[j]]) {
+					return false
+				}
+			}
+		}
+		for _, r := range reqs {
+			pb, ok := plan.Pblocks[r.Name]
+			if !ok {
+				return false
+			}
+			if !pb.ResourcesOn(d).Covers(r.Need.Scale(1.25)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeCellAccounting(t *testing.T) {
+	d := fpga.VC707()
+	plan, err := Floorplan(d, []Request{req("a", 30000)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := plan.Pblocks["a"].CellCount()
+	if plan.FreeCells != d.Cells()-used {
+		t.Fatalf("free cells: got %d want %d", plan.FreeCells, d.Cells()-used)
+	}
+}

@@ -1,0 +1,56 @@
+package flow
+
+import (
+	"fmt"
+
+	"presp/internal/accel"
+	"presp/internal/bitstream"
+	"presp/internal/floorplan"
+	"presp/internal/socgen"
+	"presp/internal/vivado"
+)
+
+// GenerateRuntimeBitstreams produces one partial bitstream per
+// (reconfigurable tile, accelerator) pair of a runtime allocation — the
+// set the reconfiguration manager swaps among at run time (Table VI).
+// The returned map is tile name -> accelerator name -> bitstream.
+//
+// Every accelerator is implemented in-context against the tile's pblock,
+// so the flow checks it fits the partition the floorplanner sized for
+// the tile's largest module.
+func GenerateRuntimeBitstreams(d *socgen.Design, plan *floorplan.Plan, alloc map[string][]string, reg *accel.Registry, compress bool) (map[string]map[string]*bitstream.Bitstream, error) {
+	tool, err := vivado.New(d.Dev, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]map[string]*bitstream.Bitstream, len(alloc))
+	for tileName, accs := range alloc {
+		rp, err := d.FindRP(tileName)
+		if err != nil {
+			return nil, err
+		}
+		pb, ok := plan.Pblocks[rp.Name]
+		if !ok {
+			return nil, fmt.Errorf("flow: no pblock for partition %s", rp.Name)
+		}
+		perTile := make(map[string]*bitstream.Bitstream, len(accs))
+		for _, accName := range accs {
+			desc, err := reg.Lookup(accName)
+			if err != nil {
+				return nil, fmt.Errorf("flow: tile %s: %w", tileName, err)
+			}
+			if !pb.ResourcesOn(d.Dev).Covers(desc.Resources) {
+				return nil, fmt.Errorf("flow: accelerator %s (%s) does not fit tile %s's partition",
+					accName, desc.Resources, tileName)
+			}
+			name := fmt.Sprintf("%s.%s.%s.pbs", d.Cfg.Name, tileName, accName)
+			bs, _, err := tool.WritePartialBitstream(name, pb, desc.Resources, compress)
+			if err != nil {
+				return nil, err
+			}
+			perTile[accName] = bs
+		}
+		out[tileName] = perTile
+	}
+	return out, nil
+}

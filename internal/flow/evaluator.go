@@ -1,0 +1,26 @@
+package flow
+
+import (
+	"presp/internal/core"
+	"presp/internal/socgen"
+	"presp/internal/vivado"
+)
+
+// Evaluator adapts the flow to core.CostEvaluator: it predicts a
+// strategy's P&R wall time by running the timing-only flow (no
+// bitstreams) under the platform's cost model.
+type Evaluator struct {
+	// Model overrides the CAD cost model (nil = calibrated default).
+	Model *vivado.CostModel
+}
+
+var _ core.CostEvaluator = (*Evaluator)(nil)
+
+// EvaluateStrategy implements core.CostEvaluator.
+func (e *Evaluator) EvaluateStrategy(d *socgen.Design, s *core.Strategy) (float64, error) {
+	res, err := RunPRESP(d, Options{Model: e.Model, Strategy: s, SkipBitstreams: true})
+	if err != nil {
+		return 0, err
+	}
+	return float64(res.PRWall), nil
+}

@@ -1,0 +1,351 @@
+// Package flow implements the PR-ESP FPGA flow of Fig. 1 — parse the SoC
+// configuration, split static from reconfigurable sources, synthesize
+// everything in parallel (out-of-context), floorplan the partitions,
+// choose the size-driven P&R parallelism strategy and orchestrate the
+// implementation runs through bitstream generation — plus the baseline
+// it is evaluated against: Xilinx's standard DFX flow in a single tool
+// instance ("monolithic" in Table V).
+package flow
+
+import (
+	"fmt"
+	"sort"
+
+	"presp/internal/bitstream"
+	"presp/internal/core"
+	"presp/internal/floorplan"
+	"presp/internal/fpga"
+	"presp/internal/rtl"
+	"presp/internal/socgen"
+	"presp/internal/vivado"
+)
+
+// Options tunes a flow run.
+type Options struct {
+	// Model overrides the CAD cost model (nil = calibrated default).
+	Model *vivado.CostModel
+	// Strategy forces a strategy instead of the size-driven choice.
+	// Nil lets core.Choose decide.
+	Strategy *core.Strategy
+	// SemiTau is the semi-parallel degree when the chooser selects
+	// semi-parallel (0 = core.DefaultSemiTau).
+	SemiTau int
+	// Compress enables bitstream compression (the paper's deployment
+	// configuration).
+	Compress bool
+	// SkipBitstreams stops after P&R, for timing-only studies.
+	SkipBitstreams bool
+}
+
+// GroupRun records one in-context P&R run (one Ω of the paper's model).
+type GroupRun struct {
+	// Partitions lists the RP names implemented in the run.
+	Partitions []string
+	// Runtime is the run's modelled duration.
+	Runtime vivado.Minutes
+}
+
+// Result is the product of a full flow run.
+type Result struct {
+	// Design is the elaborated SoC.
+	Design *socgen.Design
+	// Strategy is the implementation strategy used.
+	Strategy *core.Strategy
+	// Plan is the floorplan (nil for the standard-DFX baseline, which
+	// also floorplans but whose plan is identical; kept for inspection).
+	Plan *floorplan.Plan
+	// SynthWall is the wall-clock synthesis time (parallel OoC for
+	// PR-ESP; sequential for the baseline).
+	SynthWall vivado.Minutes
+	// SynthRuns records per-module synthesis times.
+	SynthRuns map[string]vivado.Minutes
+	// TStatic is the static-only pre-route time (zero for serial).
+	TStatic vivado.Minutes
+	// Groups records the in-context runs (empty for serial).
+	Groups []GroupRun
+	// MaxOmega is the longest in-context run after host contention.
+	MaxOmega vivado.Minutes
+	// PRWall is the wall-clock P&R time: TStatic + MaxOmega for the
+	// parallel strategies, the single-instance run for serial.
+	PRWall vivado.Minutes
+	// BitgenWall is the bitstream generation time (parallelized with τ).
+	BitgenWall vivado.Minutes
+	// Total is SynthWall + PRWall (the paper's T_tot excludes bitgen,
+	// which Tables III-V fold into P&R; we keep it separate and report
+	// both).
+	Total vivado.Minutes
+	// FullBitstream and PartialBitstreams are the generated images.
+	FullBitstream     *bitstream.Bitstream
+	PartialBitstreams []*bitstream.Bitstream
+	// Scripts are the auto-generated CAD scripts documenting the run.
+	Scripts *Scripts
+}
+
+// RunPRESP executes the PR-ESP flow on design d. Designs without
+// reconfigurable tiles (plain ESP SoCs with native accelerator tiles)
+// fall through to the monolithic implementation — the flow degrades
+// gracefully to the base ESP behaviour.
+func RunPRESP(d *socgen.Design, opt Options) (*Result, error) {
+	if len(d.RPs) == 0 {
+		return RunMonolithic(d, opt)
+	}
+	tool, err := vivado.New(d.Dev, opt.Model)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Design: d, SynthRuns: make(map[string]vivado.Minutes)}
+
+	// --- Parse & split, then parallel OoC synthesis (Fig 1). ---
+	staticCk, rpCks, err := synthesizeSplit(tool, d, res.SynthRuns)
+	if err != nil {
+		return nil, err
+	}
+	// All syntheses run in parallel, one tool instance each.
+	instances := 1 + len(rpCks)
+	cont := tool.Model().Contention(instances)
+	var maxSynth vivado.Minutes
+	for _, t := range res.SynthRuns {
+		if t > maxSynth {
+			maxSynth = t
+		}
+	}
+	res.SynthWall = vivado.Minutes(float64(maxSynth) * cont)
+
+	// --- Floorplanning (FLORA-adapted). ---
+	res.Plan, err = FloorplanDesign(d, tool.Model())
+	if err != nil {
+		return nil, err
+	}
+
+	// --- DFX design rule checks: every partition's content must be
+	// legal for runtime reconfiguration and fit its pblock. ---
+	for _, rp := range d.RPs {
+		pb, ok := res.Plan.Pblocks[rp.Name]
+		if !ok {
+			return nil, fmt.Errorf("flow: floorplan lost partition %s", rp.Name)
+		}
+		if err := tool.CheckDFX(rp.Content, rp.Resources, pb); err != nil {
+			return nil, fmt.Errorf("flow: partition %s: %w", rp.Name, err)
+		}
+	}
+
+	// --- Strategy choice. ---
+	if opt.Strategy != nil {
+		res.Strategy = opt.Strategy
+	} else {
+		res.Strategy, err = core.Choose(d)
+		if err != nil {
+			return nil, err
+		}
+		if res.Strategy.Kind == core.SemiParallel && opt.SemiTau > 1 && opt.SemiTau < len(d.RPs) {
+			res.Strategy, err = core.ForceStrategy(d, core.SemiParallel, opt.SemiTau)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// --- Script generation (documents every decision made so far). ---
+	res.Scripts, err = GenerateScripts(d, res.Strategy, res.Plan)
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Orchestrated P&R. ---
+	if err := implement(tool, d, res, staticCk, rpCks); err != nil {
+		return nil, err
+	}
+
+	// --- Bitstream generation. ---
+	if !opt.SkipBitstreams {
+		if err := generateBitstreams(tool, d, res, opt.Compress); err != nil {
+			return nil, err
+		}
+	}
+	res.Total = res.SynthWall + res.PRWall
+	return res, nil
+}
+
+// RunStandardDFX executes the baseline: the vendor DFX flow in a single
+// tool instance — sequential synthesis of the static part and every
+// reconfigurable module, then a serial whole-design implementation.
+func RunStandardDFX(d *socgen.Design, opt Options) (*Result, error) {
+	tool, err := vivado.New(d.Dev, opt.Model)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Design: d, SynthRuns: make(map[string]vivado.Minutes)}
+
+	staticCk, rpCks, err := synthesizeSplit(tool, d, res.SynthRuns)
+	if err != nil {
+		return nil, err
+	}
+	_ = staticCk
+	_ = rpCks
+	// Sequential synthesis in one instance: times add up.
+	for _, t := range res.SynthRuns {
+		res.SynthWall += t
+	}
+
+	res.Plan, err = FloorplanDesign(d, tool.Model())
+	if err != nil {
+		return nil, err
+	}
+	res.Strategy, err = core.ForceStrategy(d, core.Serial, 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := implement(tool, d, res, staticCk, rpCks); err != nil {
+		return nil, err
+	}
+	if !opt.SkipBitstreams {
+		if err := generateBitstreams(tool, d, res, opt.Compress); err != nil {
+			return nil, err
+		}
+	}
+	res.Total = res.SynthWall + res.PRWall
+	return res, nil
+}
+
+// synthesizeSplit synthesizes the static part (reconfigurable
+// accelerators replaced by auto-generated black boxes) and each RP
+// content out-of-context, recording per-run times.
+func synthesizeSplit(tool *vivado.Tool, d *socgen.Design, runs map[string]vivado.Minutes) (*vivado.SynthCheckpoint, map[string]*vivado.SynthCheckpoint, error) {
+	var staticRes fpga.Resources
+	for _, m := range d.StaticModules {
+		staticRes = staticRes.Add(m.TotalCost())
+	}
+	staticMod := BuildStaticTop(d)
+	staticCk, err := tool.Synthesize(staticMod, false)
+	if err != nil {
+		return nil, nil, fmt.Errorf("flow: static synthesis: %w", err)
+	}
+	if got := staticCk.Resources[fpga.LUT]; got != staticRes[fpga.LUT] {
+		return nil, nil, fmt.Errorf("flow: static split lost logic: top has %d LUTs, tiles sum to %d",
+			got, staticRes[fpga.LUT])
+	}
+	runs["static"] = staticCk.Runtime
+
+	rpCks := make(map[string]*vivado.SynthCheckpoint, len(d.RPs))
+	for _, rp := range d.RPs {
+		if rp.Content == nil {
+			return nil, nil, fmt.Errorf("flow: partition %s has no initial content to synthesize", rp.Name)
+		}
+		ck, err := tool.Synthesize(rp.Content, true)
+		if err != nil {
+			return nil, nil, fmt.Errorf("flow: OoC synthesis of %s: %w", rp.Name, err)
+		}
+		rpCks[rp.Name] = ck
+		runs[rp.Name] = ck.Runtime
+	}
+	return staticCk, rpCks, nil
+}
+
+// BuildStaticTop assembles the static-part hierarchy: the static tile
+// modules plus an auto-generated black-box wrapper standing in for every
+// reconfigurable partition (the synthesis-time replacement Section IV
+// describes).
+func BuildStaticTop(d *socgen.Design) *rtl.Module {
+	top := &rtl.Module{Name: d.Cfg.Name + "_static"}
+	top.AddPort("clk", rtl.In, 1, rtl.ClockPort)
+	top.AddPort("rstn", rtl.In, 1, rtl.ResetPort)
+	for _, m := range d.StaticModules {
+		top.AddChild(m.Name, m)
+	}
+	for _, rp := range d.RPs {
+		var bb *rtl.Module
+		if rp.Content != nil {
+			bb = rp.Content.CloneAsBlackBox()
+		} else {
+			bb = &rtl.Module{Name: rp.Name + "_bb", BlackBox: true}
+		}
+		top.AddChild(rp.Name, bb)
+	}
+	return top
+}
+
+// implement runs the P&R stage per the chosen strategy.
+func implement(tool *vivado.Tool, d *socgen.Design, res *Result, staticCk *vivado.SynthCheckpoint, rpCks map[string]*vivado.SynthCheckpoint) error {
+	model := tool.Model()
+	switch res.Strategy.Kind {
+	case core.Serial:
+		total := d.StaticResources.Add(d.ReconfigurableResources())
+		sr, err := tool.ImplementSerial(d.Cfg.Name, total, len(d.RPs), res.Plan.RPFraction)
+		if err != nil {
+			return err
+		}
+		res.PRWall = sr.Runtime
+		return nil
+	case core.SemiParallel, core.FullyParallel:
+		rs, err := tool.PreRouteStatic(d.Cfg.Name, staticCk, res.Plan.Pblocks, d.ReconfigurableResources())
+		if err != nil {
+			return err
+		}
+		res.TStatic = rs.Runtime
+		cont := model.Contention(res.Strategy.Tau)
+		for _, group := range res.Strategy.Groups {
+			cr, err := tool.ImplementInContext(rs, group, rpCks)
+			if err != nil {
+				return err
+			}
+			run := GroupRun{Partitions: cr.Group, Runtime: vivado.Minutes(float64(cr.Runtime) * cont)}
+			res.Groups = append(res.Groups, run)
+			if run.Runtime > res.MaxOmega {
+				res.MaxOmega = run.Runtime
+			}
+		}
+		res.PRWall = res.TStatic + res.MaxOmega
+		return nil
+	default:
+		return fmt.Errorf("flow: unknown strategy %v", res.Strategy.Kind)
+	}
+}
+
+// generateBitstreams writes the full bitstream and one partial per RP.
+func generateBitstreams(tool *vivado.Tool, d *socgen.Design, res *Result, compress bool) error {
+	total := d.StaticResources.Add(d.ReconfigurableResources())
+	full, tFull, err := tool.WriteFullBitstream(d.Cfg.Name+".bit", total, compress)
+	if err != nil {
+		return err
+	}
+	res.FullBitstream = full
+	res.BitgenWall = tFull
+
+	var maxPartial vivado.Minutes
+	for _, rp := range d.RPs {
+		pb, ok := res.Plan.Pblocks[rp.Name]
+		if !ok {
+			return fmt.Errorf("flow: no pblock for partition %s", rp.Name)
+		}
+		name := fmt.Sprintf("%s.%s.pbs", d.Cfg.Name, rp.Name)
+		bs, t, err := tool.WritePartialBitstream(name, pb, rp.Resources, compress)
+		if err != nil {
+			return err
+		}
+		res.PartialBitstreams = append(res.PartialBitstreams, bs)
+		if t > maxPartial {
+			maxPartial = t
+		}
+	}
+	sort.Slice(res.PartialBitstreams, func(i, j int) bool {
+		return res.PartialBitstreams[i].Name < res.PartialBitstreams[j].Name
+	})
+	// Partial bitstream writes run in parallel with each other.
+	res.BitgenWall += maxPartial
+	return nil
+}
+
+// FloorplanDesign floorplans all partitions of d with the model's slack.
+func FloorplanDesign(d *socgen.Design, model *vivado.CostModel) (*floorplan.Plan, error) {
+	if model == nil {
+		model = vivado.DefaultCostModel()
+	}
+	reqs := make([]floorplan.Request, 0, len(d.RPs))
+	for _, rp := range d.RPs {
+		reqs = append(reqs, floorplan.Request{Name: rp.Name, Need: rp.Resources})
+	}
+	return floorplan.Floorplan(d.Dev, reqs, floorplan.Options{
+		Slack:      model.PblockSlack,
+		StaticNeed: d.StaticResources,
+	})
+}

@@ -1,0 +1,48 @@
+package flow
+
+import (
+	"presp/internal/core"
+	"presp/internal/fpga"
+	"presp/internal/socgen"
+	"presp/internal/vivado"
+)
+
+// RunMonolithic executes the monolithic baseline of Table V: the whole
+// SoC — accelerators included — is synthesized and implemented flat in a
+// single tool instance, with no reconfigurable partitions, no pblock
+// constraints and no partial bitstreams. This is the "equivalent
+// monolithic design" the paper compares compile times against.
+func RunMonolithic(d *socgen.Design, opt Options) (*Result, error) {
+	tool, err := vivado.New(d.Dev, opt.Model)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Design: d, SynthRuns: make(map[string]vivado.Minutes)}
+
+	// Single-instance synthesis of the full hierarchy.
+	total := d.StaticResources.Add(d.ReconfigurableResources())
+	res.SynthWall = tool.Model().SynthTime(float64(total[fpga.LUT])/1000.0, false)
+	res.SynthRuns["full"] = res.SynthWall
+
+	// Flat implementation: no partitions (nRP = 0), no reserved area.
+	sr, err := tool.ImplementSerial(d.Cfg.Name+"_mono", total, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	res.PRWall = sr.Runtime
+	res.Strategy = &core.Strategy{Kind: core.Serial, Tau: 1}
+	if m, err := core.ComputeMetrics(d); err == nil {
+		res.Strategy.Metrics = m
+	}
+
+	if !opt.SkipBitstreams {
+		full, t, err := tool.WriteFullBitstream(d.Cfg.Name+"_mono.bit", total, opt.Compress)
+		if err != nil {
+			return nil, err
+		}
+		res.FullBitstream = full
+		res.BitgenWall = t
+	}
+	res.Total = res.SynthWall + res.PRWall
+	return res, nil
+}

@@ -1,0 +1,177 @@
+package fpga
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewResources(t *testing.T) {
+	r := NewResources(1, 2, 3, 4)
+	if r[LUT] != 1 || r[FF] != 2 || r[BRAM] != 3 || r[DSP] != 4 {
+		t.Fatalf("NewResources mapped wrong: %v", r)
+	}
+}
+
+func TestResourcesAddSub(t *testing.T) {
+	a := NewResources(100, 200, 3, 4)
+	b := NewResources(10, 20, 1, 2)
+	sum := a.Add(b)
+	if sum != NewResources(110, 220, 4, 6) {
+		t.Fatalf("Add: got %v", sum)
+	}
+	if got := sum.Sub(b); got != a {
+		t.Fatalf("Sub did not invert Add: got %v want %v", got, a)
+	}
+}
+
+func TestResourcesAddSubRoundtripProperty(t *testing.T) {
+	f := func(a0, a1, a2, a3, b0, b1, b2, b3 int16) bool {
+		a := NewResources(int(a0), int(a1), int(a2), int(a3))
+		b := NewResources(int(b0), int(b1), int(b2), int(b3))
+		return a.Add(b).Sub(b) == a && a.Add(b) == b.Add(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourcesScale(t *testing.T) {
+	r := NewResources(100, 200, 10, 4)
+	if got := r.Scale(1.5); got != NewResources(150, 300, 15, 6) {
+		t.Fatalf("Scale(1.5): got %v", got)
+	}
+	if got := r.Scale(0); !got.IsZero() {
+		t.Fatalf("Scale(0) should zero out, got %v", got)
+	}
+}
+
+func TestResourcesCovers(t *testing.T) {
+	big := NewResources(100, 100, 10, 10)
+	small := NewResources(50, 100, 10, 0)
+	if !big.Covers(small) {
+		t.Fatal("big should cover small")
+	}
+	if small.Covers(big) {
+		t.Fatal("small should not cover big")
+	}
+	if !big.Covers(big) {
+		t.Fatal("Covers must be reflexive")
+	}
+}
+
+func TestResourcesCoversProperty(t *testing.T) {
+	// Covers is antisymmetric except at equality, and Add(b) always
+	// covers both operands for non-negative vectors.
+	f := func(a0, a1, b0, b1 uint8) bool {
+		a := NewResources(int(a0), int(a1), 0, 0)
+		b := NewResources(int(b0), int(b1), 0, 0)
+		s := a.Add(b)
+		return s.Covers(a) && s.Covers(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourcesMax(t *testing.T) {
+	a := NewResources(1, 5, 3, 0)
+	b := NewResources(2, 4, 3, 1)
+	want := NewResources(2, 5, 3, 1)
+	if got := a.Max(b); got != want {
+		t.Fatalf("Max: got %v want %v", got, want)
+	}
+	if a.Max(b) != b.Max(a) {
+		t.Fatal("Max must be commutative")
+	}
+}
+
+func TestUtilizationOf(t *testing.T) {
+	dev := NewResources(1000, 0, 0, 0)
+	need := NewResources(250, 0, 0, 0)
+	if got := dev.UtilizationOf(need, LUT); got != 0.25 {
+		t.Fatalf("utilization: got %g", got)
+	}
+	if got := dev.UtilizationOf(need, FF); got != 0 {
+		t.Fatalf("zero-need zero-capacity should be 0, got %g", got)
+	}
+	needFF := NewResources(0, 5, 0, 0)
+	if got := dev.UtilizationOf(needFF, FF); got < 1e8 {
+		t.Fatalf("impossible need should saturate, got %g", got)
+	}
+}
+
+func TestResourceKindStrings(t *testing.T) {
+	for _, k := range Kinds() {
+		if strings.HasPrefix(k.String(), "ResourceKind(") {
+			t.Fatalf("kind %d has no name", int(k))
+		}
+	}
+}
+
+func TestVC707Geometry(t *testing.T) {
+	d := VC707()
+	if d.Total[LUT] != 303600 {
+		t.Fatalf("VC707 LUTs: got %d want 303600", d.Total[LUT])
+	}
+	if d.Regions() != 14 {
+		t.Fatalf("VC707 clock regions: got %d want 14", d.Regions())
+	}
+	if d.Cells() != d.Regions()*d.SubColsPerRegion {
+		t.Fatalf("cells %d != regions*subcols", d.Cells())
+	}
+	cell := d.CellResources()
+	if cell[LUT]*d.Cells() > d.Total[LUT] {
+		t.Fatal("cell resources over-allocate the device")
+	}
+	if d.Family.ICAPPrimitive() != "ICAPE2" {
+		t.Fatalf("VC707 ICAP: got %s", d.Family.ICAPPrimitive())
+	}
+}
+
+func TestUltraScaleBoards(t *testing.T) {
+	for _, d := range []*Device{VCU118(), VCU128()} {
+		if d.Family != UltraScalePlus {
+			t.Fatalf("%s: wrong family %v", d.Board, d.Family)
+		}
+		if d.Family.ICAPPrimitive() != "ICAPE3" {
+			t.Fatalf("%s ICAP: got %s", d.Board, d.Family.ICAPPrimitive())
+		}
+		if d.Total[LUT] < VC707().Total[LUT] {
+			t.Fatalf("%s should be larger than the VC707", d.Board)
+		}
+	}
+}
+
+func TestByBoard(t *testing.T) {
+	for _, name := range []string{"VC707", "vc707", "VCU118", "VCU128"} {
+		if _, err := ByBoard(name); err != nil {
+			t.Fatalf("ByBoard(%s): %v", name, err)
+		}
+	}
+	if _, err := ByBoard("ZCU102"); err == nil {
+		t.Fatal("unsupported board should error")
+	}
+}
+
+func TestRegionAt(t *testing.T) {
+	d := VC707()
+	if _, err := d.RegionAt(0, 0); err != nil {
+		t.Fatalf("valid region rejected: %v", err)
+	}
+	if _, err := d.RegionAt(d.RegionCols, 0); err == nil {
+		t.Fatal("out-of-range region accepted")
+	}
+	if _, err := d.RegionAt(0, -1); err == nil {
+		t.Fatal("negative region accepted")
+	}
+}
+
+func TestCellRegionMapping(t *testing.T) {
+	d := VC707()
+	c := Cell{X: d.SubColsPerRegion, Y: 3} // first sub-column of region X1
+	r := c.Region(d)
+	if r.X != 1 || r.Y != 3 {
+		t.Fatalf("cell %v maps to region %v", c, r)
+	}
+}

@@ -1,0 +1,152 @@
+// Package hls is a high-level-synthesis resource and latency estimator.
+// It plays the role of the Vivado HLS / Stratus HLS resource reports in
+// the PR-ESP flow: given a structural description of an accelerator
+// datapath (operation mix, bit widths, unrolling, buffering), it predicts
+// post-synthesis LUT/FF/BRAM/DSP utilization and pipeline latency.
+//
+// The cost coefficients follow the usual Xilinx 7-series mapping rules
+// (a w-bit ripple adder is ~w LUTs, a pipelined multiplier maps to DSP48
+// slices of 25x18 partial products plus glue, a 2:1 mux is one LUT per
+// bit, ...). The estimator is validated in tests against the measured
+// utilization of the paper's accelerators (Table II) within tolerance.
+package hls
+
+import (
+	"fmt"
+	"math"
+
+	"presp/internal/fpga"
+)
+
+// Description is the structural description of one accelerator datapath.
+type Description struct {
+	// Name labels the design in error messages.
+	Name string
+	// Width is the datapath bit width.
+	Width int
+	// Adders, Comparators, LogicOps are per-lane operator counts.
+	Adders      int
+	Comparators int
+	LogicOps    int
+	// Multipliers is the per-lane multiplier count. UseDSP selects DSP48
+	// mapping (the default for both HLS tools targeting 7-series).
+	Multipliers int
+	UseDSP      bool
+	// Dividers is the per-lane divider count (iterative, LUT-heavy).
+	Dividers int
+	// Unroll is the lane count (parallel datapath copies).
+	Unroll int
+	// MuxInputs is the total number of steering mux inputs per lane.
+	MuxInputs int
+	// FSMStates is the controller state count.
+	FSMStates int
+	// BufferBits is the total on-chip buffering in bits (maps to BRAM).
+	BufferBits int
+	// PipelineDepth is the pipeline register depth (affects FF and
+	// latency ramp-up).
+	PipelineDepth int
+	// ItemsPerCycle is the pipeline throughput once primed (items/cycle
+	// across all lanes); zero means Unroll items per cycle.
+	ItemsPerCycle float64
+	// WrapperOverhead adds the ESP socket-side DMA/register adapter cost
+	// inside the accelerator; when zero, the standard wrapper is assumed.
+	WrapperOverhead fpga.Resources
+}
+
+// standardWrapper is the ESP accelerator-side socket adapter: DMA engine,
+// register file, interrupt logic.
+var standardWrapper = fpga.NewResources(1150, 1400, 2, 0)
+
+// Validate checks the description for obvious inconsistencies.
+func (d *Description) Validate() error {
+	if d.Width <= 0 || d.Width > 128 {
+		return fmt.Errorf("hls: %s: width %d out of range (1..128)", d.Name, d.Width)
+	}
+	if d.Unroll <= 0 {
+		return fmt.Errorf("hls: %s: unroll must be positive, got %d", d.Name, d.Unroll)
+	}
+	if d.Adders < 0 || d.Comparators < 0 || d.LogicOps < 0 || d.Multipliers < 0 || d.Dividers < 0 {
+		return fmt.Errorf("hls: %s: negative operator count", d.Name)
+	}
+	if d.BufferBits < 0 {
+		return fmt.Errorf("hls: %s: negative buffer size", d.Name)
+	}
+	return nil
+}
+
+// Estimate predicts the post-synthesis resource utilization of d.
+func Estimate(d *Description) (fpga.Resources, error) {
+	if err := d.Validate(); err != nil {
+		return fpga.Resources{}, err
+	}
+	w := float64(d.Width)
+	lanes := float64(d.Unroll)
+
+	// Per-lane LUT cost.
+	perLane := 0.0
+	perLane += float64(d.Adders) * w           // ripple/carry adders
+	perLane += float64(d.Comparators) * w      // comparators
+	perLane += float64(d.LogicOps) * w / 2     // bitwise ops pack 2/LUT6
+	perLane += float64(d.MuxInputs) * w * 0.55 // steering muxes
+
+	var dsp int
+	if d.Multipliers > 0 {
+		if d.UseDSP {
+			perDSP := int(math.Ceil(w/25) * math.Ceil(w/18))
+			dsp = d.Multipliers * perDSP * d.Unroll
+			perLane += float64(d.Multipliers) * 45 // DSP cascade glue
+		} else {
+			perLane += float64(d.Multipliers) * w * w / 1.25
+		}
+	}
+	perLane += float64(d.Dividers) * 3.4 * w * w // iterative divider array
+
+	// Controller + wrapper.
+	control := 140.0 + 28.0*float64(d.FSMStates)
+	wrapper := d.WrapperOverhead
+	if wrapper.IsZero() {
+		wrapper = standardWrapper
+	}
+
+	lut := int(perLane*lanes + control)
+	// Flip-flops: pipeline registers dominate.
+	depth := d.PipelineDepth
+	if depth <= 0 {
+		depth = 4
+	}
+	ff := int(lanes*w*float64(depth)*1.15 + control)
+	bram := int(math.Ceil(float64(d.BufferBits) / 36864.0))
+
+	total := fpga.NewResources(lut, ff, bram, dsp).Add(wrapper)
+	return total, nil
+}
+
+// Latency predicts the execution cycles for n input items.
+func Latency(d *Description, n int) (int64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("hls: %s: negative item count %d", d.Name, n)
+	}
+	throughput := d.ItemsPerCycle
+	if throughput <= 0 {
+		throughput = float64(d.Unroll)
+	}
+	depth := d.PipelineDepth
+	if depth <= 0 {
+		depth = 4
+	}
+	// DMA setup + pipeline ramp + streaming.
+	return int64(depth) + 64 + int64(math.Ceil(float64(n)/throughput)), nil
+}
+
+// RelativeError returns |est-meas| / meas for the LUT count, the metric
+// the estimator is validated against.
+func RelativeError(est, meas fpga.Resources) float64 {
+	m := float64(meas[fpga.LUT])
+	if m == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(float64(est[fpga.LUT])-m) / m
+}

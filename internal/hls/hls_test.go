@@ -1,0 +1,211 @@
+package hls
+
+import (
+	"testing"
+	"testing/quick"
+
+	"presp/internal/fpga"
+)
+
+func baseDesc() *Description {
+	return &Description{
+		Name:          "test",
+		Width:         32,
+		Adders:        4,
+		Multipliers:   2,
+		UseDSP:        true,
+		Unroll:        4,
+		MuxInputs:     8,
+		FSMStates:     6,
+		BufferBits:    8 * 36864,
+		PipelineDepth: 6,
+	}
+}
+
+func TestEstimateBasics(t *testing.T) {
+	r, err := Estimate(baseDesc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[fpga.LUT] <= 0 || r[fpga.FF] <= 0 {
+		t.Fatalf("degenerate estimate: %v", r)
+	}
+	if r[fpga.BRAM] != 8+2 { // 8 buffer blocks + wrapper's 2
+		t.Fatalf("BRAM estimate: got %d want 10", r[fpga.BRAM])
+	}
+	if r[fpga.DSP] != 2*4*4 { // 2 muls × ceil(32/25)·ceil(32/18)=4 DSPs × 4 lanes
+		t.Fatalf("DSP estimate: got %d want 32", r[fpga.DSP])
+	}
+}
+
+func TestEstimateUnrollMonotonic(t *testing.T) {
+	d1 := baseDesc()
+	d1.Unroll = 2
+	d2 := baseDesc()
+	d2.Unroll = 8
+	r1, err := Estimate(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Estimate(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2[fpga.LUT] <= r1[fpga.LUT] {
+		t.Fatalf("more unroll should cost more LUTs: %d vs %d", r1[fpga.LUT], r2[fpga.LUT])
+	}
+	if r2[fpga.DSP] != 4*r1[fpga.DSP] {
+		t.Fatalf("DSP should scale with lanes: %d vs %d", r1[fpga.DSP], r2[fpga.DSP])
+	}
+}
+
+func TestEstimateMonotonicProperty(t *testing.T) {
+	// Adding operators never reduces the LUT estimate.
+	f := func(adders, extra uint8) bool {
+		d1 := baseDesc()
+		d1.Adders = int(adders % 32)
+		d2 := baseDesc()
+		d2.Adders = d1.Adders + int(extra%16)
+		r1, err1 := Estimate(d1)
+		r2, err2 := Estimate(d2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r2[fpga.LUT] >= r1[fpga.LUT]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDSPvsLUTMultiplier(t *testing.T) {
+	dsp := baseDesc()
+	dsp.UseDSP = true
+	soft := baseDesc()
+	soft.UseDSP = false
+	rd, err := Estimate(dsp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Estimate(soft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[fpga.LUT] <= rd[fpga.LUT] {
+		t.Fatal("soft multipliers should cost more LUTs than DSP mapping")
+	}
+	if rs[fpga.DSP] != 0 {
+		t.Fatalf("soft multipliers should use no DSPs, got %d", rs[fpga.DSP])
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []func(*Description){
+		func(d *Description) { d.Width = 0 },
+		func(d *Description) { d.Width = 200 },
+		func(d *Description) { d.Unroll = 0 },
+		func(d *Description) { d.Adders = -1 },
+		func(d *Description) { d.BufferBits = -5 },
+		func(d *Description) { d.Dividers = -1 },
+	}
+	for i, mutate := range cases {
+		d := baseDesc()
+		mutate(d)
+		if _, err := Estimate(d); err == nil {
+			t.Errorf("case %d: invalid description accepted", i)
+		}
+	}
+}
+
+func TestLatency(t *testing.T) {
+	d := baseDesc()
+	c0, err := Latency(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1000, err := Latency(d, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1000 <= c0 {
+		t.Fatal("latency should grow with items")
+	}
+	// Four lanes: 1000 items stream in 250 cycles.
+	if c1000-c0 != 250 {
+		t.Fatalf("streaming cycles: got %d want 250", c1000-c0)
+	}
+	if _, err := Latency(d, -1); err == nil {
+		t.Fatal("negative item count accepted")
+	}
+}
+
+func TestLatencyThroughputOverride(t *testing.T) {
+	d := baseDesc()
+	d.ItemsPerCycle = 0.5
+	c, err := Latency(d, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Latency(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c-base != 200 {
+		t.Fatalf("half-rate pipeline: got %d extra cycles, want 200", c-base)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	est := fpga.NewResources(110, 0, 0, 0)
+	meas := fpga.NewResources(100, 0, 0, 0)
+	if got := RelativeError(est, meas); got < 0.099 || got > 0.101 {
+		t.Fatalf("relative error: got %g want 0.1", got)
+	}
+}
+
+// TestEstimatorTracksPaperAccelerators cross-checks the estimator
+// against the measured Table II utilizations: datapath descriptions
+// sized like the paper's accelerators must land within 35% on LUTs —
+// the estimator is a planning tool, not a synthesis replacement.
+func TestEstimatorTracksPaperAccelerators(t *testing.T) {
+	cases := []struct {
+		name     string
+		desc     *Description
+		measured int
+	}{
+		{
+			name: "mac",
+			desc: &Description{
+				Name: "mac", Width: 32, Adders: 15, Multipliers: 16, UseDSP: true,
+				Unroll: 1, MuxInputs: 18, FSMStates: 5, BufferBits: 2 * 36864, PipelineDepth: 6,
+			},
+			measured: 2450,
+		},
+		{
+			name: "conv2d",
+			desc: &Description{
+				Name: "conv2d", Width: 32, Adders: 9, Multipliers: 9, UseDSP: true,
+				Unroll: 32, MuxInputs: 40, FSMStates: 12, BufferBits: 90 * 36864, PipelineDepth: 10,
+			},
+			measured: 36741,
+		},
+		{
+			name: "sort",
+			desc: &Description{
+				Name: "sort", Width: 64, Adders: 0, Comparators: 32, Multipliers: 0,
+				Unroll: 8, MuxInputs: 28, FSMStates: 10, BufferBits: 46 * 36864, PipelineDepth: 8,
+			},
+			measured: 20468,
+		},
+	}
+	for _, c := range cases {
+		est, err := Estimate(c.desc)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		rel := RelativeError(est, fpga.NewResources(c.measured, 0, 0, 0))
+		if rel > 0.35 {
+			t.Errorf("%s: estimate %d vs measured %d (%.0f%% off)", c.name, est[fpga.LUT], c.measured, rel*100)
+		}
+	}
+}

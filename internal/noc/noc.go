@@ -1,0 +1,309 @@
+// Package noc models the ESP network-on-chip: a packet-switched 2D mesh
+// with multiple physical planes, XY dimension-ordered routing and
+// wormhole switching. The model is link-reservation based: every
+// directed link tracks when it becomes free, so concurrent transfers
+// contend for bandwidth exactly where their paths overlap, while the
+// common no-contention case stays O(hops) per transfer.
+//
+// The reconfigurable tile's decoupler (Section III of the paper) is
+// modelled by per-tile port gating: while a tile is decoupled, the
+// inputs to its NoC queues are disabled and transfers touching it fail.
+package noc
+
+import (
+	"fmt"
+
+	"presp/internal/sim"
+)
+
+// Coord addresses a tile in the mesh.
+type Coord struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+}
+
+// String renders the coordinate as "(x,y)".
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Plane identifies one physical NoC plane. ESP instantiates six planes;
+// the ones relevant to this model are named below.
+type Plane int
+
+const (
+	// PlaneMemReq carries DMA/memory requests.
+	PlaneMemReq Plane = iota
+	// PlaneMemRsp carries DMA/memory responses.
+	PlaneMemRsp
+	// PlaneConfig carries memory-mapped register traffic.
+	PlaneConfig
+	// PlaneInterrupt carries interrupt packets.
+	PlaneInterrupt
+	// PlaneCoherence carries coherence traffic (unused by accelerators
+	// in the non-coherent DMA mode modelled here, but instantiated).
+	PlaneCoherence
+	// PlaneDMA carries the bitstream-fetch DMA issued by the DFX
+	// controller in the auxiliary tile.
+	PlaneDMA
+	// NumPlanes is the ESP physical plane count.
+	NumPlanes
+)
+
+// String names the plane.
+func (p Plane) String() string {
+	switch p {
+	case PlaneMemReq:
+		return "mem-req"
+	case PlaneMemRsp:
+		return "mem-rsp"
+	case PlaneConfig:
+		return "config"
+	case PlaneInterrupt:
+		return "interrupt"
+	case PlaneCoherence:
+		return "coherence"
+	case PlaneDMA:
+		return "dma"
+	default:
+		return fmt.Sprintf("plane-%d", int(p))
+	}
+}
+
+type linkKey struct {
+	plane    Plane
+	from, to Coord
+}
+
+type link struct {
+	freeAt sim.Time
+	flits  int64
+}
+
+// Config carries the mesh parameters.
+type Config struct {
+	Cols, Rows int
+	// Planes is the physical plane count; zero selects NumPlanes.
+	Planes int
+	// FlitBytes is the payload bytes per flit (ESP planes are 64-bit).
+	FlitBytes int
+	// FreqHz is the NoC clock. The paper's SoCs run the fabric at 78 MHz.
+	FreqHz float64
+	// RouterLatencyCycles is the per-hop router pipeline latency.
+	RouterLatencyCycles int
+}
+
+// Network is the mesh instance.
+type Network struct {
+	cfg     Config
+	eng     *sim.Engine
+	links   map[linkKey]*link
+	gated   map[Coord]bool
+	packets int64
+}
+
+// New builds a mesh network bound to engine eng.
+func New(eng *sim.Engine, cfg Config) (*Network, error) {
+	if cfg.Cols <= 0 || cfg.Rows <= 0 {
+		return nil, fmt.Errorf("noc: invalid mesh %dx%d", cfg.Cols, cfg.Rows)
+	}
+	if cfg.Planes <= 0 {
+		cfg.Planes = int(NumPlanes)
+	}
+	if cfg.FlitBytes <= 0 {
+		cfg.FlitBytes = 8
+	}
+	if cfg.FreqHz <= 0 {
+		cfg.FreqHz = 78e6
+	}
+	if cfg.RouterLatencyCycles <= 0 {
+		cfg.RouterLatencyCycles = 2
+	}
+	return &Network{
+		cfg:   cfg,
+		eng:   eng,
+		links: make(map[linkKey]*link),
+		gated: make(map[Coord]bool),
+	}, nil
+}
+
+// Cols returns the mesh width.
+func (n *Network) Cols() int { return n.cfg.Cols }
+
+// Rows returns the mesh height.
+func (n *Network) Rows() int { return n.cfg.Rows }
+
+// Contains reports whether c addresses a tile inside the mesh.
+func (n *Network) Contains(c Coord) bool {
+	return c.X >= 0 && c.X < n.cfg.Cols && c.Y >= 0 && c.Y < n.cfg.Rows
+}
+
+// Route returns the XY dimension-ordered path from src to dst, inclusive
+// of both endpoints.
+func (n *Network) Route(src, dst Coord) ([]Coord, error) {
+	if !n.Contains(src) || !n.Contains(dst) {
+		return nil, fmt.Errorf("noc: route %s -> %s outside %dx%d mesh", src, dst, n.cfg.Cols, n.cfg.Rows)
+	}
+	path := []Coord{src}
+	cur := src
+	for cur.X != dst.X {
+		if dst.X > cur.X {
+			cur.X++
+		} else {
+			cur.X--
+		}
+		path = append(path, cur)
+	}
+	for cur.Y != dst.Y {
+		if dst.Y > cur.Y {
+			cur.Y++
+		} else {
+			cur.Y--
+		}
+		path = append(path, cur)
+	}
+	return path, nil
+}
+
+// Hops returns the hop count (Manhattan distance) between src and dst.
+func (n *Network) Hops(src, dst Coord) int {
+	dx, dy := dst.X-src.X, dst.Y-src.Y
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Decouple gates the NoC queues of the tile at c, as the reconfigurable
+// tile's decoupling logic does during partial reconfiguration.
+func (n *Network) Decouple(c Coord) error {
+	if !n.Contains(c) {
+		return fmt.Errorf("noc: decouple %s outside mesh", c)
+	}
+	n.gated[c] = true
+	return nil
+}
+
+// Recouple re-enables the NoC queues of the tile at c (with the queue
+// reset the decoupler performs after a successful reconfiguration).
+func (n *Network) Recouple(c Coord) error {
+	if !n.Contains(c) {
+		return fmt.Errorf("noc: recouple %s outside mesh", c)
+	}
+	delete(n.gated, c)
+	return nil
+}
+
+// Decoupled reports whether the tile at c is currently gated.
+func (n *Network) Decoupled(c Coord) bool { return n.gated[c] }
+
+// ErrDecoupled is returned when a transfer touches a gated tile.
+type ErrDecoupled struct {
+	Tile Coord
+}
+
+// Error implements error.
+func (e *ErrDecoupled) Error() string {
+	return fmt.Sprintf("noc: tile %s is decoupled for reconfiguration", e.Tile)
+}
+
+// Transfer reserves the XY path from src to dst on plane p for a packet
+// of the given payload size and returns the virtual time at which the
+// tail flit arrives. Links already busy push the start time back, which
+// is how contention manifests.
+func (n *Network) Transfer(p Plane, src, dst Coord, bytes int) (sim.Time, error) {
+	if int(p) < 0 || int(p) >= n.cfg.Planes {
+		return 0, fmt.Errorf("noc: plane %d out of range (%d planes)", p, n.cfg.Planes)
+	}
+	if n.gated[src] {
+		return 0, &ErrDecoupled{Tile: src}
+	}
+	if n.gated[dst] {
+		return 0, &ErrDecoupled{Tile: dst}
+	}
+	if bytes <= 0 {
+		return 0, fmt.Errorf("noc: non-positive transfer size %d", bytes)
+	}
+	path, err := n.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	flits := int64((bytes + n.cfg.FlitBytes - 1) / n.cfg.FlitBytes)
+	flits++ // head flit
+
+	now := n.eng.Now()
+	cycle := sim.Clock(1, n.cfg.FreqHz)
+	hopLat := sim.Time(n.cfg.RouterLatencyCycles) * cycle
+	serial := sim.Time(flits) * cycle
+
+	// Wormhole: the head advances one hop per router latency; each link
+	// is then occupied for the full flit train. The start time is pushed
+	// back until every link on the path is free at its offset.
+	start := now
+	for {
+		pushed := false
+		for i := 0; i+1 < len(path); i++ {
+			lk := n.linkFor(p, path[i], path[i+1])
+			need := start + sim.Time(i)*hopLat
+			if lk.freeAt > need {
+				start += lk.freeAt - need
+				pushed = true
+			}
+		}
+		if !pushed {
+			break
+		}
+	}
+	for i := 0; i+1 < len(path); i++ {
+		lk := n.linkFor(p, path[i], path[i+1])
+		lk.freeAt = start + sim.Time(i)*hopLat + serial
+		lk.flits += flits
+	}
+	n.packets++
+	done := start + sim.Time(len(path)-1)*hopLat + serial
+	if len(path) == 1 { // local delivery still pays serialization
+		done = start + serial
+	}
+	return done, nil
+}
+
+func (n *Network) linkFor(p Plane, from, to Coord) *link {
+	k := linkKey{plane: p, from: from, to: to}
+	l, ok := n.links[k]
+	if !ok {
+		l = &link{}
+		n.links[k] = l
+	}
+	return l
+}
+
+// Stats summarizes traffic carried so far.
+type Stats struct {
+	Packets    int64
+	LinksUsed  int
+	TotalFlits int64
+}
+
+// Stats returns the accumulated traffic statistics.
+func (n *Network) Stats() Stats {
+	s := Stats{Packets: n.packets, LinksUsed: len(n.links)}
+	for _, l := range n.links {
+		s.TotalFlits += l.flits
+	}
+	return s
+}
+
+// PlaneStats returns the flits carried and links used on one physical
+// plane — the per-plane utilization breakdown designers size the NoC
+// with.
+func (n *Network) PlaneStats(p Plane) Stats {
+	var s Stats
+	for k, l := range n.links {
+		if k.plane == p {
+			s.LinksUsed++
+			s.TotalFlits += l.flits
+		}
+	}
+	return s
+}

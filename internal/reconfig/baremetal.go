@@ -1,0 +1,90 @@
+package reconfig
+
+import (
+	"fmt"
+
+	"presp/internal/sim"
+)
+
+// Baremetal is the no-OS driver interface of Section V: the same DFXC
+// and ICAP hardware path as the Linux runtime manager, but without the
+// kernel's workqueue, locks or driver registry. A baremetal application
+// is single-threaded: it triggers one reconfiguration or invocation at
+// a time and polls for completion. Requests issued while the PRC is
+// busy are rejected (there is no queue to park them in), which is
+// exactly the discipline the baremetal driver documents.
+type Baremetal struct {
+	rt *Runtime
+}
+
+// NewBaremetal wraps a runtime with the baremetal driver discipline.
+func NewBaremetal(rt *Runtime) (*Baremetal, error) {
+	if rt == nil {
+		return nil, fmt.Errorf("reconfig: nil runtime")
+	}
+	return &Baremetal{rt: rt}, nil
+}
+
+// Reconfigure triggers one partial reconfiguration and polls (in
+// virtual time) until the PRC signals completion. It fails immediately
+// when the PRC is already busy.
+func (b *Baremetal) Reconfigure(tileName, accName string) error {
+	ts, err := b.rt.tile(tileName)
+	if err != nil {
+		return err
+	}
+	if b.rt.prcBusy {
+		return fmt.Errorf("reconfig: baremetal driver: PRC busy (no workqueue to park the request)")
+	}
+	if ts.busy {
+		return fmt.Errorf("reconfig: baremetal driver: tile %s still executing", tileName)
+	}
+	var done bool
+	var rerr error
+	b.rt.RequestReconfig(tileName, accName, func(err error) {
+		done, rerr = true, err
+	})
+	// Poll: advance virtual time until the completion interrupt.
+	for !done && b.rt.eng.Step() {
+	}
+	if !done {
+		return fmt.Errorf("reconfig: baremetal reconfiguration of %s never completed", tileName)
+	}
+	return rerr
+}
+
+// Invoke runs an accelerator synchronously: it configures, starts and
+// polls the accelerator's done register until completion. The tile must
+// already hold the accelerator (baremetal applications reconfigure
+// explicitly; there is no demand swapping).
+func (b *Baremetal) Invoke(tileName, accName string, in [][]float64) (*InvokeResult, error) {
+	ts, err := b.rt.tile(tileName)
+	if err != nil {
+		return nil, err
+	}
+	if ts.loaded != accName {
+		return nil, fmt.Errorf("reconfig: baremetal driver: tile %s holds %q, reconfigure to %q first",
+			tileName, ts.loaded, accName)
+	}
+	var res *InvokeResult
+	var rerr error
+	done := false
+	b.rt.InvokeOn(tileName, accName, in, func(r *InvokeResult, err error) {
+		res, rerr, done = r, err, true
+	})
+	for !done && b.rt.eng.Step() {
+	}
+	if !done {
+		return nil, fmt.Errorf("reconfig: baremetal invocation on %s never completed", tileName)
+	}
+	return res, rerr
+}
+
+// Now exposes the virtual clock (baremetal applications time themselves
+// against the hardware timer).
+func (b *Baremetal) Now() sim.Time { return b.rt.eng.Now() }
+
+// Loaded reports the accelerator currently configured in the tile.
+func (b *Baremetal) Loaded(tileName string) (string, error) {
+	return b.rt.Loaded(tileName)
+}

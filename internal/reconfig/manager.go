@@ -1,0 +1,284 @@
+package reconfig
+
+import (
+	"fmt"
+	"math"
+
+	"presp/internal/fpga"
+	"presp/internal/noc"
+	"presp/internal/sim"
+)
+
+// RequestReconfig asks the manager to load accName into tileName. The
+// request is queued on the kernel workqueue and executed as soon as the
+// PRC is ready (Section V); before queueing, the manager waits for the
+// accelerator currently in the tile to complete its execution. done is
+// called (in virtual time) when the new driver is bound.
+func (r *Runtime) RequestReconfig(tileName, accName string, done func(error)) {
+	if done == nil {
+		done = func(error) {}
+	}
+	ts, err := r.tile(tileName)
+	if err != nil {
+		done(err)
+		return
+	}
+	if _, ok := ts.bitstream[accName]; !ok {
+		done(fmt.Errorf("reconfig: no bitstream registered for %s on tile %s", accName, tileName))
+		return
+	}
+	if ts.loaded == accName && !ts.reconfig {
+		done(nil) // already configured
+		return
+	}
+	if ts.pending == accName {
+		// A swap to the same module is already queued or in flight:
+		// coalesce instead of programming the partition twice.
+		r.whenTileIdle(ts, func() {
+			if ts.loaded == accName {
+				done(nil)
+				return
+			}
+			// The coalesced swap was displaced; re-request.
+			r.RequestReconfig(tileName, accName, done)
+		})
+		return
+	}
+	enqueue := func() {
+		// Lock the device: other threads block until the interrupt
+		// arrives and the new driver is loaded.
+		ts.reconfig = true
+		ts.pending = accName
+		r.workqueue = append(r.workqueue, &request{tileName: tileName, accName: accName, done: done})
+		r.pumpWorkqueue()
+	}
+	if r.cfg.UnsafeImmediateSwap {
+		// Ablation mode: swap without draining. Any invocation still
+		// executing on the tile will be aborted when the module under
+		// it changes.
+		enqueue()
+		return
+	}
+	// Force the caller to wait until the accelerator drains.
+	r.whenTileIdle(ts, enqueue)
+}
+
+// whenTileIdle runs fn once the tile is neither executing nor
+// reconfiguring.
+func (r *Runtime) whenTileIdle(ts *tileState, fn func()) {
+	if !ts.busy && !ts.reconfig {
+		fn()
+		return
+	}
+	ts.waiters = append(ts.waiters, fn)
+}
+
+// releaseTile wakes every waiter of ts (they re-check state themselves).
+func (r *Runtime) releaseTile(ts *tileState) {
+	waiters := ts.waiters
+	ts.waiters = nil
+	for _, w := range waiters {
+		w := w
+		// Re-enter through whenTileIdle so a waiter that re-busies the
+		// tile makes the rest re-queue.
+		if err := r.eng.Schedule(0, func() { r.whenTileIdle(ts, w) }); err != nil {
+			w()
+		}
+	}
+}
+
+// pumpWorkqueue starts the next queued reconfiguration when the PRC is
+// free. Reconfiguration requests are executed one at a time: the SoC has
+// a single DFXC/ICAP pair.
+func (r *Runtime) pumpWorkqueue() {
+	if r.prcBusy || len(r.workqueue) == 0 {
+		return
+	}
+	req := r.workqueue[0]
+	r.workqueue = r.workqueue[1:]
+	r.prcBusy = true
+	r.executeReconfig(req)
+}
+
+// executeReconfig performs the hardware sequence of one partial
+// reconfiguration:
+//
+//  1. the driver engages the tile's decoupler (also gating its NoC
+//     queues),
+//  2. the DFXC fetches the bitstream from memory over the NoC DMA plane,
+//  3. the ICAP programs the partition,
+//  4. the DFXC raises an interrupt; the handler disengages the decoupler
+//     (resetting the queues), swaps the driver and unlocks the device.
+func (r *Runtime) executeReconfig(req *request) {
+	ts := r.tiles[req.tileName]
+	bs := ts.bitstream[req.accName]
+	start := r.eng.Now()
+
+	fail := func(err error) {
+		ts.reconfig = false
+		if ts.pending == req.accName {
+			ts.pending = ""
+		}
+		r.prcBusy = false
+		req.done(err)
+		r.releaseTile(ts)
+		r.pumpWorkqueue()
+	}
+
+	// Step 1: decouple.
+	if err := r.net.Decouple(ts.pos); err != nil {
+		fail(err)
+		return
+	}
+	r.mustSetPower("prc", r.cfg.ReconfigPowerW)
+	if err := r.eng.Schedule(r.cfg.DecoupleDelay, func() {
+		// Step 2: DFXC DMA fetch (memory tile -> auxiliary tile).
+		plane := noc.PlaneDMA
+		if r.cfg.SharedDMAPlane {
+			plane = noc.PlaneMemRsp
+		}
+		arrive, err := r.net.Transfer(plane, r.memPos, r.auxPos, bs.Size())
+		if err != nil {
+			fail(err)
+			return
+		}
+		// Step 3: ICAP programming overlaps the tail of the fetch; the
+		// slower of the two paths bounds completion.
+		icap := r.icapTime(bs.Size())
+		finish := arrive + icap
+		if err := r.eng.At(finish, func() {
+			// Step 4: interrupt to the processor.
+			intrAt, err := r.net.Transfer(noc.PlaneInterrupt, r.auxPos, r.cpuPos, 8)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if err := r.eng.At(intrAt+r.cfg.DriverSwapDelay, func() {
+				// Handler: disengage decoupler, reset queues, swap driver.
+				if err := r.net.Recouple(ts.pos); err != nil {
+					fail(err)
+					return
+				}
+				ts.loaded = req.accName
+				ts.driver = req.accName
+				ts.reconfig = false
+				if ts.pending == req.accName {
+					ts.pending = ""
+				}
+				r.prcBusy = false
+				r.mustSetPower("prc", 0)
+				r.setTileIdlePower(ts)
+				r.stats.Reconfigurations++
+				r.stats.ReconfigTime += r.eng.Now() - start
+				r.stats.BytesConfigured += int64(bs.Size())
+				r.timeline = append(r.timeline, TimelineEvent{
+					Start: start, End: r.eng.Now(),
+					Tile: ts.t.Name, Accel: req.accName,
+					Bytes: bs.Size(),
+				})
+				if e := r.cfg.ReconfigEnergyPerByte * float64(bs.Size()); e > 0 {
+					if err := r.meter.AddEnergy("config", e); err != nil {
+						fail(err)
+						return
+					}
+				}
+				req.done(nil)
+				r.releaseTile(ts)
+				r.pumpWorkqueue()
+			}); err != nil {
+				fail(err)
+			}
+		}); err != nil {
+			fail(err)
+		}
+	}); err != nil {
+		fail(err)
+	}
+}
+
+// icapTime returns the ICAP programming time for a stored image of the
+// given size. Compressed images program faster: multi-frame writes skip
+// repeated frames, which is exactly why the flow enables compression.
+func (r *Runtime) icapTime(bytes int) sim.Time {
+	bw := r.cfg.ICAPEffectiveBps
+	if bw <= 0 {
+		bw = r.design.Dev.ICAPBandwidth
+	}
+	if bw <= 0 {
+		bw = 400e6
+	}
+	sec := float64(bytes) / bw
+	return sim.Time(sec * 1e9)
+}
+
+// Prefetch asks the manager to opportunistically load accName into the
+// tile ahead of its next use. The request goes through the same
+// workqueue as demand reconfigurations; if the guess is wrong, the
+// demand path simply swaps again.
+func (r *Runtime) Prefetch(tileName, accName string) {
+	r.RequestReconfig(tileName, accName, nil)
+}
+
+// updateLeakagePower re-evaluates the configured-fabric leakage from
+// the total pblock area currently holding loaded modules.
+func (r *Runtime) updateLeakagePower() {
+	var areaK float64
+	loaded := 0
+	for _, ts := range r.tiles {
+		if ts.loaded != "" {
+			areaK += float64(ts.pblock.ResourcesOn(r.design.Dev)[fpga.LUT]) / 1000.0
+			loaded++
+		}
+	}
+	e := r.cfg.LeakageExponent
+	if e <= 0 {
+		e = 1
+	}
+	p := r.cfg.LeakagePerKLUTW*math.Pow(areaK, e) + r.cfg.PerTilePowerW*float64(loaded)
+	r.mustSetPower("leakage", p)
+}
+
+// setTileIdlePower applies the clock-tree power of a configured, idle
+// accelerator and refreshes the global leakage term.
+func (r *Runtime) setTileIdlePower(ts *tileState) {
+	r.updateLeakagePower()
+	if ts.loaded == "" {
+		r.mustSetPower("tile."+ts.t.Name, 0)
+		return
+	}
+	desc, err := r.reg.Lookup(ts.loaded)
+	if err != nil {
+		r.mustSetPower("tile."+ts.t.Name, 0)
+		return
+	}
+	r.mustSetPower("tile."+ts.t.Name, desc.ActivePowerW*r.cfg.IdlePowerFraction)
+}
+
+func (r *Runtime) mustSetPower(name string, w float64) {
+	if err := r.meter.SetPower(name, w); err != nil {
+		panic(fmt.Sprintf("reconfig: power bookkeeping: %v", err))
+	}
+}
+
+// updateContentionPower re-evaluates the superlinear uncore power term
+// from the count of concurrently active accelerators: k concurrent
+// masters draw ContentionPowerW·k·(k-1) beyond their own datapaths (the
+// excess models DRAM/NoC contention — retries, stalls and arbitration
+// burn energy only when masters actually collide).
+func (r *Runtime) updateContentionPower() {
+	k := float64(r.activeAccels)
+	if k < 1 {
+		k = 0
+	}
+	r.mustSetPower("uncore", r.cfg.ContentionPowerW*k*(k-1))
+}
+
+// pblockAreaLUTs returns the fabric area of the tile's partition (used
+// by energy accounting helpers and reporting).
+func (r *Runtime) pblockAreaLUTs(tileName string) (int, error) {
+	ts, err := r.tile(tileName)
+	if err != nil {
+		return 0, err
+	}
+	return ts.pblock.ResourcesOn(r.design.Dev)[fpga.LUT], nil
+}

@@ -1,0 +1,346 @@
+// Package reconfig implements the PR-ESP software stack of Section V on
+// top of the simulated hardware: a runtime manager that schedules and
+// synchronizes reconfiguration requests through a workqueue, swaps
+// accelerator drivers during reconfiguration, drives the decoupler and
+// the DFX controller / ICAP in the auxiliary tile, and exposes the
+// user-space API applications invoke accelerators through.
+//
+// The manager runs against the discrete-event engine: every hardware
+// action (DMA over the NoC, ICAP programming, interrupts) advances
+// virtual time, and the power meter integrates per-component power so
+// the Fig 4 energy-per-frame evaluation falls out of the same machinery.
+package reconfig
+
+import (
+	"fmt"
+	"time"
+
+	"presp/internal/accel"
+	"presp/internal/bitstream"
+	"presp/internal/floorplan"
+	"presp/internal/fpga"
+	"presp/internal/noc"
+	"presp/internal/sim"
+	"presp/internal/socgen"
+	"presp/internal/tile"
+)
+
+// Config tunes the runtime.
+type Config struct {
+	// CPUSlowdown is the software-fallback factor: a kernel without an
+	// allocated accelerator runs on the processor this many times slower
+	// than its accelerator latency model.
+	CPUSlowdown float64
+	// DriverSwapDelay is the kernel-side cost of unregistering the old
+	// accelerator driver and registering the new one.
+	DriverSwapDelay sim.Time
+	// DecoupleDelay is the decoupler engage/disengage latency.
+	DecoupleDelay sim.Time
+	// IdlePowerFraction is the clock-tree power of a configured but idle
+	// accelerator, as a fraction of its active power.
+	IdlePowerFraction float64
+	// ReconfigPowerW is the board power drawn while the ICAP programs.
+	ReconfigPowerW float64
+	// CPUPowerW is the processor's active power when running fallback
+	// kernels.
+	CPUPowerW float64
+	// StaticPowerW is the always-on baseline power of the SoC.
+	StaticPowerW float64
+	// ContentionPowerW scales the superlinear NoC/memory power term:
+	// with k accelerators active concurrently the uncore draws
+	// ContentionPowerW · k² (bandwidth contention burns energy in
+	// retries and stalls; this is what makes wide SoCs fast but
+	// inefficient, the Fig 4 trade-off).
+	ContentionPowerW float64
+	// ICAPEffectiveBps is the end-to-end configuration throughput of the
+	// DFXC path (bitstream DMA over the NoC, AXI adapters, ICAP). The
+	// raw ICAPE2 primitive sustains 400 MB/s, but the paper's path
+	// fetches beat-by-beat through the auxiliary tile's adapters; zero
+	// selects the device's raw ICAP bandwidth.
+	ICAPEffectiveBps float64
+	// ReconfigEnergyPerByte is the effective energy cost of configuring
+	// one bitstream byte, covering the DRAM fetch, the configuration
+	// logic and the transient of re-initializing the region's clock
+	// tree. It is calibrated so the per-frame configuration traffic of
+	// Table VI dominates the energy split the way Fig 4 reports.
+	ReconfigEnergyPerByte float64
+	// UnsafeImmediateSwap disables the manager's drain-before-swap
+	// discipline: reconfiguration requests no longer wait for the
+	// accelerator in the tile to finish executing. This exists only for
+	// the ablation that demonstrates why Section V forces the calling
+	// thread to wait — in-flight invocations on the tile are aborted
+	// with an error when the module is swapped under them.
+	UnsafeImmediateSwap bool
+	// SharedDMAPlane routes the DFXC's bitstream fetches over the memory
+	// response plane instead of the dedicated DMA plane, making
+	// reconfiguration traffic contend with accelerator DMA (the NoC
+	// plane-count ablation).
+	SharedDMAPlane bool
+	// PerTilePowerW is the fixed clock-spine and socket power each
+	// reconfigurable tile draws while it holds a configured module —
+	// linear in the tile count, on top of the area-driven leakage.
+	PerTilePowerW float64
+	// LeakagePerKLUTW and LeakageExponent form the configured-fabric
+	// leakage model: the SoC draws
+	//
+	//	P = LeakagePerKLUTW · (Σ configured pblock area in kLUT)^LeakageExponent
+	//
+	// while modules are loaded. The superlinear exponent models the
+	// thermal feedback of powering more fabric (leakage grows with die
+	// temperature, which grows with powered area); it is what makes
+	// SoCs with fewer, smaller reconfigurable regions more
+	// energy-efficient per frame even when they run longer — the Fig 4
+	// trade-off.
+	LeakagePerKLUTW float64
+	LeakageExponent float64
+}
+
+// DefaultConfig returns the evaluation configuration.
+func DefaultConfig() Config {
+	return Config{
+		CPUSlowdown:           150,
+		DriverSwapDelay:       120 * time.Microsecond,
+		DecoupleDelay:         2 * time.Microsecond,
+		IdlePowerFraction:     0.22,
+		ReconfigPowerW:        0.8,
+		CPUPowerW:             0.15,
+		StaticPowerW:          0.1,
+		ContentionPowerW:      2.0,
+		ICAPEffectiveBps:      45e6,
+		ReconfigEnergyPerByte: 0,
+		PerTilePowerW:         3.0,
+		LeakagePerKLUTW:       0.0025,
+		LeakageExponent:       1.75,
+	}
+}
+
+// tileState tracks the runtime condition of one reconfigurable tile.
+type tileState struct {
+	t         *tile.Tile
+	pos       noc.Coord
+	pblock    fpga.Pblock
+	loaded    string // configured accelerator ("" = empty)
+	driver    string // bound driver ("" = none)
+	pending   string // accelerator a queued/in-flight swap will install
+	busy      bool   // accelerator executing
+	reconfig  bool   // reconfiguration in progress
+	waiters   []func()
+	bitstream map[string]*bitstream.Bitstream
+}
+
+// TimelineEvent records one completed partial reconfiguration for
+// post-run inspection (what presp-sim prints as the swap timeline).
+type TimelineEvent struct {
+	// Start and End bound the reconfiguration in virtual time.
+	Start, End sim.Time
+	// Tile and Accel identify the swap.
+	Tile, Accel string
+	// Bytes is the configured bitstream size.
+	Bytes int
+}
+
+// Stats aggregates runtime counters.
+type Stats struct {
+	// Reconfigurations is the completed partial reconfiguration count.
+	Reconfigurations int
+	// ReconfigTime is the cumulative reconfiguration latency.
+	ReconfigTime sim.Time
+	// Invocations counts accelerator runs; CPUFallbacks counts kernels
+	// executed in software.
+	Invocations  int
+	CPUFallbacks int
+	// BytesConfigured is the total bitstream bytes pushed through ICAP.
+	BytesConfigured int64
+}
+
+// Runtime is the reconfiguration manager bound to one simulated SoC.
+type Runtime struct {
+	eng    *sim.Engine
+	net    *noc.Network
+	meter  *sim.PowerMeter
+	design *socgen.Design
+	reg    *accel.Registry
+	cfg    Config
+
+	memPos, auxPos, cpuPos noc.Coord
+	tiles                  map[string]*tileState
+
+	// The single DFXC serializes reconfigurations; queued requests wait
+	// in the kernel workqueue.
+	prcBusy   bool
+	workqueue []*request
+
+	cpuBusy    bool
+	cpuWaiters []func()
+
+	activeAccels int
+	stats        Stats
+	timeline     []TimelineEvent
+}
+
+type request struct {
+	tileName string
+	accName  string
+	done     func(error)
+}
+
+// New builds a runtime for design d with accelerator registry reg and
+// floorplan plan (the pblocks size the partial bitstream path).
+func New(eng *sim.Engine, d *socgen.Design, reg *accel.Registry, plan *floorplan.Plan, cfg Config) (*Runtime, error) {
+	if eng == nil || d == nil || reg == nil || plan == nil {
+		return nil, fmt.Errorf("reconfig: nil dependency")
+	}
+	if cfg.CPUSlowdown <= 1 {
+		return nil, fmt.Errorf("reconfig: CPU slowdown %.1f must exceed 1", cfg.CPUSlowdown)
+	}
+	net, err := noc.New(eng, noc.Config{Cols: d.Cfg.Cols, Rows: d.Cfg.Rows, FreqHz: d.Cfg.FreqHz})
+	if err != nil {
+		return nil, err
+	}
+	r := &Runtime{
+		eng:    eng,
+		net:    net,
+		meter:  sim.NewPowerMeter(eng),
+		design: d,
+		reg:    reg,
+		cfg:    cfg,
+		tiles:  make(map[string]*tileState),
+	}
+	var haveMem, haveAux, haveCPU bool
+	for i := range d.Cfg.Tiles {
+		t := &d.Cfg.Tiles[i]
+		switch t.Kind {
+		case tile.Mem:
+			if !haveMem {
+				r.memPos, haveMem = t.Pos, true
+			}
+		case tile.Aux:
+			r.auxPos, haveAux = t.Pos, true
+		case tile.CPU:
+			r.cpuPos, haveCPU = t.Pos, true
+		case tile.Reconf:
+			rp, err := d.FindRP(t.Name)
+			if err != nil {
+				return nil, err
+			}
+			pb, ok := plan.Pblocks[rp.Name]
+			if !ok {
+				return nil, fmt.Errorf("reconfig: floorplan has no pblock for %s", rp.Name)
+			}
+			if t.ReconfCPU && !haveCPU {
+				r.cpuPos, haveCPU = t.Pos, true
+			}
+			ts := &tileState{
+				t: t, pos: t.Pos, pblock: pb,
+				bitstream: make(map[string]*bitstream.Bitstream),
+			}
+			// The full bitstream configures each tile's initial
+			// accelerator at boot, and the static device tree binds its
+			// driver; only later swaps go through the manager.
+			if t.AccelName != "" && !t.ReconfCPU {
+				ts.loaded = t.AccelName
+				ts.driver = t.AccelName
+			}
+			r.tiles[t.Name] = ts
+		}
+	}
+	if !haveMem || !haveAux || !haveCPU {
+		return nil, fmt.Errorf("reconfig: design %s lacks MEM/AUX/CPU tiles", d.Cfg.Name)
+	}
+	if err := r.meter.SetPower("static", cfg.StaticPowerW); err != nil {
+		return nil, err
+	}
+	for _, ts := range r.tiles {
+		r.setTileIdlePower(ts)
+	}
+	return r, nil
+}
+
+// Engine exposes the simulation engine (for scheduling application work).
+func (r *Runtime) Engine() *sim.Engine { return r.eng }
+
+// Meter exposes the power meter.
+func (r *Runtime) Meter() *sim.PowerMeter { return r.meter }
+
+// Network exposes the NoC (for inspection in tests).
+func (r *Runtime) Network() *noc.Network { return r.net }
+
+// Stats returns a snapshot of the runtime counters.
+func (r *Runtime) Stats() Stats { return r.stats }
+
+// Timeline returns the completed reconfigurations in completion order.
+func (r *Runtime) Timeline() []TimelineEvent {
+	out := make([]TimelineEvent, len(r.timeline))
+	copy(out, r.timeline)
+	return out
+}
+
+// Tiles lists the reconfigurable tile names.
+func (r *Runtime) Tiles() []string {
+	out := make([]string, 0, len(r.tiles))
+	for n := range r.tiles {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Loaded returns the accelerator currently configured in the tile.
+func (r *Runtime) Loaded(tileName string) (string, error) {
+	ts, err := r.tile(tileName)
+	if err != nil {
+		return "", err
+	}
+	return ts.loaded, nil
+}
+
+// Driver returns the driver currently bound to the tile.
+func (r *Runtime) Driver(tileName string) (string, error) {
+	ts, err := r.tile(tileName)
+	if err != nil {
+		return "", err
+	}
+	return ts.driver, nil
+}
+
+func (r *Runtime) tile(name string) (*tileState, error) {
+	ts, ok := r.tiles[name]
+	if !ok {
+		return nil, fmt.Errorf("reconfig: no reconfigurable tile %q", name)
+	}
+	return ts, nil
+}
+
+// RegisterBitstream stages a partial bitstream for (tile, accelerator):
+// the user-space loader mmaps it in DDR and the manager copies it into
+// kernel memory, creating the reference between bitstream, physical
+// address, target tile and driver (Section V).
+func (r *Runtime) RegisterBitstream(tileName, accName string, bs *bitstream.Bitstream) error {
+	ts, err := r.tile(tileName)
+	if err != nil {
+		return err
+	}
+	if bs == nil || bs.Size() == 0 {
+		return fmt.Errorf("reconfig: empty bitstream for %s/%s", tileName, accName)
+	}
+	if bs.Kind != bitstream.Partial {
+		return fmt.Errorf("reconfig: %s/%s: full bitstreams cannot be loaded through the PRC", tileName, accName)
+	}
+	if _, err := r.reg.Lookup(accName); err != nil {
+		return err
+	}
+	ts.bitstream[accName] = bs
+	return nil
+}
+
+// RegisteredBitstreams lists accelerator names staged for a tile.
+func (r *Runtime) RegisteredBitstreams(tileName string) ([]string, error) {
+	ts, err := r.tile(tileName)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(ts.bitstream))
+	for n := range ts.bitstream {
+		out = append(out, n)
+	}
+	return out, nil
+}

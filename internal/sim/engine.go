@@ -1,0 +1,124 @@
+// Package sim provides the discrete-event simulation engine and the
+// energy accounting used by the PR-ESP runtime evaluation: a virtual
+// clock, an event queue, and power meters that integrate per-component
+// power over virtual time to produce Joules-per-frame figures.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is virtual simulation time. It uses time.Duration semantics so
+// conversions to seconds/minutes are explicit and readable.
+type Time = time.Duration
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker preserving schedule order at equal times
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete event simulator. It is not safe
+// for concurrent use; the runtime layer serializes access.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule queues fn to run after delay. Negative delays are an error.
+func (e *Engine) Schedule(delay Time, fn func()) error {
+	if delay < 0 {
+		return fmt.Errorf("sim: negative delay %v", delay)
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: e.now + delay, seq: e.seq, fn: fn})
+	return nil
+}
+
+// At queues fn to run at absolute time t (>= now).
+func (e *Engine) At(t Time, fn func()) error {
+	if t < e.now {
+		return fmt.Errorf("sim: time %v already passed (now %v)", t, e.now)
+	}
+	return e.Schedule(t-e.now, fn)
+}
+
+// Step runs the next pending event and returns false when none remain.
+func (e *Engine) Step() bool {
+	if e.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or the clock passes until
+// (until <= 0 means run to completion). It returns the number of events
+// executed.
+func (e *Engine) Run(until Time) int {
+	n := 0
+	for e.events.Len() > 0 {
+		if until > 0 && e.events[0].at > until {
+			e.now = until
+			return n
+		}
+		e.Step()
+		n++
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// Clock converts a cycle count at freq (Hz) to virtual time.
+func Clock(cycles int64, freqHz float64) Time {
+	if freqHz <= 0 || cycles <= 0 {
+		return 0
+	}
+	sec := float64(cycles) / freqHz
+	return Time(math.Round(sec * float64(time.Second)))
+}
+
+// Cycles converts virtual time to cycles at freq (Hz), rounding up.
+func Cycles(t Time, freqHz float64) int64 {
+	if t <= 0 || freqHz <= 0 {
+		return 0
+	}
+	return int64(math.Ceil(t.Seconds() * freqHz))
+}

@@ -1,0 +1,114 @@
+package socgen
+
+import (
+	"fmt"
+
+	"presp/internal/noc"
+	"presp/internal/tile"
+)
+
+// The four characterization SoCs of Section IV. Each targets the VC707
+// and is shaped so its LUT profile lands in one of the size classes:
+//
+//	SOC_1 (class 1.1): 4x5 grid, 16 reconfigurable MAC tiles.
+//	SOC_2 (class 1.2): 3x3 grid, Conv2d + GEMM + FFT + Sort.
+//	SOC_3 (class 1.3): 3x3 grid, Conv2d + GEMM + Sort.
+//	SOC_4 (class 2.1): SOC_2 with the CPU tile moved into the
+//	                   reconfigurable part to shrink the static region.
+
+// CharacterizationSoCs returns the configs for SOC_1..SOC_4 in order.
+func CharacterizationSoCs() []*Config {
+	return []*Config{SOC1(), SOC2(), SOC3(), SOC4()}
+}
+
+// SOC1 builds the class-1.1 characterization SoC: a 4x5 tile grid with
+// sixteen instances of the reconfigurable MAC accelerator (generated with
+// the ESP Vivado HLS flow) and a Leon3 static part.
+func SOC1() *Config {
+	c := &Config{Name: "SOC_1", Board: "VC707", Cols: 4, Rows: 5, FreqHz: 78e6}
+	c.Tiles = append(c.Tiles,
+		tile.Tile{Name: "cpu0", Kind: tile.CPU, Core: tile.Leon3, Pos: noc.Coord{X: 0, Y: 0}},
+		tile.Tile{Name: "mem0", Kind: tile.Mem, Pos: noc.Coord{X: 1, Y: 0}},
+		tile.Tile{Name: "aux0", Kind: tile.Aux, Pos: noc.Coord{X: 2, Y: 0}},
+	)
+	slot := 0
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 4; x++ {
+			if y == 0 && x < 3 {
+				continue // static tiles
+			}
+			if slot >= 16 {
+				break
+			}
+			c.Tiles = append(c.Tiles, tile.Tile{
+				Name:      fmt.Sprintf("rt_%d", slot+1),
+				Kind:      tile.Reconf,
+				AccelName: "mac",
+				Pos:       noc.Coord{X: x, Y: y},
+			})
+			slot++
+		}
+	}
+	return c
+}
+
+// SOC2 builds the class-1.2 characterization SoC: a 3x3 grid with the
+// four Stratus HLS accelerators (Conv2d, GEMM, FFT, Sort).
+func SOC2() *Config {
+	return threeByThree("SOC_2", []string{"conv2d", "gemm", "fft", "sort"}, false)
+}
+
+// SOC3 builds the class-1.3 characterization SoC: SOC_2 without the FFT.
+func SOC3() *Config {
+	return threeByThree("SOC_3", []string{"conv2d", "gemm", "sort"}, false)
+}
+
+// SOC4 builds the class-2.1 characterization SoC: SOC_2 with the CPU tile
+// configured as partially reconfigurable. The goal is not swapping the
+// CPU at runtime but shrinking the static part (Section IV).
+func SOC4() *Config {
+	return threeByThree("SOC_4", []string{"conv2d", "gemm", "fft", "sort"}, true)
+}
+
+// threeByThree lays out a 3x3 SoC: static tiles on the top row (CPU, MEM,
+// AUX), reconfigurable tiles filling subsequent slots in row-major order.
+func threeByThree(name string, accs []string, reconfCPU bool) *Config {
+	c := &Config{Name: name, Board: "VC707", Cols: 3, Rows: 3, FreqHz: 78e6}
+	if reconfCPU {
+		c.Tiles = append(c.Tiles, tile.Tile{
+			Name: "rt_cpu", Kind: tile.Reconf, Core: tile.Leon3, ReconfCPU: true,
+			Pos: noc.Coord{X: 0, Y: 0},
+		})
+	} else {
+		c.Tiles = append(c.Tiles, tile.Tile{Name: "cpu0", Kind: tile.CPU, Core: tile.Leon3, Pos: noc.Coord{X: 0, Y: 0}})
+	}
+	c.Tiles = append(c.Tiles,
+		tile.Tile{Name: "mem0", Kind: tile.Mem, Pos: noc.Coord{X: 1, Y: 0}},
+		tile.Tile{Name: "aux0", Kind: tile.Aux, Pos: noc.Coord{X: 2, Y: 0}},
+	)
+	pos := []noc.Coord{{X: 0, Y: 1}, {X: 1, Y: 1}, {X: 2, Y: 1}, {X: 0, Y: 2}, {X: 1, Y: 2}, {X: 2, Y: 2}}
+	for i, a := range accs {
+		c.Tiles = append(c.Tiles, tile.Tile{
+			Name:      fmt.Sprintf("rt_%d", i+1),
+			Kind:      tile.Reconf,
+			AccelName: a,
+			Pos:       pos[i],
+		})
+	}
+	return c
+}
+
+// Profiling2x2 builds the 2x2 single-accelerator profiling SoC the paper
+// uses to characterize each accelerator's LUT consumption and execution
+// time (Section VI).
+func Profiling2x2(accName string) *Config {
+	return &Config{
+		Name: "PROF_" + accName, Board: "VC707", Cols: 2, Rows: 2, FreqHz: 78e6,
+		Tiles: []tile.Tile{
+			{Name: "cpu0", Kind: tile.CPU, Core: tile.Leon3, Pos: noc.Coord{X: 0, Y: 0}},
+			{Name: "mem0", Kind: tile.Mem, Pos: noc.Coord{X: 1, Y: 0}},
+			{Name: "aux0", Kind: tile.Aux, Pos: noc.Coord{X: 0, Y: 1}},
+			{Name: "rt_1", Kind: tile.Reconf, AccelName: accName, Pos: noc.Coord{X: 1, Y: 1}},
+		},
+	}
+}

@@ -1,0 +1,367 @@
+// Package tile models the ESP tile-based architecture as extended by
+// PR-ESP: processor, memory, auxiliary, shared-local-memory and
+// accelerator tiles, plus the two PR-ESP additions — the reconfigurable
+// tile (with its decoupling logic and common reconfigurable wrapper
+// interface) and the upgraded auxiliary tile embedding the dynamic
+// function exchange controller (DFXC) and the ICAP primitive.
+//
+// Each tile contributes two things: an RTL module (consumed by the FPGA
+// flow) and runtime behaviour (consumed by the reconfiguration manager
+// and the execution simulation).
+package tile
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"presp/internal/fpga"
+	"presp/internal/noc"
+	"presp/internal/rtl"
+)
+
+// Kind enumerates the tile types.
+type Kind int
+
+const (
+	// Empty is an unpopulated grid slot.
+	Empty Kind = iota
+	// CPU is a processor tile (Leon3 or CVA6).
+	CPU
+	// Mem is a memory controller tile.
+	Mem
+	// Aux is the auxiliary tile (I/O, and in PR-ESP the DFXC + ICAP).
+	Aux
+	// SLM is a shared-local-memory tile.
+	SLM
+	// Accel is a native (monolithic, non-reconfigurable) accelerator tile.
+	Accel
+	// Reconf is the PR-ESP reconfigurable tile hosting an RP.
+	Reconf
+)
+
+// String names the tile kind with the ESP mnemonic.
+func (k Kind) String() string {
+	switch k {
+	case Empty:
+		return "EMPTY"
+	case CPU:
+		return "CPU"
+	case Mem:
+		return "MEM"
+	case Aux:
+		return "AUX"
+	case SLM:
+		return "SLM"
+	case Accel:
+		return "ACC"
+	case Reconf:
+		return "RECONF"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// MarshalJSON serializes the kind as its mnemonic.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the mnemonic (case-insensitive) or the legacy
+// numeric form.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	s := strings.Trim(string(data), `"`)
+	switch strings.ToUpper(s) {
+	case "CPU":
+		*k = CPU
+	case "MEM":
+		*k = Mem
+	case "AUX":
+		*k = Aux
+	case "SLM":
+		*k = SLM
+	case "ACC", "ACCEL":
+		*k = Accel
+	case "RECONF":
+		*k = Reconf
+	case "EMPTY":
+		*k = Empty
+	default:
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 || n > int(Reconf) {
+			return fmt.Errorf("tile: unknown kind %q", s)
+		}
+		*k = Kind(n)
+	}
+	return nil
+}
+
+// Static reports whether tiles of this kind belong to the static part of
+// a PR-ESP design (Section IV: MEM, CPU, AUX and SLM instances form the
+// static part; reconfigurable tiles do not).
+func (k Kind) Static() bool {
+	switch k {
+	case CPU, Mem, Aux, SLM, Accel:
+		return true
+	default:
+		return false
+	}
+}
+
+// CPUCore selects the processor core in a CPU tile.
+type CPUCore int
+
+const (
+	// Leon3 is the 32-bit SPARC core.
+	Leon3 CPUCore = iota
+	// CVA6 is the 64-bit RISC-V (Ariane) core.
+	CVA6
+)
+
+// String names the core.
+func (c CPUCore) String() string {
+	if c == CVA6 {
+		return "cva6"
+	}
+	return "leon3"
+}
+
+// Resource profiles of the fixed tiles. The CPU tile LUT count follows
+// Table II (41544 for the Leon3 configuration); MEM and AUX are sized so
+// the three-tile static part of the characterization SoCs totals the
+// paper's 82267 LUTs, with the AUX tile carrying the DFXC + ICAP logic
+// PR-ESP adds.
+var (
+	leon3TileCost = fpga.NewResources(41544, 45800, 72, 16)
+	cva6TileCost  = fpga.NewResources(55210, 61400, 84, 27)
+	memTileCost   = fpga.NewResources(21500, 24100, 38, 0)
+	auxTileCost   = fpga.NewResources(14816, 16500, 22, 0)
+	slmTileCost   = fpga.NewResources(6100, 6900, 128, 0)
+	// routerCost is the 6-plane 5-port NoC router + tile-side queues
+	// every populated tile instantiates. With this value the 3-tile
+	// static part of the characterization SoCs (CPU+MEM+AUX plus their
+	// routers) totals the paper's 82267 LUTs, and the CPU-less static
+	// part totals 39254 (Table II).
+	routerCost = fpga.NewResources(1469, 1780, 0, 0)
+	// dfxcCost is the DFXC IP + ICAP + AXI adapters inside the AUX tile
+	// (included in auxTileCost; tracked separately for reporting).
+	dfxcCost = fpga.NewResources(1820, 2300, 2, 0)
+	// reconfSocketCost is the decoupler, proxies and NoC queue gating of
+	// the reconfigurable tile (lives with the tile, outside the static
+	// part per the paper's accounting).
+	reconfSocketCost = fpga.NewResources(2240, 2600, 4, 0)
+)
+
+// CPUTileCost returns the resource profile of a CPU tile with core c.
+func CPUTileCost(c CPUCore) fpga.Resources {
+	if c == CVA6 {
+		return cva6TileCost
+	}
+	return leon3TileCost
+}
+
+// MemTileCost returns the memory tile resource profile.
+func MemTileCost() fpga.Resources { return memTileCost }
+
+// AuxTileCost returns the auxiliary tile resource profile (including the
+// PR-ESP DFXC + ICAP additions).
+func AuxTileCost() fpga.Resources { return auxTileCost }
+
+// SLMTileCost returns the shared-local-memory tile resource profile.
+func SLMTileCost() fpga.Resources { return slmTileCost }
+
+// RouterCost returns the per-tile NoC router resource profile.
+func RouterCost() fpga.Resources { return routerCost }
+
+// DFXCCost returns the reconfiguration controller share of the AUX tile.
+func DFXCCost() fpga.Resources { return dfxcCost }
+
+// ReconfSocketCost returns the decoupler/proxy overhead of a
+// reconfigurable tile.
+func ReconfSocketCost() fpga.Resources { return reconfSocketCost }
+
+// Tile is one populated grid slot.
+type Tile struct {
+	// Name is unique within the SoC (e.g. "cpu0", "rt_1").
+	Name string `json:"name"`
+	// Kind is the tile type (serialized as its mnemonic: "CPU", "MEM",
+	// "AUX", "SLM", "ACC", "RECONF").
+	Kind Kind `json:"kind"`
+	// Pos is the mesh coordinate.
+	Pos noc.Coord `json:"pos"`
+	// Core is set for CPU tiles.
+	Core CPUCore `json:"core,omitempty"`
+	// AccelName is the hosted accelerator type for Accel tiles, or the
+	// initially-loaded accelerator for Reconf tiles (may be empty).
+	AccelName string `json:"accel,omitempty"`
+	// ReconfCPU marks a Reconf tile hosting the CPU (the paper moves the
+	// CPU tile into the reconfigurable part in SOC_4 / SoC_D to shrink
+	// the static region; the CPU is not actually swapped at runtime).
+	ReconfCPU bool `json:"reconf_cpu,omitempty"`
+}
+
+// Validate checks tile invariants.
+func (t *Tile) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("tile: unnamed tile at %s", t.Pos)
+	}
+	switch t.Kind {
+	case Accel:
+		if t.AccelName == "" {
+			return fmt.Errorf("tile: accelerator tile %s has no accelerator", t.Name)
+		}
+	case Reconf:
+		if t.AccelName == "" && !t.ReconfCPU {
+			return fmt.Errorf("tile: reconfigurable tile %s hosts neither an accelerator nor the CPU", t.Name)
+		}
+	case Empty:
+		return fmt.Errorf("tile: %s has kind EMPTY; leave the slot unpopulated instead", t.Name)
+	}
+	return nil
+}
+
+// RTL builders -------------------------------------------------------------
+
+// CPUModule builds the RTL hierarchy of a CPU tile.
+func CPUModule(name string, core CPUCore) *rtl.Module {
+	m := &rtl.Module{Name: name, Cost: CPUTileCost(core)}
+	m.AddPort("clk", rtl.In, 1, rtl.ClockPort)
+	m.AddPort("rstn", rtl.In, 1, rtl.ResetPort)
+	m.AddPort("noc_in", rtl.In, 64, rtl.DataPort)
+	m.AddPort("noc_out", rtl.Out, 64, rtl.DataPort)
+	m.AddPort("irq", rtl.In, 32, rtl.InterruptPort)
+	return m
+}
+
+// MemModule builds the RTL hierarchy of a memory tile.
+func MemModule(name string) *rtl.Module {
+	m := &rtl.Module{Name: name, Cost: memTileCost}
+	m.AddPort("clk", rtl.In, 1, rtl.ClockPort)
+	m.AddPort("rstn", rtl.In, 1, rtl.ResetPort)
+	m.AddPort("noc_in", rtl.In, 64, rtl.DataPort)
+	m.AddPort("noc_out", rtl.Out, 64, rtl.DataPort)
+	m.AddPort("ddr", rtl.InOut, 64, rtl.DataPort)
+	return m
+}
+
+// AuxModule builds the RTL hierarchy of the PR-ESP auxiliary tile,
+// including the DFXC instance and the family-specific ICAP primitive.
+func AuxModule(name string, fam fpga.Family) *rtl.Module {
+	m := &rtl.Module{Name: name, Cost: auxTileCost.Sub(dfxcCost)}
+	m.AddPort("clk", rtl.In, 1, rtl.ClockPort)
+	m.AddPort("rstn", rtl.In, 1, rtl.ResetPort)
+	m.AddPort("noc_in", rtl.In, 64, rtl.DataPort)
+	m.AddPort("noc_out", rtl.Out, 64, rtl.DataPort)
+	m.AddPort("uart", rtl.InOut, 2, rtl.DataPort)
+
+	dfxc := &rtl.Module{Name: name + "_dfxc", Cost: dfxcCost.Sub(fpga.NewResources(120, 0, 0, 0))}
+	dfxc.AddPort("s_axi_lite", rtl.In, 32, rtl.ConfigPort)
+	dfxc.AddPort("m_axi", rtl.Out, 64, rtl.DataPort)
+	dfxc.AddPort("icap_o", rtl.Out, 32, rtl.DataPort)
+	dfxc.AddPort("irq", rtl.Out, 1, rtl.InterruptPort)
+	m.AddChild("dfxc0", dfxc)
+
+	icap := &rtl.Module{Name: fam.ICAPPrimitive(), Cost: fpga.NewResources(120, 0, 0, 0)}
+	icap.AddPort("i", rtl.In, 32, rtl.DataPort)
+	icap.AddPort("csib", rtl.In, 1, rtl.ConfigPort)
+	m.AddChild("icap0", icap)
+	return m
+}
+
+// SLMModule builds the RTL hierarchy of a shared-local-memory tile.
+func SLMModule(name string) *rtl.Module {
+	m := &rtl.Module{Name: name, Cost: slmTileCost}
+	m.AddPort("clk", rtl.In, 1, rtl.ClockPort)
+	m.AddPort("rstn", rtl.In, 1, rtl.ResetPort)
+	m.AddPort("noc_in", rtl.In, 64, rtl.DataPort)
+	m.AddPort("noc_out", rtl.Out, 64, rtl.DataPort)
+	return m
+}
+
+// NativeAccelModule builds the *native* ESP accelerator tile for an
+// accelerator with the given resource cost. The native tile embeds the
+// dynamic power management logic (clock-modifying) and drives an output
+// clock toward the SoC — the two features that make it non-compliant
+// with the Xilinx DFX rules, as Section III explains.
+func NativeAccelModule(name string, accelCost fpga.Resources) *rtl.Module {
+	m := &rtl.Module{Name: name, Cost: fpga.NewResources(1900, 2200, 2, 0)}
+	m.AddPort("clk", rtl.In, 1, rtl.ClockPort)
+	m.AddPort("rstn", rtl.In, 1, rtl.ResetPort)
+	m.AddPort("noc_in", rtl.In, 64, rtl.DataPort)
+	m.AddPort("noc_out", rtl.Out, 64, rtl.DataPort)
+	m.AddPort("clk_out", rtl.Out, 1, rtl.ClockOutPort) // feeds the main SoC clock
+
+	dvfs := &rtl.Module{Name: name + "_dvfs", Cost: fpga.NewResources(450, 600, 0, 0), ClockModifying: true}
+	dvfs.AddPort("clk_in", rtl.In, 1, rtl.ClockPort)
+	dvfs.AddPort("clk_div", rtl.Out, 1, rtl.ClockOutPort)
+	m.AddChild("dvfs0", dvfs)
+
+	acc := &rtl.Module{Name: name + "_acc", Cost: accelCost}
+	acc.AddPort("clk", rtl.In, 1, rtl.ClockPort)
+	acc.AddPort("conf", rtl.In, 32, rtl.ConfigPort)
+	acc.AddPort("dma_rd", rtl.In, 64, rtl.DataPort)
+	acc.AddPort("dma_wr", rtl.Out, 64, rtl.DataPort)
+	acc.AddPort("acc_done", rtl.Out, 1, rtl.InterruptPort)
+	m.AddChild("acc0", acc)
+	return m
+}
+
+// WrapperModule builds the PR-ESP reconfigurable wrapper: the predefined
+// common interface every reconfigurable accelerator presents — load/store
+// ports, configuration registers and a completion interrupt (Fig 2B).
+// The wrapper content (the accelerator) is what gets swapped at runtime.
+func WrapperModule(accelName string, accelCost fpga.Resources) *rtl.Module {
+	m := &rtl.Module{Name: accelName + "_rm", Cost: accelCost}
+	m.AddPort("clk", rtl.In, 1, rtl.ClockPort)
+	m.AddPort("rstn", rtl.In, 1, rtl.ResetPort)
+	m.AddPort("ld", rtl.In, 64, rtl.DataPort)  // load port
+	m.AddPort("st", rtl.Out, 64, rtl.DataPort) // store port
+	m.AddPort("conf", rtl.In, 32, rtl.ConfigPort)
+	m.AddPort("acc_done", rtl.Out, 1, rtl.InterruptPort)
+	return m
+}
+
+// ReconfModule builds the reconfigurable tile hosting the wrapper as its
+// reconfigurable partition. The socket (decoupler, proxies, gated NoC
+// queues) stays with the tile; the wrapper is the RP content and is
+// initially a black box when content is nil.
+func ReconfModule(name string, content *rtl.Module) *rtl.Module {
+	m := &rtl.Module{Name: name, Cost: reconfSocketCost}
+	m.AddPort("clk", rtl.In, 1, rtl.ClockPort)
+	m.AddPort("rstn", rtl.In, 1, rtl.ResetPort)
+	m.AddPort("noc_in", rtl.In, 64, rtl.DataPort)
+	m.AddPort("noc_out", rtl.Out, 64, rtl.DataPort)
+	m.AddPort("decouple", rtl.In, 1, rtl.ConfigPort)
+
+	if content == nil {
+		bb := &rtl.Module{Name: name + "_rp", BlackBox: true}
+		bb.AddPort("clk", rtl.In, 1, rtl.ClockPort)
+		bb.AddPort("ld", rtl.In, 64, rtl.DataPort)
+		bb.AddPort("st", rtl.Out, 64, rtl.DataPort)
+		bb.AddPort("conf", rtl.In, 32, rtl.ConfigPort)
+		bb.AddPort("acc_done", rtl.Out, 1, rtl.InterruptPort)
+		m.AddChild("rp0", bb)
+	} else {
+		m.AddChild("rp0", content)
+	}
+	return m
+}
+
+// CheckDFXCompliance verifies that module m is legal content for a
+// reconfigurable partition under the Xilinx DFX rules the paper cites:
+// no clock-modifying logic inside the RP and no route-through clock
+// outputs.
+func CheckDFXCompliance(m *rtl.Module) error {
+	if m.ContainsClockModifying() {
+		return fmt.Errorf("tile: %s contains clock-modifying logic, prohibited inside a reconfigurable partition", m.Name)
+	}
+	if m.DrivesClockOut() {
+		return fmt.Errorf("tile: %s drives an output clock, a prohibited route-through path inside a reconfigurable partition", m.Name)
+	}
+	for _, c := range m.Children {
+		if err := CheckDFXCompliance(c.Mod); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package tile
+
+import (
+	"testing"
+
+	"presp/internal/fpga"
+	"presp/internal/noc"
+	"presp/internal/rtl"
+)
+
+// TestStaticPartMatchesPaper checks the resource accounting that anchors
+// every size metric: CPU+MEM+AUX tiles plus their NoC routers total the
+// paper's 82267 LUTs, and the CPU-less static part totals 39254
+// (Table II).
+func TestStaticPartMatchesPaper(t *testing.T) {
+	r := RouterCost()[fpga.LUT]
+	withCPU := CPUTileCost(Leon3)[fpga.LUT] + MemTileCost()[fpga.LUT] + AuxTileCost()[fpga.LUT] + 3*r
+	if withCPU != 82267 {
+		t.Fatalf("static part: got %d want 82267", withCPU)
+	}
+	withoutCPU := MemTileCost()[fpga.LUT] + AuxTileCost()[fpga.LUT] + 2*r
+	if withoutCPU != 39254 {
+		t.Fatalf("static part w/o CPU: got %d want 39254", withoutCPU)
+	}
+	if CPUTileCost(Leon3)[fpga.LUT] != 41544 {
+		t.Fatalf("Leon3 tile: got %d want 41544", CPUTileCost(Leon3)[fpga.LUT])
+	}
+}
+
+func TestCVA6LargerThanLeon3(t *testing.T) {
+	if CPUTileCost(CVA6)[fpga.LUT] <= CPUTileCost(Leon3)[fpga.LUT] {
+		t.Fatal("the 64-bit CVA6 should be larger than the Leon3")
+	}
+}
+
+func TestKindStaticPartition(t *testing.T) {
+	statics := []Kind{CPU, Mem, Aux, SLM, Accel}
+	for _, k := range statics {
+		if !k.Static() {
+			t.Errorf("%s should be static", k)
+		}
+	}
+	if Reconf.Static() {
+		t.Error("reconfigurable tiles are not part of the static design")
+	}
+	if Empty.Static() {
+		t.Error("empty slots are not static logic")
+	}
+}
+
+func TestTileValidate(t *testing.T) {
+	ok := Tile{Name: "rt", Kind: Reconf, AccelName: "fft", Pos: noc.Coord{}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid tile rejected: %v", err)
+	}
+	cases := []Tile{
+		{Name: "", Kind: CPU},
+		{Name: "a", Kind: Accel},  // accelerator tile without accelerator
+		{Name: "r", Kind: Reconf}, // reconf tile with nothing to host
+		{Name: "e", Kind: Empty},  // explicit empty tile
+	}
+	for i, tl := range cases {
+		if err := tl.Validate(); err == nil {
+			t.Errorf("case %d: invalid tile accepted: %+v", i, tl)
+		}
+	}
+	// A reconfigurable tile hosting the CPU needs no accelerator.
+	cpuRT := Tile{Name: "rt_cpu", Kind: Reconf, ReconfCPU: true}
+	if err := cpuRT.Validate(); err != nil {
+		t.Fatalf("reconfigurable CPU tile rejected: %v", err)
+	}
+}
+
+func TestNativeAccelTileViolatesDFXRules(t *testing.T) {
+	// The native ESP accelerator tile embeds clock-modifying power
+	// management and drives an output clock — both prohibited inside
+	// reconfigurable partitions (Section III).
+	m := NativeAccelModule("acc_tile", fpga.NewResources(10000, 10000, 0, 0))
+	if err := CheckDFXCompliance(m); err == nil {
+		t.Fatal("native accelerator tile passed DFX compliance")
+	}
+	if !m.ContainsClockModifying() {
+		t.Fatal("native tile should contain clock-modifying DVFS logic")
+	}
+	if !m.DrivesClockOut() {
+		t.Fatal("native tile should drive an output clock")
+	}
+}
+
+func TestWrapperModuleIsDFXCompliant(t *testing.T) {
+	// The PR-ESP reconfigurable wrapper is exactly the fix: same
+	// accelerator, no clock-modifying logic, no route-through clocks.
+	w := WrapperModule("fft", fpga.NewResources(33690, 37000, 72, 144))
+	if err := CheckDFXCompliance(w); err != nil {
+		t.Fatalf("wrapper failed DFX compliance: %v", err)
+	}
+	// The wrapper presents the common interface: load/store ports,
+	// configuration registers, completion interrupt.
+	var hasLoad, hasStore, hasConf, hasIRQ bool
+	for _, p := range w.Ports {
+		switch p.Name {
+		case "ld":
+			hasLoad = true
+		case "st":
+			hasStore = true
+		case "conf":
+			hasConf = true
+		case "acc_done":
+			hasIRQ = true
+		}
+	}
+	if !hasLoad || !hasStore || !hasConf || !hasIRQ {
+		t.Fatalf("wrapper interface incomplete: ld=%v st=%v conf=%v irq=%v", hasLoad, hasStore, hasConf, hasIRQ)
+	}
+}
+
+func TestReconfModuleBlackBoxWhenEmpty(t *testing.T) {
+	m := ReconfModule("rt_1", nil)
+	foundBB := false
+	m.Walk(func(_ string, mod *rtl.Module) {
+		if mod.BlackBox {
+			foundBB = true
+		}
+	})
+	if !foundBB {
+		t.Fatal("empty reconfigurable tile should contain a black-box partition")
+	}
+	// With content, the partition carries the content's cost.
+	w := WrapperModule("sort", fpga.NewResources(20468, 22000, 48, 0))
+	filled := ReconfModule("rt_2", w)
+	total := filled.TotalCost()[fpga.LUT]
+	want := ReconfSocketCost()[fpga.LUT] + 20468
+	if total != want {
+		t.Fatalf("filled tile cost: got %d want %d", total, want)
+	}
+}
+
+func TestAuxModuleHostsDFXC(t *testing.T) {
+	m := AuxModule("aux0", fpga.Virtex7)
+	if m.Find("aux0_dfxc") == nil {
+		t.Fatal("auxiliary tile lacks the DFX controller")
+	}
+	if m.Find("ICAPE2") == nil {
+		t.Fatal("Virtex-7 auxiliary tile should instantiate ICAPE2")
+	}
+	us := AuxModule("aux1", fpga.UltraScalePlus)
+	if us.Find("ICAPE3") == nil {
+		t.Fatal("UltraScale+ auxiliary tile should instantiate ICAPE3")
+	}
+	// The DFXC share is part of the AUX budget, not extra.
+	if m.TotalCost()[fpga.LUT] != AuxTileCost()[fpga.LUT] {
+		t.Fatalf("aux tile cost: got %d want %d", m.TotalCost()[fpga.LUT], AuxTileCost()[fpga.LUT])
+	}
+}
+
+func TestCPUMemSLMModules(t *testing.T) {
+	if CPUModule("cpu0", Leon3).TotalCost()[fpga.LUT] != CPUTileCost(Leon3)[fpga.LUT] {
+		t.Fatal("CPU module cost mismatch")
+	}
+	if MemModule("mem0").TotalCost()[fpga.LUT] != MemTileCost()[fpga.LUT] {
+		t.Fatal("MEM module cost mismatch")
+	}
+	if SLMModule("slm0").TotalCost()[fpga.LUT] != SLMTileCost()[fpga.LUT] {
+		t.Fatal("SLM module cost mismatch")
+	}
+}
+
+func TestKindJSONRoundtrip(t *testing.T) {
+	for _, k := range []Kind{CPU, Mem, Aux, SLM, Accel, Reconf, Empty} {
+		data, err := k.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Kind
+		if err := back.UnmarshalJSON(data); err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if back != k {
+			t.Fatalf("roundtrip %s -> %s", k, back)
+		}
+	}
+	var k Kind
+	if err := k.UnmarshalJSON([]byte(`"reconf"`)); err != nil || k != Reconf {
+		t.Fatalf("lower-case mnemonic: %v %v", k, err)
+	}
+	if err := k.UnmarshalJSON([]byte(`"6"`)); err != nil || k != Reconf {
+		t.Fatalf("legacy numeric: %v %v", k, err)
+	}
+	if err := k.UnmarshalJSON([]byte(`"warp-core"`)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if err := k.UnmarshalJSON([]byte(`"99"`)); err == nil {
+		t.Fatal("out-of-range numeric accepted")
+	}
+}
+
+func TestCPUCoreStrings(t *testing.T) {
+	if Leon3.String() != "leon3" || CVA6.String() != "cva6" {
+		t.Fatal("core names wrong")
+	}
+}
+
+func TestDFXCCostWithinAux(t *testing.T) {
+	if !AuxTileCost().Covers(DFXCCost()) {
+		t.Fatal("DFXC share exceeds the AUX tile budget")
+	}
+}

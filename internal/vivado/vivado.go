@@ -1,0 +1,264 @@
+package vivado
+
+import (
+	"fmt"
+
+	"presp/internal/bitstream"
+	"presp/internal/fpga"
+	"presp/internal/rtl"
+)
+
+// Tool is one simulated CAD installation bound to a target device and a
+// runtime cost model. Methods correspond to the script steps the real
+// flow auto-generates; each returns what the step produces plus the
+// modelled runtime.
+type Tool struct {
+	dev   *fpga.Device
+	model *CostModel
+	gen   *bitstream.Generator
+}
+
+// New builds a tool for device d with cost model m (nil selects the
+// calibrated default).
+func New(d *fpga.Device, m *CostModel) (*Tool, error) {
+	if d == nil {
+		return nil, fmt.Errorf("vivado: nil device")
+	}
+	if m == nil {
+		m = DefaultCostModel()
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tool{dev: d, model: m, gen: bitstream.NewGenerator(d)}, nil
+}
+
+// Device returns the target device.
+func (t *Tool) Device() *fpga.Device { return t.dev }
+
+// Model returns the cost model in use.
+func (t *Tool) Model() *CostModel { return t.model }
+
+// SynthCheckpoint is the product of a synthesis run.
+type SynthCheckpoint struct {
+	// Name is the synthesized module name.
+	Name string
+	// Resources is the post-synthesis utilization.
+	Resources fpga.Resources
+	// OoC records out-of-context mode.
+	OoC bool
+	// Runtime is the modelled synthesis time.
+	Runtime Minutes
+	// BlackBoxes lists black-box instances left unresolved (the
+	// reconfigurable partitions of a static synthesis).
+	BlackBoxes []string
+}
+
+// Synthesize runs synthesis on module m. In OoC mode the module is
+// compiled against its own interface; otherwise black boxes are
+// permitted only for declared reconfigurable partitions.
+func (t *Tool) Synthesize(m *rtl.Module, ooc bool) (*SynthCheckpoint, error) {
+	if m == nil {
+		return nil, fmt.Errorf("vivado: synthesize nil module")
+	}
+	ck := &SynthCheckpoint{Name: m.Name, OoC: ooc}
+	m.Walk(func(path string, mod *rtl.Module) {
+		if mod.BlackBox {
+			ck.BlackBoxes = append(ck.BlackBoxes, path)
+		}
+	})
+	ck.Resources = m.TotalCost()
+	if ck.Resources[fpga.LUT] == 0 && len(ck.BlackBoxes) == 0 {
+		return nil, fmt.Errorf("vivado: module %s synthesizes to nothing", m.Name)
+	}
+	if ck.Resources[fpga.LUT] > t.dev.Total[fpga.LUT] {
+		return nil, fmt.Errorf("vivado: module %s needs %d LUTs, device %s has %d",
+			m.Name, ck.Resources[fpga.LUT], t.dev.Name, t.dev.Total[fpga.LUT])
+	}
+	ck.Runtime = t.model.SynthTime(kluts(ck.Resources), ooc)
+	return ck, nil
+}
+
+// CheckDFX performs the design rule checks the DFX flow enforces on a
+// reconfigurable module and its assigned pblock: no clock-modifying
+// logic, no route-through clock outputs, and the pblock must cover the
+// module's resource needs.
+func (t *Tool) CheckDFX(content *rtl.Module, need fpga.Resources, pb fpga.Pblock) error {
+	if content != nil {
+		if content.ContainsClockModifying() {
+			return fmt.Errorf("vivado: DRC HDPR-1: %s contains clock-modifying logic inside a reconfigurable partition", content.Name)
+		}
+		if content.DrivesClockOut() {
+			return fmt.Errorf("vivado: DRC HDPR-2: %s drives a route-through clock output from a reconfigurable partition", content.Name)
+		}
+	}
+	if err := pb.Validate(t.dev); err != nil {
+		return err
+	}
+	avail := pb.ResourcesOn(t.dev)
+	if !avail.Covers(need) {
+		return fmt.Errorf("vivado: DRC HDPR-3: pblock %s (%s) cannot host %s",
+			pb.Name, avail, need)
+	}
+	return nil
+}
+
+// RoutedStatic is the routed static-only design (with place-holder hard
+// macros in every reconfigurable partition), the anchor for in-context
+// runs.
+type RoutedStatic struct {
+	// DesignName labels the design.
+	DesignName string
+	// StaticResources is the static-part utilization.
+	StaticResources fpga.Resources
+	// Pblocks maps partition name to its reserved placement region.
+	Pblocks map[string]fpga.Pblock
+	// ReconfContent is the total utilization of the design's
+	// reconfigurable modules (carried in the checkpoint as place-holder
+	// macros and partition metadata; drives the load cost of in-context
+	// runs).
+	ReconfContent fpga.Resources
+	// Runtime is the modelled pre-route time (t_static in the paper).
+	Runtime Minutes
+}
+
+// rpAreaLUTs sums the fabric LUTs reserved by all pblocks.
+func (rs *RoutedStatic) rpAreaLUTs(d *fpga.Device) int {
+	sum := 0
+	for _, pb := range rs.Pblocks {
+		sum += pb.ResourcesOn(d)[fpga.LUT]
+	}
+	return sum
+}
+
+// RPFraction returns the fraction of the device fabric reserved for
+// reconfigurable partitions.
+func (rs *RoutedStatic) RPFraction(d *fpga.Device) float64 {
+	return float64(rs.rpAreaLUTs(d)) / float64(d.Total[fpga.LUT])
+}
+
+// PreRouteStatic places and routes the static checkpoint with empty
+// place-holder macros inside every pblock (the intermediate step of the
+// parallel strategies; the empty netlists are prepared offline so they
+// add no timing overhead, per Section IV).
+func (t *Tool) PreRouteStatic(designName string, static *SynthCheckpoint, pblocks map[string]fpga.Pblock, reconfContent fpga.Resources) (*RoutedStatic, error) {
+	if static == nil {
+		return nil, fmt.Errorf("vivado: nil static checkpoint")
+	}
+	if len(pblocks) == 0 {
+		return nil, fmt.Errorf("vivado: static pre-route of %s has no reconfigurable partitions", designName)
+	}
+	rs := &RoutedStatic{
+		DesignName:      designName,
+		StaticResources: static.Resources,
+		Pblocks:         pblocks,
+		ReconfContent:   reconfContent,
+	}
+	// The pblocks must not overlap each other.
+	names := make([]string, 0, len(pblocks))
+	for n := range pblocks {
+		names = append(names, n)
+	}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			a, b := pblocks[names[i]], pblocks[names[j]]
+			if a.Overlaps(b) {
+				return nil, fmt.Errorf("vivado: pblocks %s and %s overlap", a.Name, b.Name)
+			}
+		}
+	}
+	rpFrac := rs.RPFraction(t.dev)
+	staticK := kluts(static.Resources)
+	// The static part plus the reserved area must fit the device.
+	if staticK*1000+float64(rs.rpAreaLUTs(t.dev)) > float64(t.dev.Total[fpga.LUT]) {
+		return nil, fmt.Errorf("vivado: design %s: static part (%0.fk LUTs) plus reserved pblocks (%.0f%% of fabric) exceed device %s",
+			designName, staticK, rpFrac*100, t.dev.Name)
+	}
+	rs.Runtime = t.model.StaticPreRouteTime(staticK, rpFrac, len(pblocks))
+	return rs, nil
+}
+
+// SerialResult is the product of a τ=1 whole-design implementation.
+type SerialResult struct {
+	DesignName string
+	Runtime    Minutes
+}
+
+// ImplementSerial places and routes the whole design — static part plus
+// every reconfigurable module — in a single instance.
+func (t *Tool) ImplementSerial(designName string, totalRes fpga.Resources, nRP int, rpFrac float64) (*SerialResult, error) {
+	if totalRes[fpga.LUT] <= 0 {
+		return nil, fmt.Errorf("vivado: serial implementation of empty design %s", designName)
+	}
+	if totalRes[fpga.LUT] > t.dev.Total[fpga.LUT] {
+		return nil, fmt.Errorf("vivado: design %s needs %d LUTs, device %s has %d",
+			designName, totalRes[fpga.LUT], t.dev.Name, t.dev.Total[fpga.LUT])
+	}
+	return &SerialResult{
+		DesignName: designName,
+		Runtime:    t.model.SerialImplTime(kluts(totalRes), nRP, rpFrac),
+	}, nil
+}
+
+// ContextResult is the product of one in-context P&R run implementing a
+// group of reconfigurable modules against the routed static.
+type ContextResult struct {
+	// Group lists the implemented partition names.
+	Group []string
+	// Runtime is the modelled run time (one Ω_i of the paper).
+	Runtime Minutes
+}
+
+// ImplementInContext implements the named partitions (with module
+// checkpoints cks, one per partition) against routed static rs.
+func (t *Tool) ImplementInContext(rs *RoutedStatic, group []string, cks map[string]*SynthCheckpoint) (*ContextResult, error) {
+	if rs == nil {
+		return nil, fmt.Errorf("vivado: in-context run without a routed static")
+	}
+	if len(group) == 0 {
+		return nil, fmt.Errorf("vivado: empty in-context group")
+	}
+	var groupK float64
+	for _, name := range group {
+		ck, ok := cks[name]
+		if !ok {
+			return nil, fmt.Errorf("vivado: no synthesis checkpoint for partition %q", name)
+		}
+		pb, ok := rs.Pblocks[name]
+		if !ok {
+			return nil, fmt.Errorf("vivado: routed static %s has no pblock for partition %q", rs.DesignName, name)
+		}
+		if !pb.ResourcesOn(t.dev).Covers(ck.Resources) {
+			return nil, fmt.Errorf("vivado: partition %q (%s) does not fit pblock %s",
+				name, ck.Resources, pb.Name)
+		}
+		groupK += kluts(ck.Resources)
+	}
+	return &ContextResult{
+		Group:   append([]string(nil), group...),
+		Runtime: t.model.InContextImplTime(groupK, kluts(rs.StaticResources), kluts(rs.ReconfContent)),
+	}, nil
+}
+
+// WritePartialBitstream generates the compressed partial bitstream for
+// partition name implemented in pblock pb with the given utilization.
+func (t *Tool) WritePartialBitstream(name string, pb fpga.Pblock, used fpga.Resources, compress bool) (*bitstream.Bitstream, Minutes, error) {
+	bs, err := t.gen.Partial(name, pb, used[fpga.LUT], compress)
+	if err != nil {
+		return nil, 0, err
+	}
+	areaK := float64(pb.ResourcesOn(t.dev)[fpga.LUT]) / 1000.0
+	return bs, t.model.BitgenTime(areaK), nil
+}
+
+// WriteFullBitstream generates the full-device bitstream.
+func (t *Tool) WriteFullBitstream(name string, used fpga.Resources, compress bool) (*bitstream.Bitstream, Minutes, error) {
+	bs, err := t.gen.FullDevice(name, used[fpga.LUT], compress)
+	if err != nil {
+		return nil, 0, err
+	}
+	return bs, t.model.BitgenTime(kluts(t.dev.Total)), nil
+}
+
+// kluts converts a resource vector's LUT count to kLUT.
+func kluts(r fpga.Resources) float64 { return float64(r[fpga.LUT]) / 1000.0 }

@@ -1,0 +1,97 @@
+package wami
+
+import "fmt"
+
+// Node is one accelerator invocation site in the Fig 3 dataflow model.
+type Node struct {
+	// Kernel is the Fig 3 kernel index.
+	Kernel int
+	// Deps are the kernel indices whose outputs this node consumes.
+	Deps []int
+	// PerIteration marks nodes inside the Lucas-Kanade refinement loop
+	// (executed once per LK iteration rather than once per frame).
+	PerIteration bool
+}
+
+// Dataflow returns the WAMI-App dataflow graph of Fig 3: the frame
+// front-end (Debayer, Grayscale), the Lucas-Kanade registration stage
+// decomposed into its setup chain (Gradient → Steepest-Descent →
+// Hessian → Matrix-Invert) and its per-iteration loop (Warp → Subtract
+// → SD-Update → Mult → Reshape-Add), and the Change-Detection backend.
+func Dataflow() []Node {
+	return []Node{
+		{Kernel: KDebayer},
+		{Kernel: KGrayscale, Deps: []int{KDebayer}},
+		{Kernel: KGradient, Deps: []int{KGrayscale}},
+		{Kernel: KSteepestDescent, Deps: []int{KGradient}},
+		{Kernel: KHessian, Deps: []int{KSteepestDescent}},
+		{Kernel: KMatrixInvert, Deps: []int{KHessian}},
+		{Kernel: KWarpImg, Deps: []int{KGrayscale, KReshapeAdd}, PerIteration: true},
+		{Kernel: KSubtract, Deps: []int{KWarpImg}, PerIteration: true},
+		{Kernel: KSDUpdate, Deps: []int{KSteepestDescent, KSubtract}, PerIteration: true},
+		{Kernel: KMult, Deps: []int{KMatrixInvert, KSDUpdate}, PerIteration: true},
+		{Kernel: KReshapeAdd, Deps: []int{KMult}, PerIteration: true},
+		{Kernel: KChangeDetection, Deps: []int{KWarpImg}},
+	}
+}
+
+// NodeFor returns the dataflow node of kernel idx.
+func NodeFor(idx int) (Node, error) {
+	for _, n := range Dataflow() {
+		if n.Kernel == idx {
+			return n, nil
+		}
+	}
+	return Node{}, fmt.Errorf("wami: kernel %d not in the dataflow graph", idx)
+}
+
+// ValidateDataflow checks the graph is acyclic when the per-iteration
+// back edge (Warp depends on the previous iteration's Reshape-Add) is
+// removed, and that every kernel appears exactly once.
+func ValidateDataflow() error {
+	nodes := Dataflow()
+	seen := make(map[int]bool, len(nodes))
+	for _, n := range nodes {
+		if seen[n.Kernel] {
+			return fmt.Errorf("wami: kernel %d appears twice in the dataflow", n.Kernel)
+		}
+		seen[n.Kernel] = true
+	}
+	for idx := 1; idx <= NumKernels; idx++ {
+		if !seen[idx] {
+			return fmt.Errorf("wami: kernel %d missing from the dataflow", idx)
+		}
+	}
+	// Topological check ignoring the loop-carried edge into Warp.
+	state := make(map[int]int, len(nodes)) // 0 unvisited, 1 visiting, 2 done
+	byKernel := make(map[int]Node, len(nodes))
+	for _, n := range nodes {
+		byKernel[n.Kernel] = n
+	}
+	var visit func(k int) error
+	visit = func(k int) error {
+		switch state[k] {
+		case 1:
+			return fmt.Errorf("wami: dataflow cycle through kernel %d", k)
+		case 2:
+			return nil
+		}
+		state[k] = 1
+		for _, dep := range byKernel[k].Deps {
+			if k == KWarpImg && dep == KReshapeAdd {
+				continue // loop-carried dependency
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[k] = 2
+		return nil
+	}
+	for _, n := range nodes {
+		if err := visit(n.Kernel); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package wami
+
+import (
+	"testing"
+
+	"presp/internal/fpga"
+	"presp/internal/hls"
+)
+
+// wamiDatapaths describes each WAMI accelerator's datapath the way its
+// HLS project would: operator mix, unrolling, buffering. The estimator
+// must land within 40% of the registered (reconstructed-measurement)
+// profile — the same planning-accuracy bar the characterization
+// accelerators meet.
+var wamiDatapaths = map[int]*hls.Description{
+	KDebayer: {
+		Name: "debayer", Width: 32, Adders: 8, Unroll: 16, MuxInputs: 40,
+		FSMStates: 8, BufferBits: 4 * 36864, PipelineDepth: 6,
+	},
+	KGrayscale: {
+		Name: "grayscale", Width: 32, Adders: 2, Multipliers: 3, UseDSP: true,
+		Unroll: 8, MuxInputs: 12, FSMStates: 4, BufferBits: 2 * 36864, PipelineDepth: 4,
+	},
+	KGradient: {
+		Name: "gradient", Width: 32, Adders: 2, Unroll: 16, MuxInputs: 30,
+		FSMStates: 6, BufferBits: 4 * 36864, PipelineDepth: 4,
+	},
+	KWarpImg: {
+		Name: "warp-img", Width: 32, Adders: 6, Multipliers: 4, UseDSP: true,
+		Unroll: 8, MuxInputs: 120, FSMStates: 10, BufferBits: 16 * 36864, PipelineDepth: 8,
+	},
+	KSubtract: {
+		Name: "subtract", Width: 32, Adders: 1, Unroll: 32, MuxInputs: 16,
+		FSMStates: 4, BufferBits: 2 * 36864, PipelineDepth: 3,
+	},
+	KSteepestDescent: {
+		Name: "steepest-descent", Width: 32, Adders: 2, Multipliers: 2, UseDSP: true,
+		Unroll: 16, MuxInputs: 100, FSMStates: 8, BufferBits: 8 * 36864, PipelineDepth: 6,
+	},
+	KHessian: {
+		Name: "hessian", Width: 32, Adders: 6, Multipliers: 6, UseDSP: true,
+		Unroll: 8, MuxInputs: 160, FSMStates: 10, BufferBits: 12 * 36864, PipelineDepth: 8,
+	},
+	KSDUpdate: {
+		Name: "sd-update", Width: 32, Adders: 1, Multipliers: 6, UseDSP: true,
+		Unroll: 16, MuxInputs: 95, FSMStates: 8, BufferBits: 12 * 36864, PipelineDepth: 6,
+	},
+	KMatrixInvert: {
+		Name: "matrix-invert", Width: 32, Adders: 36, Multipliers: 36, UseDSP: true,
+		Dividers: 1, Unroll: 1, MuxInputs: 300, FSMStates: 24, BufferBits: 36864, PipelineDepth: 12,
+	},
+	KMult: {
+		Name: "mult", Width: 32, Adders: 2, Multipliers: 2, UseDSP: true,
+		Unroll: 16, MuxInputs: 100, FSMStates: 8, BufferBits: 8 * 36864, PipelineDepth: 6,
+	},
+	KReshapeAdd: {
+		Name: "reshape-add", Width: 32, Adders: 30, Multipliers: 40, UseDSP: true,
+		Dividers: 2, Unroll: 1, MuxInputs: 60, FSMStates: 16, BufferBits: 36864, PipelineDepth: 10,
+	},
+	KChangeDetection: {
+		Name: "change-detection", Width: 32, Adders: 3, Comparators: 2, Multipliers: 2,
+		UseDSP: true, Unroll: 16, MuxInputs: 100, FSMStates: 8,
+		BufferBits: 8 * 36864, PipelineDepth: 6,
+	},
+}
+
+// TestEstimatorTracksWamiProfiles cross-validates the HLS resource
+// estimator against the platform's WAMI accelerator profiles.
+func TestEstimatorTracksWamiProfiles(t *testing.T) {
+	for idx := 1; idx <= NumKernels; idx++ {
+		desc, ok := wamiDatapaths[idx]
+		if !ok {
+			t.Fatalf("no datapath description for %s", Names[idx])
+		}
+		est, err := hls.Estimate(desc)
+		if err != nil {
+			t.Fatalf("%s: %v", Names[idx], err)
+		}
+		measured := fpga.NewResources(lutProfile[idx], 0, 0, 0)
+		if rel := hls.RelativeError(est, measured); rel > 0.40 {
+			t.Errorf("%s: estimate %d vs profile %d LUTs (%.0f%% off)",
+				Names[idx], est[fpga.LUT], lutProfile[idx], rel*100)
+		}
+	}
+}
+
+// TestWamiLatencyModelsMatchHLS: the registered cycle models and the
+// HLS latency estimates agree on ordering for pixel-scaled kernels
+// (more cycles per pixel -> slower).
+func TestWamiLatencyModelsMatchHLS(t *testing.T) {
+	reg, err := Registry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4096
+	fast, err := reg.Lookup(Names[KSubtract]) // 1.0 cyc/px at unroll 32
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := reg.Lookup(Names[KHessian]) // 2.6 cyc/px
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.CyclesPerInvocation(n) >= slow.CyclesPerInvocation(n) {
+		t.Fatal("subtract should be faster than hessian")
+	}
+	// HLS latency for the matching descriptions preserves the ordering.
+	lf, err := hls.Latency(wamiDatapaths[KSubtract], n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := hls.Latency(wamiDatapaths[KHessian], n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lf >= ls {
+		t.Fatalf("HLS latency ordering inverted: %d vs %d", lf, ls)
+	}
+}

@@ -1,0 +1,336 @@
+package wami
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func constImage(n int, v float64) *Image {
+	im := NewImage(n)
+	for i := range im.Pix {
+		im.Pix[i] = v
+	}
+	return im
+}
+
+func rampImage(n int, sx, sy float64) *Image {
+	im := NewImage(n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			im.Set(x, y, sx*float64(x)+sy*float64(y))
+		}
+	}
+	return im
+}
+
+func TestImageAtClamps(t *testing.T) {
+	im := rampImage(4, 1, 10)
+	if im.At(-5, 0) != im.At(0, 0) || im.At(10, 3) != im.At(3, 3) {
+		t.Fatal("border clamping broken")
+	}
+	im.Set(-1, 0, 99) // out-of-range writes are dropped
+	if im.At(0, 0) == 99 {
+		t.Fatal("out-of-range write landed")
+	}
+}
+
+func TestImageClone(t *testing.T) {
+	a := rampImage(4, 1, 0)
+	b := a.Clone()
+	b.Set(0, 0, 42)
+	if a.At(0, 0) == 42 {
+		t.Fatal("clone aliases the original")
+	}
+}
+
+func TestDebayerConstantScene(t *testing.T) {
+	// An achromatic constant mosaic demosaics to constant planes.
+	mosaic := constImage(16, 100)
+	r, g, b := Debayer(mosaic)
+	for i := range mosaic.Pix {
+		if r.Pix[i] != 100 || g.Pix[i] != 100 || b.Pix[i] != 100 {
+			t.Fatalf("constant scene broke at %d: r=%g g=%g b=%g", i, r.Pix[i], g.Pix[i], b.Pix[i])
+		}
+	}
+}
+
+func TestDebayerInterpolatesLinearScene(t *testing.T) {
+	// Bilinear demosaicing reconstructs linear scenes exactly away from
+	// the border.
+	mosaic := rampImage(16, 2, 3)
+	r, g, b := Debayer(mosaic)
+	for y := 2; y < 14; y++ {
+		for x := 2; x < 14; x++ {
+			want := 2*float64(x) + 3*float64(y)
+			for _, plane := range []*Image{r, g, b} {
+				if math.Abs(plane.At(x, y)-want) > 1e-9 {
+					t.Fatalf("linear scene broken at (%d,%d): %g vs %g", x, y, plane.At(x, y), want)
+				}
+			}
+		}
+	}
+}
+
+func TestGrayscaleWeights(t *testing.T) {
+	r := constImage(4, 1)
+	g := constImage(4, 0)
+	b := constImage(4, 0)
+	if got := Grayscale(r, g, b).Pix[0]; math.Abs(got-0.299) > 1e-12 {
+		t.Fatalf("red weight: %g", got)
+	}
+	// The weights sum to 1.
+	all := Grayscale(constImage(4, 1), constImage(4, 1), constImage(4, 1))
+	if math.Abs(all.Pix[0]-1) > 1e-12 {
+		t.Fatalf("weights do not sum to 1: %g", all.Pix[0])
+	}
+}
+
+func TestGradientOfRamp(t *testing.T) {
+	im := rampImage(8, 3, -2)
+	gx, gy := Gradient(im)
+	// Central differences recover the exact slopes in the interior.
+	for y := 1; y < 7; y++ {
+		for x := 1; x < 7; x++ {
+			if math.Abs(gx.At(x, y)-3) > 1e-9 || math.Abs(gy.At(x, y)+2) > 1e-9 {
+				t.Fatalf("gradient at (%d,%d): (%g,%g)", x, y, gx.At(x, y), gy.At(x, y))
+			}
+		}
+	}
+}
+
+func TestAffineIdentityAndInverse(t *testing.T) {
+	var id Affine
+	x, y := id.Apply(3.5, -2.25)
+	if x != 3.5 || y != -2.25 {
+		t.Fatal("identity warp moved a point")
+	}
+	p := Affine{0.02, -0.01, 0.03, 0.01, 1.5, -2.5}
+	inv, err := p.Invert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := p.Compose(inv)
+	for i, v := range comp {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("p∘p⁻¹ not identity at %d: %g", i, v)
+		}
+	}
+}
+
+func TestAffineInvertSingular(t *testing.T) {
+	p := Affine{-1, 0, 0, -1, 0, 0} // collapses the plane
+	if _, err := p.Invert(); err == nil {
+		t.Fatal("singular warp inverted")
+	}
+}
+
+func TestAffineComposeAssociativityProperty(t *testing.T) {
+	f := func(a0, a1, b0, b1, c0, c1 int8) bool {
+		a := Affine{float64(a0) / 500, 0, 0, float64(a1) / 500, float64(a0) / 10, 0}
+		b := Affine{0, float64(b0) / 500, float64(b1) / 500, 0, 0, float64(b0) / 10}
+		c := Affine{float64(c0) / 500, 0, 0, 0, float64(c1) / 10, 0}
+		l := a.Compose(b).Compose(c)
+		r := a.Compose(b.Compose(c))
+		for i := range l {
+			if math.Abs(l[i]-r[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarpIdentity(t *testing.T) {
+	im := rampImage(8, 1, 2)
+	out := Warp(im, Affine{})
+	for i := range im.Pix {
+		if out.Pix[i] != im.Pix[i] {
+			t.Fatal("identity warp changed the image")
+		}
+	}
+}
+
+func TestWarpTranslationOnRamp(t *testing.T) {
+	im := rampImage(16, 1, 0) // value == x
+	out := Warp(im, Affine{0, 0, 0, 0, 2.5, 0})
+	// out(x) = im(x + 2.5) = x + 2.5 in the interior.
+	for x := 1; x < 12; x++ {
+		if math.Abs(out.At(x, 5)-(float64(x)+2.5)) > 1e-9 {
+			t.Fatalf("warp at x=%d: %g", x, out.At(x, 5))
+		}
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	a := constImage(4, 5)
+	b := rampImage(4, 1, 0)
+	d := Subtract(a, b)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			if d.At(x, y) != 5-float64(x) {
+				t.Fatalf("subtract at (%d,%d): %g", x, y, d.At(x, y))
+			}
+		}
+	}
+}
+
+func TestSteepestDescentStructure(t *testing.T) {
+	gx := constImage(4, 2)
+	gy := constImage(4, 3)
+	sd := SteepestDescent(gx, gy)
+	// sd[4] = gx, sd[5] = gy; sd[0] = gx·x, sd[3] = gy·y.
+	if sd[4].At(2, 1) != 2 || sd[5].At(2, 1) != 3 {
+		t.Fatal("translation rows wrong")
+	}
+	// At (x=2, y=1): sd[0] = gx·x = 2·2 = 4; sd[3] = gy·y = 3·1 = 3.
+	if sd[0].At(2, 1) != 4 || sd[3].At(2, 1) != 3 {
+		t.Fatalf("scaled rows wrong: %g %g", sd[0].At(2, 1), sd[3].At(2, 1))
+	}
+}
+
+func TestHessianSymmetricPSD(t *testing.T) {
+	im := NewImage(16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			im.Set(x, y, math.Sin(0.4*float64(x))*math.Cos(0.3*float64(y))*50+100)
+		}
+	}
+	gx, gy := Gradient(im)
+	h := Hessian(SteepestDescent(gx, gy))
+	for i := 0; i < 6; i++ {
+		if h[i*6+i] < 0 {
+			t.Fatalf("negative diagonal H[%d][%d] = %g", i, i, h[i*6+i])
+		}
+		for j := 0; j < 6; j++ {
+			if h[i*6+j] != h[j*6+i] {
+				t.Fatal("Hessian not symmetric")
+			}
+		}
+	}
+	// Gram matrices are PSD: xᵀHx >= 0 for a few probes.
+	probes := [][6]float64{{1, 0, 0, 0, 0, 0}, {1, -1, 2, 0.5, -0.25, 1}, {0, 0, 0, 0, 1, -1}}
+	for _, v := range probes {
+		var q float64
+		for i := 0; i < 6; i++ {
+			for j := 0; j < 6; j++ {
+				q += v[i] * h[i*6+j] * v[j]
+			}
+		}
+		if q < -1e-6 {
+			t.Fatalf("Hessian not PSD: xᵀHx = %g", q)
+		}
+	}
+}
+
+func TestMatrixInvertIdentity(t *testing.T) {
+	var id [36]float64
+	for i := 0; i < 6; i++ {
+		id[i*6+i] = 1
+	}
+	inv, err := MatrixInvert(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv != id {
+		t.Fatal("I⁻¹ != I")
+	}
+}
+
+func TestMatrixInvertRoundtrip(t *testing.T) {
+	var m [36]float64
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			m[i*6+j] = 1.0 / float64(i+j+1) // Hilbert-like, well-defined
+		}
+		m[i*6+i] += 1 // keep it well-conditioned
+	}
+	inv, err := MatrixInvert(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m · inv ≈ I.
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			var acc float64
+			for k := 0; k < 6; k++ {
+				acc += m[i*6+k] * inv[k*6+j]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(acc-want) > 1e-9 {
+				t.Fatalf("M·M⁻¹[%d][%d] = %g", i, j, acc)
+			}
+		}
+	}
+}
+
+func TestMatrixInvertSingular(t *testing.T) {
+	var m [36]float64 // all zeros
+	if _, err := MatrixInvert(m); err == nil {
+		t.Fatal("singular matrix inverted")
+	}
+}
+
+func TestLucasKanadeRecoversTranslation(t *testing.T) {
+	n := 64
+	f := func(x, y float64) float64 {
+		return 128 + 40*math.Sin(x*0.12)*math.Cos(y*0.08) + 25*math.Sin(x*0.05+y*0.06)
+	}
+	tmpl := NewImage(n)
+	img := NewImage(n)
+	dx, dy := 1.2, -0.8
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			tmpl.Set(x, y, f(float64(x), float64(y)))
+			img.Set(x, y, f(float64(x)+dx, float64(y)+dy))
+		}
+	}
+	p, iters, err := LucasKanade(tmpl, img, 30, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters >= 30 {
+		t.Fatalf("did not converge in %d iterations", iters)
+	}
+	// The estimated warp maps img coordinates onto tmpl: translation
+	// ≈ (-dx, -dy), up to border effects.
+	if math.Abs(p[4]+dx) > 0.15 || math.Abs(p[5]+dy) > 0.15 {
+		t.Fatalf("recovered (%g, %g), want (%g, %g)", p[4], p[5], -dx, -dy)
+	}
+}
+
+func TestLucasKanadeSizeMismatch(t *testing.T) {
+	if _, _, err := LucasKanade(NewImage(8), NewImage(16), 5, 1e-3); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestChangeDetection(t *testing.T) {
+	bg := constImage(8, 100)
+	frame := bg.Clone()
+	frame.Set(3, 3, 160)
+	frame.Set(4, 3, 160)
+	mask, newBg := ChangeDetection(frame, bg, 30, 0.5)
+	det := 0
+	for _, v := range mask.Pix {
+		if v != 0 {
+			det++
+		}
+	}
+	if det != 2 {
+		t.Fatalf("detections: got %d want 2", det)
+	}
+	// Background blends toward the frame at rate alpha.
+	if newBg.At(3, 3) != 130 {
+		t.Fatalf("background update: got %g want 130", newBg.At(3, 3))
+	}
+	if newBg.At(0, 0) != 100 {
+		t.Fatal("unchanged pixels must keep the background")
+	}
+}

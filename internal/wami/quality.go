@@ -1,0 +1,118 @@
+package wami
+
+import "fmt"
+
+// DetectionQuality scores a change-detection mask against the frame
+// source's ground truth at the object level — the operationally
+// meaningful WAMI metric: a moving target counts as detected when the
+// mask flags fabric near its position, and flagged pixels far from any
+// target (or its just-vacated position) count against precision.
+type DetectionQuality struct {
+	// TargetsDetected / TargetsTotal count object-level recall.
+	TargetsDetected int
+	TargetsTotal    int
+	// TruePixels / FlaggedPixels count pixel-level precision: flagged
+	// pixels within the match radius of a ground-truth change site.
+	TruePixels    int
+	FlaggedPixels int
+}
+
+// Recall returns the fraction of moving targets the mask found.
+func (q DetectionQuality) Recall() float64 {
+	if q.TargetsTotal == 0 {
+		return 1
+	}
+	return float64(q.TargetsDetected) / float64(q.TargetsTotal)
+}
+
+// Precision returns the fraction of flagged pixels that sit on a
+// ground-truth change site.
+func (q DetectionQuality) Precision() float64 {
+	if q.FlaggedPixels == 0 {
+		return 1
+	}
+	return float64(q.TruePixels) / float64(q.FlaggedPixels)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (q DetectionQuality) F1() float64 {
+	p, r := q.Precision(), q.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// matchRadius is how far (in pixels) a flagged pixel may sit from a
+// ground-truth change site and still count: it absorbs the sub-pixel
+// registration shift and the background model's lag.
+const matchRadius = 2
+
+// targetPosition returns target t's top-left corner in frame idx.
+func (s *FrameSource) targetPosition(t, idx int) (int, int) {
+	tx := (17*t + 23 + 2*idx) % (s.N - 4)
+	ty := (31*t + 11 + idx) % (s.N - 4)
+	return tx, ty
+}
+
+// ScoreDetections compares a change-detection mask produced for frame
+// idx (registered against frame idx-1) with the source's ground truth.
+func (s *FrameSource) ScoreDetections(mask *Image, idx int) (DetectionQuality, error) {
+	var q DetectionQuality
+	if mask == nil || mask.N != s.N {
+		return q, fmt.Errorf("wami: mask size mismatch")
+	}
+	if idx < 1 {
+		return q, fmt.Errorf("wami: frame %d has no predecessor to diff against", idx)
+	}
+	// Change sites: each target's current footprint (appearance) and its
+	// previous-frame footprint (disappearance).
+	type site struct{ x0, y0 int }
+	var sites []site
+	for t := 0; t < s.Targets; t++ {
+		cx, cy := s.targetPosition(t, idx)
+		px, py := s.targetPosition(t, idx-1)
+		sites = append(sites, site{cx, cy}, site{px, py})
+	}
+
+	near := func(x, y int) bool {
+		for _, st := range sites {
+			if x >= st.x0-matchRadius && x < st.x0+2+matchRadius &&
+				y >= st.y0-matchRadius && y < st.y0+2+matchRadius {
+				return true
+			}
+		}
+		return false
+	}
+
+	for y := 0; y < s.N; y++ {
+		for x := 0; x < s.N; x++ {
+			if mask.At(x, y) == 0 {
+				continue
+			}
+			q.FlaggedPixels++
+			if near(x, y) {
+				q.TruePixels++
+			}
+		}
+	}
+
+	// Object-level recall: a target counts as detected when any flagged
+	// pixel lands within the match radius of its current footprint.
+	q.TargetsTotal = s.Targets
+	for t := 0; t < s.Targets; t++ {
+		cx, cy := s.targetPosition(t, idx)
+		found := false
+		for y := cy - matchRadius; y < cy+2+matchRadius && !found; y++ {
+			for x := cx - matchRadius; x < cx+2+matchRadius && !found; x++ {
+				if x >= 0 && x < s.N && y >= 0 && y < s.N && mask.At(x, y) != 0 {
+					found = true
+				}
+			}
+		}
+		if found {
+			q.TargetsDetected++
+		}
+	}
+	return q, nil
+}

@@ -1,0 +1,96 @@
+package presp
+
+import (
+	"fmt"
+
+	"presp/internal/accel"
+	"presp/internal/bitstream"
+	"presp/internal/core"
+	"presp/internal/experiments"
+	"presp/internal/floorplan"
+	"presp/internal/fpga"
+	"presp/internal/noc"
+	"presp/internal/reconfig"
+	"presp/internal/socgen"
+	"presp/internal/tile"
+	"presp/internal/wami"
+)
+
+// Public aliases of the platform's core types, so applications build
+// against the presp package alone.
+type (
+	// Config describes a SoC: board, tile grid, clock.
+	Config = socgen.Config
+	// Tile is one populated grid slot.
+	Tile = tile.Tile
+	// Coord addresses a tile in the mesh.
+	Coord = noc.Coord
+	// Resources is an FPGA resource vector (LUT/FF/BRAM/DSP).
+	Resources = fpga.Resources
+	// Metrics holds the Eq. (1) size metrics κ, α_av, γ.
+	Metrics = core.Metrics
+	// Strategy is a P&R implementation plan.
+	Strategy = core.Strategy
+	// StrategyKind is serial / semi-parallel / fully-parallel.
+	StrategyKind = core.StrategyKind
+	// Class is the five-class size taxonomy.
+	Class = core.Class
+	// FloorPlan maps partitions to placement pblocks.
+	FloorPlan = floorplan.Plan
+	// Bitstream is a generated (partial) configuration image.
+	Bitstream = bitstream.Bitstream
+	// AccelDescriptor describes an accelerator type.
+	AccelDescriptor = accel.Descriptor
+	// AccelKernel is an accelerator's functional model.
+	AccelKernel = accel.Kernel
+	// RuntimeConfig tunes the simulated runtime.
+	RuntimeConfig = reconfig.Config
+	// InvokeResult carries an accelerator invocation's outputs/timing.
+	InvokeResult = reconfig.InvokeResult
+)
+
+// Tile kinds, re-exported.
+const (
+	TileCPU    = tile.CPU
+	TileMem    = tile.Mem
+	TileAux    = tile.Aux
+	TileSLM    = tile.SLM
+	TileAccel  = tile.Accel
+	TileReconf = tile.Reconf
+)
+
+// Strategy kinds, re-exported.
+const (
+	Serial        = core.Serial
+	SemiParallel  = core.SemiParallel
+	FullyParallel = core.FullyParallel
+)
+
+// DefaultRuntimeConfig returns the evaluation runtime configuration.
+func DefaultRuntimeConfig() RuntimeConfig { return reconfig.DefaultConfig() }
+
+// PresetConfig returns a built-in SoC configuration by name: the
+// paper's characterization SoCs (SOC_1..SOC_4), the WAMI flow SoCs
+// (SoC_A..SoC_D) and the runtime SoCs (SoC_X/SoC_Y/SoC_Z).
+func PresetConfig(name string) (*Config, error) {
+	return experiments.PresetConfig(name)
+}
+
+// PresetNames lists the built-in configurations.
+func PresetNames() []string { return experiments.PresetNames() }
+
+// WAMIRuntimeSoC returns a runtime SoC's configuration together with
+// its Table VI accelerator-to-tile allocation (kernel indices per tile).
+func WAMIRuntimeSoC(name string) (*Config, map[string][]int, error) {
+	cfg, alloc, err := wami.RuntimeSoC(name)
+	return cfg, map[string][]int(alloc), err
+}
+
+// WAMIKernelName maps a Fig 3 kernel index to its accelerator name.
+func WAMIKernelName(idx int) (string, error) {
+	n, ok := wami.Names[idx]
+	if !ok {
+		return "", fmt.Errorf("presp: unknown WAMI kernel index %d", idx)
+	}
+	return n, nil
+}
