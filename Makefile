@@ -1,0 +1,32 @@
+# PR-ESP build/test targets.
+#
+# `make ci` is the gate every change must pass: vet, build, the tier-1
+# unit suite, and the same suite under the race detector — the flow
+# engine executes its job graphs on a goroutine worker pool, so the race
+# run is a permanent part of the check, not an optional extra.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench fuzz
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Reproduce the paper's tables/figures and the cache speedup numbers.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Longer fuzz session for the scheduler property suite.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzSchedulerExecute -fuzztime=30s ./internal/flow/

@@ -25,6 +25,7 @@ import (
 	"presp/internal/fpga"
 	"presp/internal/report"
 	"presp/internal/socgen"
+	"presp/internal/vivado"
 )
 
 func main() {
@@ -35,15 +36,16 @@ func main() {
 	compress := flag.Bool("compress", true, "compress bitstreams")
 	baseline := flag.String("baseline", "", "also run a baseline: mono, dfx or both")
 	scripts := flag.Bool("scripts", false, "print the auto-generated CAD scripts")
+	workers := flag.Int("workers", 0, "scheduler worker goroutines (0 = all CPUs); results are identical for every value")
 	flag.Parse()
 
-	if err := run(*preset, *configPath, *strategy, *tau, *compress, *baseline, *scripts); err != nil {
+	if err := run(*preset, *configPath, *strategy, *tau, *compress, *baseline, *scripts, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "presp-flow:", err)
 		os.Exit(1)
 	}
 }
 
-func run(preset, configPath, strategy string, tau int, compress bool, baseline string, scripts bool) error {
+func run(preset, configPath, strategy string, tau int, compress bool, baseline string, scripts bool, workers int) error {
 	cfg, err := loadConfig(preset, configPath)
 	if err != nil {
 		return err
@@ -52,7 +54,7 @@ func run(preset, configPath, strategy string, tau int, compress bool, baseline s
 	if err != nil {
 		return err
 	}
-	opt := flow.Options{Compress: compress}
+	opt := flow.Options{Compress: compress, Workers: workers, Cache: vivado.NewCheckpointCache()}
 	if strategy != "" {
 		kind, err := parseStrategy(strategy)
 		if err != nil {
@@ -143,6 +145,14 @@ func printResult(res *flow.Result) {
 	t.AddRow("bitstream generation", report.Minutes(float64(res.BitgenWall)))
 	t.AddRow("total (synth+P&R)", report.Minutes(float64(res.Total)))
 	fmt.Println(t)
+
+	j := res.Jobs
+	fmt.Printf("scheduler: %d workers, %d synth + %d plan + %d impl + %d bitgen jobs",
+		j.Workers, j.SynthJobs, j.PlanJobs, j.ImplJobs, j.BitgenJobs)
+	if j.CacheHits+j.CacheMisses > 0 {
+		fmt.Printf(", checkpoint cache %d hits / %d misses", j.CacheHits, j.CacheMisses)
+	}
+	fmt.Println()
 
 	if res.Plan != nil {
 		names := make([]string, 0, len(res.Plan.Pblocks))

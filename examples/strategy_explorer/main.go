@@ -92,6 +92,11 @@ func main() {
 			c.label, m.Kappa, m.AlphaAv, m.Gamma, cls, chosen.Kind,
 			fmtTime(times, presp.Serial), fmtTime(times, presp.SemiParallel), fmtTime(times, presp.FullyParallel))
 	}
+
+	// Probing three strategies per design re-synthesizes nothing after
+	// the first run: the platform's checkpoint cache serves the repeats.
+	hits, misses := p.CacheStats()
+	fmt.Printf("\ncheckpoint cache: %d synthesis jobs served from cache, %d synthesized cold\n", hits, misses)
 }
 
 // runWith forces one strategy and returns the P&R wall time; strategies

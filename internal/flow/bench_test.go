@@ -1,0 +1,116 @@
+// Cache-effectiveness tests and benchmarks: probing several strategies
+// for one design must synthesize it once, not once per strategy.
+package flow
+
+import (
+	"testing"
+
+	"presp/internal/accel"
+	"presp/internal/core"
+	"presp/internal/socgen"
+)
+
+// strategySweep returns the three strategies the evaluator probes on
+// SOC_2 (serial, semi-parallel τ=2, fully parallel).
+func strategySweep(t testing.TB, d *socgen.Design) []*core.Strategy {
+	t.Helper()
+	var out []*core.Strategy
+	for _, k := range []struct {
+		kind core.StrategyKind
+		tau  int
+	}{{core.Serial, 1}, {core.SemiParallel, 2}, {core.FullyParallel, len(d.RPs)}} {
+		s, err := core.ForceStrategy(d, k.kind, k.tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestEvaluatorCacheCutsSynthesisJobs is the acceptance check: with a
+// warm cache, a strategy sweep performs at least 2x fewer cold synthesis
+// jobs than the cache-less engine would, and flow.Result reports the
+// hits.
+func TestEvaluatorCacheCutsSynthesisJobs(t *testing.T) {
+	d, err := socgen.Elaborate(socgen.SOC2(), accel.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies := strategySweep(t, d)
+	eval := &Evaluator{}
+	for _, s := range strategies {
+		if _, err := eval.EvaluateStrategy(d, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := eval.Cache().Stats()
+	perRun := int64(len(d.RPs) + 1) // static + one OoC job per partition
+	if misses != perRun {
+		t.Fatalf("cold synthesis jobs: %d, want %d (one full design)", misses, perRun)
+	}
+	wantTotal := perRun * int64(len(strategies))
+	if hits+misses != wantTotal {
+		t.Fatalf("synthesis requests: %d, want %d", hits+misses, wantTotal)
+	}
+	if misses*2 > hits+misses {
+		t.Fatalf("cache saved too little: %d cold of %d total (need >= 2x reduction)", misses, hits+misses)
+	}
+
+	// The per-run accounting surfaces on flow.Result too: a warm run
+	// reports all-hit synthesis.
+	res, err := RunPRESP(d, Options{Strategy: strategies[0], SkipBitstreams: true, Cache: eval.Cache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs.CacheHits != int(perRun) || res.Jobs.CacheMisses != 0 {
+		t.Fatalf("warm run reported %d hits / %d misses, want %d/0",
+			res.Jobs.CacheHits, res.Jobs.CacheMisses, perRun)
+	}
+	if res.Jobs.SynthJobs != int(perRun) {
+		t.Fatalf("synth jobs: %d, want %d", res.Jobs.SynthJobs, perRun)
+	}
+}
+
+// BenchmarkEvaluateStrategyCold re-evaluates with a fresh cache each
+// sweep: every strategy pays full synthesis.
+func BenchmarkEvaluateStrategyCold(b *testing.B) {
+	d, err := socgen.Elaborate(socgen.SOC2(), accel.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	strategies := strategySweep(b, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval := &Evaluator{}
+		for _, s := range strategies {
+			if _, err := eval.EvaluateStrategy(d, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEvaluateStrategyWarm shares one evaluator (and cache) across
+// all iterations: after the first sweep every synthesis is a hit.
+func BenchmarkEvaluateStrategyWarm(b *testing.B) {
+	d, err := socgen.Elaborate(socgen.SOC2(), accel.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	strategies := strategySweep(b, d)
+	eval := &Evaluator{}
+	for _, s := range strategies {
+		if _, err := eval.EvaluateStrategy(d, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range strategies {
+			if _, err := eval.EvaluateStrategy(d, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

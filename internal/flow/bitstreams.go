@@ -2,10 +2,12 @@ package flow
 
 import (
 	"fmt"
+	"sort"
 
 	"presp/internal/accel"
 	"presp/internal/bitstream"
 	"presp/internal/floorplan"
+	"presp/internal/fpga"
 	"presp/internal/socgen"
 	"presp/internal/vivado"
 )
@@ -17,14 +19,29 @@ import (
 //
 // Every accelerator is implemented in-context against the tile's pblock,
 // so the flow checks it fits the partition the floorplanner sized for
-// the tile's largest module.
+// the tile's largest module. Tiles and accelerators are validated in
+// sorted order — error selection and bitstream naming never depend on
+// map iteration order — and the generation jobs fan out on the shared
+// worker-pool scheduler.
 func GenerateRuntimeBitstreams(d *socgen.Design, plan *floorplan.Plan, alloc map[string][]string, reg *accel.Registry, compress bool) (map[string]map[string]*bitstream.Bitstream, error) {
 	tool, err := vivado.New(d.Dev, nil)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]map[string]*bitstream.Bitstream, len(alloc))
-	for tileName, accs := range alloc {
+	tiles := make([]string, 0, len(alloc))
+	for tileName := range alloc {
+		tiles = append(tiles, tileName)
+	}
+	sort.Strings(tiles)
+
+	// Validate the whole allocation up front, in deterministic order.
+	type task struct {
+		tile, acc, name string
+		pb              fpga.Pblock
+		res             fpga.Resources
+	}
+	var tasks []task
+	for _, tileName := range tiles {
 		rp, err := d.FindRP(tileName)
 		if err != nil {
 			return nil, err
@@ -33,8 +50,7 @@ func GenerateRuntimeBitstreams(d *socgen.Design, plan *floorplan.Plan, alloc map
 		if !ok {
 			return nil, fmt.Errorf("flow: no pblock for partition %s", rp.Name)
 		}
-		perTile := make(map[string]*bitstream.Bitstream, len(accs))
-		for _, accName := range accs {
+		for _, accName := range alloc[tileName] {
 			desc, err := reg.Lookup(accName)
 			if err != nil {
 				return nil, fmt.Errorf("flow: tile %s: %w", tileName, err)
@@ -43,14 +59,43 @@ func GenerateRuntimeBitstreams(d *socgen.Design, plan *floorplan.Plan, alloc map
 				return nil, fmt.Errorf("flow: accelerator %s (%s) does not fit tile %s's partition",
 					accName, desc.Resources, tileName)
 			}
-			name := fmt.Sprintf("%s.%s.%s.pbs", d.Cfg.Name, tileName, accName)
-			bs, _, err := tool.WritePartialBitstream(name, pb, desc.Resources, compress)
-			if err != nil {
-				return nil, err
-			}
-			perTile[accName] = bs
+			tasks = append(tasks, task{
+				tile: tileName,
+				acc:  accName,
+				name: fmt.Sprintf("%s.%s.%s.pbs", d.Cfg.Name, tileName, accName),
+				pb:   pb,
+				res:  desc.Resources,
+			})
 		}
-		out[tileName] = perTile
+	}
+
+	// Fan the independent generation jobs out on the worker pool.
+	g := NewGraph()
+	generated := make([]*bitstream.Bitstream, len(tasks))
+	for i, tk := range tasks {
+		i, tk := i, tk
+		id := fmt.Sprintf("bitgen/%03d/%s.%s", i, tk.tile, tk.acc)
+		must(g.Add(id, StageBitgen, nil, func() (vivado.Minutes, error) {
+			bs, t, err := tool.WritePartialBitstream(tk.name, tk.pb, tk.res, compress)
+			if err != nil {
+				return 0, err
+			}
+			generated[i] = bs
+			return t, nil
+		}))
+	}
+	if _, err := g.Execute(0); err != nil {
+		return nil, err
+	}
+
+	out := make(map[string]map[string]*bitstream.Bitstream, len(alloc))
+	for i, tk := range tasks {
+		perTile, ok := out[tk.tile]
+		if !ok {
+			perTile = make(map[string]*bitstream.Bitstream)
+			out[tk.tile] = perTile
+		}
+		perTile[tk.acc] = generated[i]
 	}
 	return out, nil
 }

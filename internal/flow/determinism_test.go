@@ -1,0 +1,281 @@
+// Determinism suite: the concurrent job-graph engine must be
+// observationally equivalent to a serial execution — identical modelled
+// wall times, scripts and bitstream payloads for every worker count and
+// for warm or cold checkpoint caches.
+package flow
+
+import (
+	"fmt"
+	"hash/crc32"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"presp/internal/accel"
+	"presp/internal/core"
+	"presp/internal/socgen"
+	"presp/internal/vivado"
+)
+
+// resultSignature renders every externally observable Result field —
+// wall times, per-run times, groups, scripts, bitstream names and CRCs —
+// into one canonical string. Scheduler statistics (Jobs) are excluded:
+// worker counts and cache hit rates legitimately differ between runs.
+func resultSignature(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy=%s tau=%d class=%s groups=%v\n",
+		res.Strategy.Kind, res.Strategy.Tau, res.Strategy.Class, res.Strategy.Groups)
+	fmt.Fprintf(&b, "synthwall=%v tstatic=%v maxomega=%v prwall=%v bitgen=%v total=%v\n",
+		float64(res.SynthWall), float64(res.TStatic), float64(res.MaxOmega),
+		float64(res.PRWall), float64(res.BitgenWall), float64(res.Total))
+	runs := make([]string, 0, len(res.SynthRuns))
+	for n := range res.SynthRuns {
+		runs = append(runs, n)
+	}
+	sort.Strings(runs)
+	for _, n := range runs {
+		fmt.Fprintf(&b, "synth[%s]=%v\n", n, float64(res.SynthRuns[n]))
+	}
+	for _, gr := range res.Groups {
+		fmt.Fprintf(&b, "group=%v omega=%v\n", gr.Partitions, float64(gr.Runtime))
+	}
+	if res.Plan != nil {
+		names := make([]string, 0, len(res.Plan.Pblocks))
+		for n := range res.Plan.Pblocks {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "pblock[%s]=%v\n", n, res.Plan.Pblocks[n])
+		}
+		fmt.Fprintf(&b, "rpfraction=%v freecells=%d\n", res.Plan.RPFraction, res.Plan.FreeCells)
+	}
+	if res.Scripts != nil {
+		fmt.Fprintf(&b, "scripts-crc=%08x\n", crc32.ChecksumIEEE([]byte(fmt.Sprintf("%#v", res.Scripts))))
+	}
+	if res.FullBitstream != nil {
+		fmt.Fprintf(&b, "full=%s frames=%d raw=%d crc=%08x\n",
+			res.FullBitstream.Name, res.FullBitstream.Frames,
+			res.FullBitstream.RawBytes, crc32.ChecksumIEEE(res.FullBitstream.Data))
+	}
+	for _, bs := range res.PartialBitstreams {
+		fmt.Fprintf(&b, "partial=%s frames=%d raw=%d crc=%08x\n",
+			bs.Name, bs.Frames, bs.RawBytes, crc32.ChecksumIEEE(bs.Data))
+	}
+	return b.String()
+}
+
+func elaborate(t *testing.T, cfg *socgen.Config) *socgen.Design {
+	t.Helper()
+	d, err := socgen.Elaborate(cfg, accel.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestRunPRESPWorkerCountInvariance: SOC_1 and SOC_2 across all three
+// strategies with worker counts 1, 4 and NumCPU produce byte-identical
+// results — the concurrent engine is equivalent to the serial seed.
+func TestRunPRESPWorkerCountInvariance(t *testing.T) {
+	workerCounts := []int{1, 4, runtime.NumCPU()}
+	kinds := []struct {
+		kind core.StrategyKind
+		tau  int
+	}{
+		{core.Serial, 1},
+		{core.SemiParallel, 2},
+		{core.FullyParallel, 0},
+	}
+	for _, cfg := range []*socgen.Config{socgen.SOC1(), socgen.SOC2()} {
+		for _, k := range kinds {
+			d := elaborate(t, cfg)
+			tau := k.tau
+			if k.kind == core.FullyParallel {
+				tau = len(d.RPs)
+			}
+			strat, err := core.ForceStrategy(d, k.kind, tau)
+			if err != nil {
+				t.Fatalf("%s %s: %v", cfg.Name, k.kind, err)
+			}
+			var baseline string
+			for _, workers := range workerCounts {
+				res, err := RunPRESP(elaborate(t, cfg), Options{
+					Strategy: strat,
+					Compress: true,
+					Workers:  workers,
+				})
+				if err != nil {
+					t.Fatalf("%s %s workers=%d: %v", cfg.Name, k.kind, workers, err)
+				}
+				if res.Jobs.Workers < 1 {
+					t.Fatalf("%s %s: scheduler reported %d workers", cfg.Name, k.kind, res.Jobs.Workers)
+				}
+				sig := resultSignature(res)
+				if baseline == "" {
+					baseline = sig
+					continue
+				}
+				if sig != baseline {
+					t.Fatalf("%s %s: workers=%d diverged from workers=1:\n--- got ---\n%s\n--- want ---\n%s",
+						cfg.Name, k.kind, workers, sig, baseline)
+				}
+			}
+		}
+	}
+}
+
+// TestBaselineFlowsWorkerCountInvariance covers the other two scheduler
+// clients: the standard-DFX and monolithic baselines.
+func TestBaselineFlowsWorkerCountInvariance(t *testing.T) {
+	var baseline string
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		dfx, err := RunStandardDFX(elaborate(t, socgen.SOC2()), Options{Compress: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mono, err := RunMonolithic(elaborate(t, socgen.SOC2()), Options{Compress: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig := resultSignature(dfx) + "====\n" + resultSignature(mono)
+		if baseline == "" {
+			baseline = sig
+			continue
+		}
+		if sig != baseline {
+			t.Fatalf("baseline flows diverged at workers=%d:\n--- got ---\n%s\n--- want ---\n%s",
+				workers, sig, baseline)
+		}
+	}
+}
+
+// TestWarmCacheEquivalence: a run served from a warm checkpoint cache is
+// observationally identical to a cold run.
+func TestWarmCacheEquivalence(t *testing.T) {
+	cache := vivado.NewCheckpointCache()
+	cold, err := RunPRESP(elaborate(t, socgen.SOC2()), Options{Compress: true, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunPRESP(elaborate(t, socgen.SOC2()), Options{Compress: true, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultSignature(cold) != resultSignature(warm) {
+		t.Fatalf("warm-cache run diverged from cold run:\n--- cold ---\n%s\n--- warm ---\n%s",
+			resultSignature(cold), resultSignature(warm))
+	}
+	if warm.Jobs.CacheHits == 0 || warm.Jobs.CacheMisses != 0 {
+		t.Fatalf("warm run did not hit the cache: %+v", warm.Jobs)
+	}
+	if cold.Jobs.CacheHits != 0 || cold.Jobs.CacheMisses != cold.Jobs.SynthJobs {
+		t.Fatalf("cold run miscounted cache traffic: %+v", cold.Jobs)
+	}
+}
+
+// TestRuntimeBitstreamsDeterministic: with several invalid tiles in one
+// allocation, the reported error must be the lexicographically-first
+// tile's — not whichever map iteration surfaced first — and repeated
+// generations must be identical.
+func TestRuntimeBitstreamsDeterministic(t *testing.T) {
+	reg := accel.Default()
+	d := elaborate(t, socgen.SOC2())
+	plan, err := FloorplanDesign(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := map[string][]string{
+		"rt_1": {"conv2d", "sort"},
+		"rt_2": {"fft", "gemm"},
+	}
+	sigOf := func() string {
+		bss, err := GenerateRuntimeBitstreams(d, plan, alloc, reg, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		tiles := make([]string, 0, len(bss))
+		for tile := range bss {
+			tiles = append(tiles, tile)
+		}
+		sort.Strings(tiles)
+		for _, tile := range tiles {
+			accs := make([]string, 0, len(bss[tile]))
+			for acc := range bss[tile] {
+				accs = append(accs, acc)
+			}
+			sort.Strings(accs)
+			for _, acc := range accs {
+				bs := bss[tile][acc]
+				fmt.Fprintf(&b, "%s/%s=%s crc=%08x\n", tile, acc, bs.Name, crc32.ChecksumIEEE(bs.Data))
+			}
+		}
+		return b.String()
+	}
+	first := sigOf()
+	for i := 0; i < 5; i++ {
+		if got := sigOf(); got != first {
+			t.Fatalf("generation %d diverged:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+
+	// Two bad tiles: "aaa_ghost" sorts before "zzz_ghost", so the error
+	// must always name aaa_ghost.
+	bad := map[string][]string{
+		"zzz_ghost": {"sort"},
+		"aaa_ghost": {"sort"},
+	}
+	for i := 0; i < 10; i++ {
+		_, err := GenerateRuntimeBitstreams(d, plan, bad, reg, true)
+		if err == nil {
+			t.Fatal("unknown tiles accepted")
+		}
+		if !strings.Contains(err.Error(), "aaa_ghost") {
+			t.Fatalf("error selection is map-order dependent: %v", err)
+		}
+	}
+}
+
+// TestErrorDeterminismUnderConcurrency: a design whose partition content
+// violates the DFX rules must fail with the same error for every worker
+// count, even while unrelated jobs run concurrently.
+func TestErrorDeterminismUnderConcurrency(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		d := elaborate(t, socgen.SOC2())
+		d.RPs[1].Content = nil // partition with nothing to synthesize
+		_, err := RunPRESP(d, Options{SkipBitstreams: true, Workers: workers})
+		if err == nil {
+			t.Fatal("flow accepted a partition without content")
+		}
+		if want == "" {
+			want = err.Error()
+			continue
+		}
+		if err.Error() != want {
+			t.Fatalf("workers=%d: error %q, want %q", workers, err, want)
+		}
+	}
+}
+
+// Reflect guard: if Result grows an observable field, the signature
+// above must learn about it. Jobs, Design and unexported bookkeeping are
+// intentionally exempt.
+func TestResultSignatureCoversResult(t *testing.T) {
+	covered := map[string]bool{
+		"Design": true, "Strategy": true, "Plan": true, "SynthWall": true,
+		"SynthRuns": true, "TStatic": true, "Groups": true, "MaxOmega": true,
+		"PRWall": true, "BitgenWall": true, "Total": true,
+		"FullBitstream": true, "PartialBitstreams": true, "Scripts": true,
+		"Jobs": true,
+	}
+	rt := reflect.TypeOf(Result{})
+	for i := 0; i < rt.NumField(); i++ {
+		if !covered[rt.Field(i).Name] {
+			t.Fatalf("Result gained field %s: extend resultSignature and the determinism suite", rt.Field(i).Name)
+		}
+	}
+}

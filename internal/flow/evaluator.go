@@ -1,6 +1,8 @@
 package flow
 
 import (
+	"sync"
+
 	"presp/internal/core"
 	"presp/internal/socgen"
 	"presp/internal/vivado"
@@ -9,16 +11,38 @@ import (
 // Evaluator adapts the flow to core.CostEvaluator: it predicts a
 // strategy's P&R wall time by running the timing-only flow (no
 // bitstreams) under the platform's cost model.
+//
+// The evaluator keeps a synthesis-checkpoint cache across calls: probing
+// several strategies for the same design re-synthesizes nothing after
+// the first run — only the P&R jobs differ between strategies.
 type Evaluator struct {
 	// Model overrides the CAD cost model (nil = calibrated default).
 	Model *vivado.CostModel
+	// Workers bounds the scheduler worker pool per run (0 = NumCPU).
+	Workers int
+
+	once  sync.Once
+	cache *vivado.CheckpointCache
 }
 
 var _ core.CostEvaluator = (*Evaluator)(nil)
 
+// Cache returns the evaluator's checkpoint cache, creating it on first
+// use (also shared with any flow runs the caller wires it into).
+func (e *Evaluator) Cache() *vivado.CheckpointCache {
+	e.once.Do(func() { e.cache = vivado.NewCheckpointCache() })
+	return e.cache
+}
+
 // EvaluateStrategy implements core.CostEvaluator.
 func (e *Evaluator) EvaluateStrategy(d *socgen.Design, s *core.Strategy) (float64, error) {
-	res, err := RunPRESP(d, Options{Model: e.Model, Strategy: s, SkipBitstreams: true})
+	res, err := RunPRESP(d, Options{
+		Model:          e.Model,
+		Strategy:       s,
+		SkipBitstreams: true,
+		Workers:        e.Workers,
+		Cache:          e.Cache(),
+	})
 	if err != nil {
 		return 0, err
 	}

@@ -5,11 +5,20 @@
 // implementation runs through bitstream generation — plus the baseline
 // it is evaluated against: Xilinx's standard DFX flow in a single tool
 // instance ("monolithic" in Table V).
+//
+// Every flow run is executed as a dependency-aware job graph (see
+// scheduler.go) on a bounded pool of worker goroutines: synthesis jobs
+// fan out first, floorplanning joins them, the per-partition
+// implementation runs fan out again and bitstream generation closes the
+// graph. Reported times stay the analytic values of the cost model —
+// the pool parallelizes the *simulation*, not the modelled clock — and
+// results are byte-identical for every worker count.
 package flow
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"presp/internal/bitstream"
 	"presp/internal/core"
@@ -35,6 +44,13 @@ type Options struct {
 	Compress bool
 	// SkipBitstreams stops after P&R, for timing-only studies.
 	SkipBitstreams bool
+	// Workers bounds the job-scheduler worker pool (0 = NumCPU). The
+	// knob trades real CPU parallelism only; reported wall times are
+	// identical for every value.
+	Workers int
+	// Cache is a shared synthesis-checkpoint cache; runs with a warm
+	// cache skip re-synthesizing unchanged modules (nil = no cache).
+	Cache *vivado.CheckpointCache
 }
 
 // GroupRun records one in-context P&R run (one Ω of the paper's model).
@@ -79,7 +95,19 @@ type Result struct {
 	PartialBitstreams []*bitstream.Bitstream
 	// Scripts are the auto-generated CAD scripts documenting the run.
 	Scripts *Scripts
+	// Jobs reports the scheduler execution: per-stage job counts,
+	// cancellations and checkpoint-cache hits/misses.
+	Jobs JobStats
 }
+
+// flowMode selects between the PR-ESP flow and the standard-DFX
+// baseline, which share the job graph but aggregate differently.
+type flowMode int
+
+const (
+	modePRESP flowMode = iota
+	modeStandardDFX
+)
 
 // RunPRESP executes the PR-ESP flow on design d. Designs without
 // reconfigurable tiles (plain ESP SoCs with native accelerator tiles)
@@ -89,156 +117,303 @@ func RunPRESP(d *socgen.Design, opt Options) (*Result, error) {
 	if len(d.RPs) == 0 {
 		return RunMonolithic(d, opt)
 	}
-	tool, err := vivado.New(d.Dev, opt.Model)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Design: d, SynthRuns: make(map[string]vivado.Minutes)}
-
-	// --- Parse & split, then parallel OoC synthesis (Fig 1). ---
-	staticCk, rpCks, err := synthesizeSplit(tool, d, res.SynthRuns)
-	if err != nil {
-		return nil, err
-	}
-	// All syntheses run in parallel, one tool instance each.
-	instances := 1 + len(rpCks)
-	cont := tool.Model().Contention(instances)
-	var maxSynth vivado.Minutes
-	for _, t := range res.SynthRuns {
-		if t > maxSynth {
-			maxSynth = t
-		}
-	}
-	res.SynthWall = vivado.Minutes(float64(maxSynth) * cont)
-
-	// --- Floorplanning (FLORA-adapted). ---
-	res.Plan, err = FloorplanDesign(d, tool.Model())
-	if err != nil {
-		return nil, err
-	}
-
-	// --- DFX design rule checks: every partition's content must be
-	// legal for runtime reconfiguration and fit its pblock. ---
-	for _, rp := range d.RPs {
-		pb, ok := res.Plan.Pblocks[rp.Name]
-		if !ok {
-			return nil, fmt.Errorf("flow: floorplan lost partition %s", rp.Name)
-		}
-		if err := tool.CheckDFX(rp.Content, rp.Resources, pb); err != nil {
-			return nil, fmt.Errorf("flow: partition %s: %w", rp.Name, err)
-		}
-	}
-
-	// --- Strategy choice. ---
-	if opt.Strategy != nil {
-		res.Strategy = opt.Strategy
-	} else {
-		res.Strategy, err = core.Choose(d)
-		if err != nil {
-			return nil, err
-		}
-		if res.Strategy.Kind == core.SemiParallel && opt.SemiTau > 1 && opt.SemiTau < len(d.RPs) {
-			res.Strategy, err = core.ForceStrategy(d, core.SemiParallel, opt.SemiTau)
-			if err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	// --- Script generation (documents every decision made so far). ---
-	res.Scripts, err = GenerateScripts(d, res.Strategy, res.Plan)
-	if err != nil {
-		return nil, err
-	}
-
-	// --- Orchestrated P&R. ---
-	if err := implement(tool, d, res, staticCk, rpCks); err != nil {
-		return nil, err
-	}
-
-	// --- Bitstream generation. ---
-	if !opt.SkipBitstreams {
-		if err := generateBitstreams(tool, d, res, opt.Compress); err != nil {
-			return nil, err
-		}
-	}
-	res.Total = res.SynthWall + res.PRWall
-	return res, nil
+	return runPartitioned(d, opt, modePRESP)
 }
 
 // RunStandardDFX executes the baseline: the vendor DFX flow in a single
 // tool instance — sequential synthesis of the static part and every
 // reconfigurable module, then a serial whole-design implementation.
 func RunStandardDFX(d *socgen.Design, opt Options) (*Result, error) {
+	return runPartitioned(d, opt, modeStandardDFX)
+}
+
+// chooseStrategy resolves the implementation strategy up front (it
+// depends only on the elaborated design), so the whole job graph can be
+// built before execution starts.
+func chooseStrategy(d *socgen.Design, opt Options, mode flowMode) (*core.Strategy, error) {
+	if mode == modeStandardDFX {
+		return core.ForceStrategy(d, core.Serial, 1)
+	}
+	if opt.Strategy != nil {
+		return opt.Strategy, nil
+	}
+	s, err := core.Choose(d)
+	if err != nil {
+		return nil, err
+	}
+	if s.Kind == core.SemiParallel && opt.SemiTau > 1 && opt.SemiTau < len(d.RPs) {
+		s, err = core.ForceStrategy(d, core.SemiParallel, opt.SemiTau)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// runPartitioned builds and executes the partitioned-design job graph:
+//
+//	synth/static ─┐                        ┌─ impl/group_i ─┐
+//	synth/<rp>  ──┼─ floorplan ─ scripts ──┼─ ...           ├─ bitgen/*
+//	...         ──┘                        └─ impl/serial  ─┘
+func runPartitioned(d *socgen.Design, opt Options, mode flowMode) (*Result, error) {
 	tool, err := vivado.New(d.Dev, opt.Model)
 	if err != nil {
 		return nil, err
 	}
+	tool.SetCache(opt.Cache)
 	res := &Result{Design: d, SynthRuns: make(map[string]vivado.Minutes)}
-
-	staticCk, rpCks, err := synthesizeSplit(tool, d, res.SynthRuns)
+	res.Strategy, err = chooseStrategy(d, opt, mode)
 	if err != nil {
 		return nil, err
 	}
-	_ = staticCk
-	_ = rpCks
-	// Sequential synthesis in one instance: times add up.
-	for _, t := range res.SynthRuns {
-		res.SynthWall += t
-	}
 
-	res.Plan, err = FloorplanDesign(d, tool.Model())
-	if err != nil {
-		return nil, err
-	}
-	res.Strategy, err = core.ForceStrategy(d, core.Serial, 1)
-	if err != nil {
-		return nil, err
-	}
-	if err := implement(tool, d, res, staticCk, rpCks); err != nil {
-		return nil, err
-	}
-	if !opt.SkipBitstreams {
-		if err := generateBitstreams(tool, d, res, opt.Compress); err != nil {
-			return nil, err
-		}
-	}
-	res.Total = res.SynthWall + res.PRWall
-	return res, nil
-}
+	g := NewGraph()
+	var mu sync.Mutex // guards rpCks and SynthRuns across parallel synth jobs
 
-// synthesizeSplit synthesizes the static part (reconfigurable
-// accelerators replaced by auto-generated black boxes) and each RP
-// content out-of-context, recording per-run times.
-func synthesizeSplit(tool *vivado.Tool, d *socgen.Design, runs map[string]vivado.Minutes) (*vivado.SynthCheckpoint, map[string]*vivado.SynthCheckpoint, error) {
+	// --- Parse & split, then OoC synthesis (Fig 1): one job per
+	// module, all independent. ---
 	var staticRes fpga.Resources
 	for _, m := range d.StaticModules {
 		staticRes = staticRes.Add(m.TotalCost())
 	}
 	staticMod := BuildStaticTop(d)
-	staticCk, err := tool.Synthesize(staticMod, false)
-	if err != nil {
-		return nil, nil, fmt.Errorf("flow: static synthesis: %w", err)
-	}
-	if got := staticCk.Resources[fpga.LUT]; got != staticRes[fpga.LUT] {
-		return nil, nil, fmt.Errorf("flow: static split lost logic: top has %d LUTs, tiles sum to %d",
-			got, staticRes[fpga.LUT])
-	}
-	runs["static"] = staticCk.Runtime
-
+	var staticCk *vivado.SynthCheckpoint
 	rpCks := make(map[string]*vivado.SynthCheckpoint, len(d.RPs))
-	for _, rp := range d.RPs {
-		if rp.Content == nil {
-			return nil, nil, fmt.Errorf("flow: partition %s has no initial content to synthesize", rp.Name)
-		}
-		ck, err := tool.Synthesize(rp.Content, true)
+	synthIDs := []string{"synth/static"}
+	must(g.Add("synth/static", StageSynth, nil, func() (vivado.Minutes, error) {
+		ck, err := tool.Synthesize(staticMod, false)
 		if err != nil {
-			return nil, nil, fmt.Errorf("flow: OoC synthesis of %s: %w", rp.Name, err)
+			return 0, fmt.Errorf("flow: static synthesis: %w", err)
 		}
-		rpCks[rp.Name] = ck
-		runs[rp.Name] = ck.Runtime
+		if got := ck.Resources[fpga.LUT]; got != staticRes[fpga.LUT] {
+			return 0, fmt.Errorf("flow: static split lost logic: top has %d LUTs, tiles sum to %d",
+				got, staticRes[fpga.LUT])
+		}
+		mu.Lock()
+		staticCk = ck
+		res.SynthRuns["static"] = ck.Runtime
+		mu.Unlock()
+		return ck.Runtime, nil
+	}))
+	for _, rp := range d.RPs {
+		rp := rp
+		id := "synth/" + rp.Name
+		synthIDs = append(synthIDs, id)
+		must(g.Add(id, StageSynth, nil, func() (vivado.Minutes, error) {
+			if rp.Content == nil {
+				return 0, fmt.Errorf("flow: partition %s has no initial content to synthesize", rp.Name)
+			}
+			ck, err := tool.Synthesize(rp.Content, true)
+			if err != nil {
+				return 0, fmt.Errorf("flow: OoC synthesis of %s: %w", rp.Name, err)
+			}
+			mu.Lock()
+			rpCks[rp.Name] = ck
+			res.SynthRuns[rp.Name] = ck.Runtime
+			mu.Unlock()
+			return ck.Runtime, nil
+		}))
 	}
-	return staticCk, rpCks, nil
+
+	// --- Floorplanning (FLORA-adapted), joining every synthesis, plus
+	// the DFX design rule checks the PR-ESP flow enforces. ---
+	must(g.Add("floorplan", StagePlan, synthIDs, func() (vivado.Minutes, error) {
+		plan, err := FloorplanDesign(d, tool.Model())
+		if err != nil {
+			return 0, err
+		}
+		if mode == modePRESP {
+			for _, rp := range d.RPs {
+				pb, ok := plan.Pblocks[rp.Name]
+				if !ok {
+					return 0, fmt.Errorf("flow: floorplan lost partition %s", rp.Name)
+				}
+				if err := tool.CheckDFX(rp.Content, rp.Resources, pb); err != nil {
+					return 0, fmt.Errorf("flow: partition %s: %w", rp.Name, err)
+				}
+			}
+		}
+		res.Plan = plan
+		return 0, nil
+	}))
+
+	// --- Script generation (documents every decision made so far). ---
+	implGate := "floorplan"
+	if mode == modePRESP {
+		implGate = "scripts"
+		must(g.Add("scripts", StagePlan, []string{"floorplan"}, func() (vivado.Minutes, error) {
+			s, err := GenerateScripts(d, res.Strategy, res.Plan)
+			if err != nil {
+				return 0, err
+			}
+			res.Scripts = s
+			return 0, nil
+		}))
+	}
+
+	// --- Orchestrated P&R per the chosen strategy. ---
+	var implIDs []string
+	var rs *vivado.RoutedStatic
+	ctxResults := make([]*vivado.ContextResult, len(res.Strategy.Groups))
+	switch res.Strategy.Kind {
+	case core.Serial:
+		deps := append(append([]string(nil), synthIDs...), implGate)
+		implIDs = []string{"impl/serial"}
+		must(g.Add("impl/serial", StageImpl, deps, func() (vivado.Minutes, error) {
+			total := d.StaticResources.Add(d.ReconfigurableResources())
+			sr, err := tool.ImplementSerial(d.Cfg.Name, total, len(d.RPs), res.Plan.RPFraction)
+			if err != nil {
+				return 0, err
+			}
+			res.PRWall = sr.Runtime
+			return sr.Runtime, nil
+		}))
+	case core.SemiParallel, core.FullyParallel:
+		must(g.Add("impl/static", StageImpl, []string{"synth/static", implGate}, func() (vivado.Minutes, error) {
+			r, err := tool.PreRouteStatic(d.Cfg.Name, staticCk, res.Plan.Pblocks, d.ReconfigurableResources())
+			if err != nil {
+				return 0, err
+			}
+			rs = r
+			res.TStatic = r.Runtime
+			return r.Runtime, nil
+		}))
+		for gi, group := range res.Strategy.Groups {
+			gi, group := gi, group
+			id := fmt.Sprintf("impl/group_%03d", gi)
+			implIDs = append(implIDs, id)
+			deps := []string{"impl/static"}
+			for _, name := range group {
+				deps = append(deps, "synth/"+name)
+			}
+			must(g.Add(id, StageImpl, deps, func() (vivado.Minutes, error) {
+				// Snapshot the group's checkpoints: other synthesis jobs
+				// may still be writing rpCks concurrently.
+				cks := make(map[string]*vivado.SynthCheckpoint, len(group))
+				mu.Lock()
+				for _, name := range group {
+					cks[name] = rpCks[name]
+				}
+				mu.Unlock()
+				cr, err := tool.ImplementInContext(rs, group, cks)
+				if err != nil {
+					return 0, err
+				}
+				ctxResults[gi] = cr
+				return cr.Runtime, nil
+			}))
+		}
+	default:
+		return nil, fmt.Errorf("flow: unknown strategy %v", res.Strategy.Kind)
+	}
+
+	// --- Bitstream generation: one full-device job plus one partial per
+	// partition, all fanned out after P&R. ---
+	var fullT vivado.Minutes
+	partials := make([]*bitstream.Bitstream, len(d.RPs))
+	partialT := make([]vivado.Minutes, len(d.RPs))
+	if !opt.SkipBitstreams {
+		must(g.Add("bitgen/full", StageBitgen, implIDs, func() (vivado.Minutes, error) {
+			total := d.StaticResources.Add(d.ReconfigurableResources())
+			full, t, err := tool.WriteFullBitstream(d.Cfg.Name+".bit", total, opt.Compress)
+			if err != nil {
+				return 0, err
+			}
+			res.FullBitstream = full
+			fullT = t
+			return t, nil
+		}))
+		for i, rp := range d.RPs {
+			i, rp := i, rp
+			must(g.Add("bitgen/"+rp.Name, StageBitgen, implIDs, func() (vivado.Minutes, error) {
+				pb, ok := res.Plan.Pblocks[rp.Name]
+				if !ok {
+					return 0, fmt.Errorf("flow: no pblock for partition %s", rp.Name)
+				}
+				name := fmt.Sprintf("%s.%s.pbs", d.Cfg.Name, rp.Name)
+				bs, t, err := tool.WritePartialBitstream(name, pb, rp.Resources, opt.Compress)
+				if err != nil {
+					return 0, err
+				}
+				partials[i] = bs
+				partialT[i] = t
+				return t, nil
+			}))
+		}
+	}
+
+	res.Jobs, err = g.Execute(opt.Workers)
+	res.Jobs.CacheHits, res.Jobs.CacheMisses = cacheCounts(tool)
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Wall-time aggregation: the analytic model of the paper,
+	// computed in deterministic order from the recorded job times. ---
+	switch mode {
+	case modePRESP:
+		// All syntheses run in parallel, one tool instance each.
+		cont := tool.Model().Contention(1 + len(d.RPs))
+		var maxSynth vivado.Minutes
+		for _, t := range res.SynthRuns {
+			if t > maxSynth {
+				maxSynth = t
+			}
+		}
+		res.SynthWall = vivado.Minutes(float64(maxSynth) * cont)
+	case modeStandardDFX:
+		// Sequential synthesis in one instance: times add up (in sorted
+		// run order, so the float sum is reproducible).
+		names := make([]string, 0, len(res.SynthRuns))
+		for n := range res.SynthRuns {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			res.SynthWall += res.SynthRuns[n]
+		}
+	}
+	if res.Strategy.Kind != core.Serial {
+		cont := tool.Model().Contention(res.Strategy.Tau)
+		for _, cr := range ctxResults {
+			run := GroupRun{Partitions: cr.Group, Runtime: vivado.Minutes(float64(cr.Runtime) * cont)}
+			res.Groups = append(res.Groups, run)
+			if run.Runtime > res.MaxOmega {
+				res.MaxOmega = run.Runtime
+			}
+		}
+		res.PRWall = res.TStatic + res.MaxOmega
+	}
+	if !opt.SkipBitstreams {
+		res.PartialBitstreams = partials
+		var maxPartial vivado.Minutes
+		for _, t := range partialT {
+			if t > maxPartial {
+				maxPartial = t
+			}
+		}
+		sort.Slice(res.PartialBitstreams, func(i, j int) bool {
+			return res.PartialBitstreams[i].Name < res.PartialBitstreams[j].Name
+		})
+		// Partial bitstream writes run in parallel with each other.
+		res.BitgenWall = fullT + maxPartial
+	}
+	res.Total = res.SynthWall + res.PRWall
+	return res, nil
+}
+
+// cacheCounts converts a tool's cache counters for JobStats.
+func cacheCounts(tool *vivado.Tool) (hits, misses int) {
+	h, m := tool.CacheStats()
+	return int(h), int(m)
+}
+
+// must panics on graph-construction errors: job IDs and dependencies are
+// generated from validated designs, so a failure is a programming bug.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }
 
 // BuildStaticTop assembles the static-part hierarchy: the static tile
@@ -262,77 +437,6 @@ func BuildStaticTop(d *socgen.Design) *rtl.Module {
 		top.AddChild(rp.Name, bb)
 	}
 	return top
-}
-
-// implement runs the P&R stage per the chosen strategy.
-func implement(tool *vivado.Tool, d *socgen.Design, res *Result, staticCk *vivado.SynthCheckpoint, rpCks map[string]*vivado.SynthCheckpoint) error {
-	model := tool.Model()
-	switch res.Strategy.Kind {
-	case core.Serial:
-		total := d.StaticResources.Add(d.ReconfigurableResources())
-		sr, err := tool.ImplementSerial(d.Cfg.Name, total, len(d.RPs), res.Plan.RPFraction)
-		if err != nil {
-			return err
-		}
-		res.PRWall = sr.Runtime
-		return nil
-	case core.SemiParallel, core.FullyParallel:
-		rs, err := tool.PreRouteStatic(d.Cfg.Name, staticCk, res.Plan.Pblocks, d.ReconfigurableResources())
-		if err != nil {
-			return err
-		}
-		res.TStatic = rs.Runtime
-		cont := model.Contention(res.Strategy.Tau)
-		for _, group := range res.Strategy.Groups {
-			cr, err := tool.ImplementInContext(rs, group, rpCks)
-			if err != nil {
-				return err
-			}
-			run := GroupRun{Partitions: cr.Group, Runtime: vivado.Minutes(float64(cr.Runtime) * cont)}
-			res.Groups = append(res.Groups, run)
-			if run.Runtime > res.MaxOmega {
-				res.MaxOmega = run.Runtime
-			}
-		}
-		res.PRWall = res.TStatic + res.MaxOmega
-		return nil
-	default:
-		return fmt.Errorf("flow: unknown strategy %v", res.Strategy.Kind)
-	}
-}
-
-// generateBitstreams writes the full bitstream and one partial per RP.
-func generateBitstreams(tool *vivado.Tool, d *socgen.Design, res *Result, compress bool) error {
-	total := d.StaticResources.Add(d.ReconfigurableResources())
-	full, tFull, err := tool.WriteFullBitstream(d.Cfg.Name+".bit", total, compress)
-	if err != nil {
-		return err
-	}
-	res.FullBitstream = full
-	res.BitgenWall = tFull
-
-	var maxPartial vivado.Minutes
-	for _, rp := range d.RPs {
-		pb, ok := res.Plan.Pblocks[rp.Name]
-		if !ok {
-			return fmt.Errorf("flow: no pblock for partition %s", rp.Name)
-		}
-		name := fmt.Sprintf("%s.%s.pbs", d.Cfg.Name, rp.Name)
-		bs, t, err := tool.WritePartialBitstream(name, pb, rp.Resources, compress)
-		if err != nil {
-			return err
-		}
-		res.PartialBitstreams = append(res.PartialBitstreams, bs)
-		if t > maxPartial {
-			maxPartial = t
-		}
-	}
-	sort.Slice(res.PartialBitstreams, func(i, j int) bool {
-		return res.PartialBitstreams[i].Name < res.PartialBitstreams[j].Name
-	})
-	// Partial bitstream writes run in parallel with each other.
-	res.BitgenWall += maxPartial
-	return nil
 }
 
 // FloorplanDesign floorplans all partitions of d with the model's slack.

@@ -12,36 +12,56 @@ import (
 // single tool instance, with no reconfigurable partitions, no pblock
 // constraints and no partial bitstreams. This is the "equivalent
 // monolithic design" the paper compares compile times against.
+//
+// The run goes through the same job scheduler as the partitioned flows
+// — a three-job chain (synth → impl → bitgen), so Result.Jobs accounts
+// for it uniformly.
 func RunMonolithic(d *socgen.Design, opt Options) (*Result, error) {
 	tool, err := vivado.New(d.Dev, opt.Model)
 	if err != nil {
 		return nil, err
 	}
+	tool.SetCache(opt.Cache)
 	res := &Result{Design: d, SynthRuns: make(map[string]vivado.Minutes)}
-
-	// Single-instance synthesis of the full hierarchy.
 	total := d.StaticResources.Add(d.ReconfigurableResources())
-	res.SynthWall = tool.Model().SynthTime(float64(total[fpga.LUT])/1000.0, false)
-	res.SynthRuns["full"] = res.SynthWall
 
+	g := NewGraph()
+	// Single-instance synthesis of the full hierarchy.
+	must(g.Add("synth/full", StageSynth, nil, func() (vivado.Minutes, error) {
+		t := tool.Model().SynthTime(float64(total[fpga.LUT])/1000.0, false)
+		res.SynthWall = t
+		res.SynthRuns["full"] = t
+		return t, nil
+	}))
 	// Flat implementation: no partitions (nRP = 0), no reserved area.
-	sr, err := tool.ImplementSerial(d.Cfg.Name+"_mono", total, 0, 0)
+	must(g.Add("impl/flat", StageImpl, []string{"synth/full"}, func() (vivado.Minutes, error) {
+		sr, err := tool.ImplementSerial(d.Cfg.Name+"_mono", total, 0, 0)
+		if err != nil {
+			return 0, err
+		}
+		res.PRWall = sr.Runtime
+		return sr.Runtime, nil
+	}))
+	if !opt.SkipBitstreams {
+		must(g.Add("bitgen/full", StageBitgen, []string{"impl/flat"}, func() (vivado.Minutes, error) {
+			full, t, err := tool.WriteFullBitstream(d.Cfg.Name+"_mono.bit", total, opt.Compress)
+			if err != nil {
+				return 0, err
+			}
+			res.FullBitstream = full
+			res.BitgenWall = t
+			return t, nil
+		}))
+	}
+	res.Jobs, err = g.Execute(opt.Workers)
+	res.Jobs.CacheHits, res.Jobs.CacheMisses = cacheCounts(tool)
 	if err != nil {
 		return nil, err
 	}
-	res.PRWall = sr.Runtime
+
 	res.Strategy = &core.Strategy{Kind: core.Serial, Tau: 1}
 	if m, err := core.ComputeMetrics(d); err == nil {
 		res.Strategy.Metrics = m
-	}
-
-	if !opt.SkipBitstreams {
-		full, t, err := tool.WriteFullBitstream(d.Cfg.Name+"_mono.bit", total, opt.Compress)
-		if err != nil {
-			return nil, err
-		}
-		res.FullBitstream = full
-		res.BitgenWall = t
 	}
 	res.Total = res.SynthWall + res.PRWall
 	return res, nil

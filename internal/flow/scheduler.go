@@ -1,0 +1,288 @@
+// Job-graph scheduler: the flow's CAD steps — out-of-context synthesis,
+// floorplanning, per-partition implementation, bitstream generation —
+// form a dependency DAG that a bounded pool of worker goroutines
+// executes concurrently. Each job carries its *simulated* CAD runtime
+// (vivado.Minutes), so the reported wall times stay the analytic values
+// of the cost model whatever the worker count; only the real CPU time
+// spent simulating shrinks on multicore hosts. Reported errors are
+// selected deterministically (earliest job in graph-insertion order), so
+// results are observationally identical for any worker count.
+package flow
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"presp/internal/vivado"
+)
+
+// Stage labels a job with the flow stage it belongs to, for the
+// per-stage counters Result reports.
+type Stage int
+
+const (
+	// StageSynth is (out-of-context) synthesis.
+	StageSynth Stage = iota
+	// StagePlan covers floorplanning, DFX design rule checks and script
+	// generation.
+	StagePlan
+	// StageImpl is place-and-route (serial, static pre-route or
+	// in-context).
+	StageImpl
+	// StageBitgen is bitstream generation.
+	StageBitgen
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageSynth:
+		return "synth"
+	case StagePlan:
+		return "plan"
+	case StageImpl:
+		return "impl"
+	case StageBitgen:
+		return "bitgen"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
+}
+
+// Job is one unit of CAD work in the dependency graph. Run returns the
+// job's simulated duration; the scheduler only accumulates it — wall-time
+// aggregation (max over parallel instances, contention scaling) stays
+// with the flow, which knows the paper's timing model.
+type Job struct {
+	// ID names the job uniquely within its graph.
+	ID string
+	// Stage classifies the job for Result accounting.
+	Stage Stage
+	// Deps lists job IDs that must complete successfully first.
+	Deps []string
+	// Run performs the work.
+	Run func() (vivado.Minutes, error)
+	// order is the insertion index, the deterministic error-priority key.
+	order int
+}
+
+// Graph is a job dependency DAG under construction.
+type Graph struct {
+	jobs map[string]*Job
+	seq  []*Job
+}
+
+// NewGraph returns an empty job graph.
+func NewGraph() *Graph {
+	return &Graph{jobs: make(map[string]*Job)}
+}
+
+// Add registers a job. Duplicate IDs are an error; dependencies are
+// validated at Execute time so jobs can be added in any order.
+func (g *Graph) Add(id string, stage Stage, deps []string, run func() (vivado.Minutes, error)) error {
+	if id == "" {
+		return fmt.Errorf("flow: job with empty ID")
+	}
+	if run == nil {
+		return fmt.Errorf("flow: job %q has no work function", id)
+	}
+	if _, dup := g.jobs[id]; dup {
+		return fmt.Errorf("flow: duplicate job %q", id)
+	}
+	j := &Job{
+		ID:    id,
+		Stage: stage,
+		Deps:  append([]string(nil), deps...),
+		Run:   run,
+		order: len(g.seq),
+	}
+	g.jobs[id] = j
+	g.seq = append(g.seq, j)
+	return nil
+}
+
+// Len returns the number of registered jobs.
+func (g *Graph) Len() int { return len(g.seq) }
+
+// JobStats summarizes one scheduler execution: how many jobs of each
+// stage ran, how many were cancelled by an upstream failure, how the
+// synthesis cache performed and how much simulated CAD time the jobs
+// accumulated (Σ over all jobs, not wall time).
+type JobStats struct {
+	// Workers is the worker-pool size the graph executed on.
+	Workers int
+	// SynthJobs .. BitgenJobs count executed jobs per stage.
+	SynthJobs  int
+	PlanJobs   int
+	ImplJobs   int
+	BitgenJobs int
+	// Cancelled counts jobs skipped because a dependency failed.
+	Cancelled int
+	// CacheHits and CacheMisses report the synthesis-checkpoint cache
+	// (zero when no cache is attached).
+	CacheHits   int
+	CacheMisses int
+	// SimMinutes is the summed simulated duration of all executed jobs.
+	SimMinutes vivado.Minutes
+}
+
+// Executed returns the total number of jobs that ran.
+func (s JobStats) Executed() int {
+	return s.SynthJobs + s.PlanJobs + s.ImplJobs + s.BitgenJobs
+}
+
+func (s *JobStats) count(st Stage) {
+	switch st {
+	case StageSynth:
+		s.SynthJobs++
+	case StagePlan:
+		s.PlanJobs++
+	case StageImpl:
+		s.ImplJobs++
+	case StageBitgen:
+		s.BitgenJobs++
+	}
+}
+
+// jobDone carries one completion from a worker to the coordinator.
+type jobDone struct {
+	job     *Job
+	runtime vivado.Minutes
+	err     error
+}
+
+// Execute runs the graph on a pool of workers goroutines (workers <= 0
+// selects runtime.NumCPU()). Every job runs exactly once after all its
+// dependencies succeeded; a failed job cancels its transitive dependents
+// without stopping independent work. When several jobs fail, the error
+// of the earliest-added one is returned — the same error a sequential
+// execution in insertion order would have surfaced — so the outcome does
+// not depend on goroutine scheduling.
+func (g *Graph) Execute(workers int) (JobStats, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(g.seq) {
+		workers = len(g.seq)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	stats := JobStats{Workers: workers}
+	if len(g.seq) == 0 {
+		return stats, nil
+	}
+
+	indeg := make(map[string]int, len(g.seq))
+	dependents := make(map[string][]*Job)
+	for _, j := range g.seq {
+		for _, dep := range j.Deps {
+			if _, ok := g.jobs[dep]; !ok {
+				return stats, fmt.Errorf("flow: job %q depends on unknown job %q", j.ID, dep)
+			}
+			indeg[j.ID]++
+			dependents[dep] = append(dependents[dep], j)
+		}
+	}
+
+	// Buffers sized to the job count: dispatch and completion never
+	// block, so the coordinator cannot deadlock against the pool.
+	work := make(chan *Job, len(g.seq))
+	results := make(chan jobDone, len(g.seq))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				t, err := j.Run()
+				results <- jobDone{job: j, runtime: t, err: err}
+			}
+		}()
+	}
+
+	cancelled := make(map[string]bool)
+	failed := make(map[string]*Job)
+	failure := make(map[string]error)
+	pending := len(g.seq)
+	running := 0
+
+	dispatch := func(j *Job) {
+		running++
+		work <- j
+	}
+	// cancel removes j and its transitive dependents from the pending
+	// set; none of them has been dispatched (they still wait on the
+	// failed dependency).
+	var cancel func(j *Job)
+	cancel = func(j *Job) {
+		if cancelled[j.ID] {
+			return
+		}
+		cancelled[j.ID] = true
+		stats.Cancelled++
+		pending--
+		for _, dep := range dependents[j.ID] {
+			cancel(dep)
+		}
+	}
+
+	for _, j := range g.seq {
+		if indeg[j.ID] == 0 {
+			dispatch(j)
+		}
+	}
+	for pending > 0 {
+		if running == 0 {
+			// Nothing runs and nothing can become ready: the remaining
+			// jobs wait on each other in a cycle.
+			close(work)
+			wg.Wait()
+			var stuck []string
+			for _, j := range g.seq {
+				if !cancelled[j.ID] && indeg[j.ID] > 0 {
+					stuck = append(stuck, j.ID)
+				}
+			}
+			sort.Strings(stuck)
+			return stats, fmt.Errorf("flow: job graph has a dependency cycle among %v", stuck)
+		}
+		d := <-results
+		running--
+		pending--
+		stats.count(d.job.Stage)
+		stats.SimMinutes += d.runtime
+		if d.err != nil {
+			failed[d.job.ID] = d.job
+			failure[d.job.ID] = d.err
+			for _, dep := range dependents[d.job.ID] {
+				cancel(dep)
+			}
+			continue
+		}
+		for _, dep := range dependents[d.job.ID] {
+			if cancelled[dep.ID] {
+				continue
+			}
+			indeg[dep.ID]--
+			if indeg[dep.ID] == 0 {
+				dispatch(dep)
+			}
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	if len(failed) > 0 {
+		var first *Job
+		for _, j := range failed {
+			if first == nil || j.order < first.order {
+				first = j
+			}
+		}
+		return stats, failure[first.ID]
+	}
+	return stats, nil
+}

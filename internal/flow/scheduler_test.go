@@ -1,0 +1,241 @@
+package flow
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"presp/internal/vivado"
+)
+
+// recorder observes a graph execution: which jobs ran, how often, and
+// whether every dependency had completed when its dependent started.
+type recorder struct {
+	mu        sync.Mutex
+	completed map[string]bool
+	runs      map[string]int
+	violation string
+}
+
+func newRecorder() *recorder {
+	return &recorder{completed: make(map[string]bool), runs: make(map[string]int)}
+}
+
+// instrument wraps a job body so the recorder checks dependency order on
+// entry and records completion on exit.
+func (r *recorder) instrument(id string, deps []string, fail bool) func() (vivado.Minutes, error) {
+	return func() (vivado.Minutes, error) {
+		r.mu.Lock()
+		for _, dep := range deps {
+			if !r.completed[dep] {
+				if r.violation == "" {
+					r.violation = fmt.Sprintf("job %s started before dependency %s completed", id, dep)
+				}
+			}
+		}
+		r.runs[id]++
+		r.mu.Unlock()
+
+		r.mu.Lock()
+		r.completed[id] = true
+		r.mu.Unlock()
+		if fail {
+			return 0, fmt.Errorf("job %s failed", id)
+		}
+		return 1, nil
+	}
+}
+
+// randomDAG builds a graph of n jobs where each job depends on a random
+// subset of earlier jobs (acyclic by construction) and each job fails
+// with probability pFail. It returns the graph, the recorder, the
+// dependency lists and the set of fail-designated jobs.
+func randomDAG(rng *rand.Rand, n int, pFail float64) (*Graph, *recorder, map[string][]string, map[string]bool) {
+	g := NewGraph()
+	rec := newRecorder()
+	deps := make(map[string][]string, n)
+	fails := make(map[string]bool)
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("job%03d", i)
+		ids[i] = id
+		var d []string
+		for j := 0; j < i; j++ {
+			if rng.Float64() < 0.25 {
+				d = append(d, ids[j])
+			}
+		}
+		deps[id] = d
+		fail := rng.Float64() < pFail
+		fails[id] = fail
+		stage := Stage(rng.Intn(4))
+		if err := g.Add(id, stage, d, rec.instrument(id, d, fail)); err != nil {
+			panic(err)
+		}
+	}
+	return g, rec, deps, fails
+}
+
+// predictOutcome walks the DAG in insertion order (dependencies always
+// precede dependents) and computes which jobs must run, which must be
+// cancelled, and which failure the scheduler must report.
+func predictOutcome(n int, deps map[string][]string, fails map[string]bool) (ran, cancelled map[string]bool, firstErr string) {
+	ran = make(map[string]bool)
+	cancelled = make(map[string]bool)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("job%03d", i)
+		blocked := false
+		for _, dep := range deps[id] {
+			if cancelled[dep] || (ran[dep] && fails[dep]) {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			cancelled[id] = true
+			continue
+		}
+		ran[id] = true
+		if fails[id] && firstErr == "" {
+			firstErr = fmt.Sprintf("job %s failed", id)
+		}
+	}
+	return ran, cancelled, firstErr
+}
+
+// checkExecution runs graph g and verifies the scheduler's contract
+// against the predicted outcome, for one worker count.
+func checkExecution(t *testing.T, rng *rand.Rand, n int, pFail float64, workers int) {
+	t.Helper()
+	g, rec, deps, fails := randomDAG(rng, n, pFail)
+	wantRan, wantCancelled, wantErr := predictOutcome(n, deps, fails)
+
+	stats, err := g.Execute(workers)
+
+	if rec.violation != "" {
+		t.Fatalf("workers=%d: dependency violation: %s", workers, rec.violation)
+	}
+	for id, count := range rec.runs {
+		if count != 1 {
+			t.Fatalf("workers=%d: job %s ran %d times", workers, id, count)
+		}
+	}
+	for id := range wantRan {
+		if rec.runs[id] != 1 {
+			t.Fatalf("workers=%d: job %s should have run", workers, id)
+		}
+	}
+	for id := range wantCancelled {
+		if rec.runs[id] != 0 {
+			t.Fatalf("workers=%d: cancelled job %s ran", workers, id)
+		}
+	}
+	if stats.Cancelled != len(wantCancelled) {
+		t.Fatalf("workers=%d: cancelled %d jobs, want %d", workers, stats.Cancelled, len(wantCancelled))
+	}
+	if got := stats.Executed(); got != len(wantRan) {
+		t.Fatalf("workers=%d: executed %d jobs, want %d", workers, got, len(wantRan))
+	}
+	if wantErr == "" {
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error: %v", workers, err)
+		}
+	} else {
+		if err == nil {
+			t.Fatalf("workers=%d: expected error %q, got nil", workers, wantErr)
+		}
+		if err.Error() != wantErr {
+			t.Fatalf("workers=%d: error %q, want %q (error selection must be deterministic)", workers, err, wantErr)
+		}
+	}
+}
+
+// TestSchedulerRandomDAGs is the property suite: across many random DAGs
+// and worker counts, no job runs before its dependencies, every runnable
+// job runs exactly once, failures cancel exactly the transitive
+// dependents, and the reported error never depends on scheduling.
+func TestSchedulerRandomDAGs(t *testing.T) {
+	workerCounts := []int{1, 4, runtime.NumCPU()}
+	for seed := int64(0); seed < 30; seed++ {
+		for _, workers := range workerCounts {
+			rng := rand.New(rand.NewSource(seed))
+			n := 1 + rng.Intn(40)
+			pFail := 0.0
+			if seed%2 == 1 {
+				pFail = 0.15
+			}
+			checkExecution(t, rng, n, pFail, workers)
+		}
+	}
+}
+
+// FuzzSchedulerExecute drives the same property check from fuzzed
+// (seed, size, failure-rate, workers) tuples.
+func FuzzSchedulerExecute(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(0), uint8(1))
+	f.Add(int64(2), uint8(25), uint8(40), uint8(4))
+	f.Add(int64(99), uint8(40), uint8(128), uint8(16))
+	f.Fuzz(func(t *testing.T, seed int64, size, failPct, workers uint8) {
+		n := 1 + int(size)%48
+		pFail := float64(failPct) / 255.0
+		w := 1 + int(workers)%16
+		checkExecution(t, rand.New(rand.NewSource(seed)), n, pFail, w)
+	})
+}
+
+// TestSchedulerDetectsCycles: a cyclic graph must error out instead of
+// deadlocking the pool.
+func TestSchedulerDetectsCycles(t *testing.T) {
+	g := NewGraph()
+	noop := func() (vivado.Minutes, error) { return 0, nil }
+	if err := g.Add("a", StageSynth, []string{"b"}, noop); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add("b", StageSynth, []string{"a"}, noop); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add("c", StageSynth, nil, noop); err != nil {
+		t.Fatal(err)
+	}
+	_, err := g.Execute(4)
+	if err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+// TestSchedulerRejectsBadGraphs covers the construction-time contract.
+func TestSchedulerRejectsBadGraphs(t *testing.T) {
+	noop := func() (vivado.Minutes, error) { return 0, nil }
+	g := NewGraph()
+	if err := g.Add("a", StageSynth, nil, noop); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add("a", StageSynth, nil, noop); err == nil {
+		t.Fatal("duplicate job accepted")
+	}
+	if err := g.Add("", StageSynth, nil, noop); err == nil {
+		t.Fatal("empty job ID accepted")
+	}
+	if err := g.Add("b", StageSynth, nil, nil); err == nil {
+		t.Fatal("nil work function accepted")
+	}
+	if err := g.Add("c", StageSynth, []string{"ghost"}, noop); err != nil {
+		t.Fatal(err) // unknown deps surface at Execute, not Add
+	}
+	if _, err := g.Execute(2); err == nil {
+		t.Fatal("unknown dependency not detected")
+	}
+}
+
+// TestSchedulerEmptyGraph: executing nothing succeeds with zero stats.
+func TestSchedulerEmptyGraph(t *testing.T) {
+	stats, err := NewGraph().Execute(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Executed() != 0 || stats.Cancelled != 0 {
+		t.Fatalf("empty graph reported work: %+v", stats)
+	}
+}

@@ -1,0 +1,146 @@
+package vivado
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"presp/internal/fpga"
+	"presp/internal/rtl"
+)
+
+// CheckpointCache is a content-addressed store of synthesis checkpoints
+// shared across tool instances and flow runs. A synthesis result is
+// fully determined by the target device, the module hierarchy (names,
+// interfaces, black-box structure and per-module resource costs), the
+// out-of-context flag and the cost model's synthesis parameters — the
+// cache key digests exactly those, so any change to a module's resources,
+// its hierarchy, the device or the model invalidates the entry.
+//
+// The cache is safe for concurrent use by the flow's worker pool.
+// Checkpoints are deep-copied on both store and load, so callers can
+// never mutate a cached entry through an aliased pointer.
+type CheckpointCache struct {
+	mu      sync.Mutex
+	entries map[string]*SynthCheckpoint
+	hits    int64
+	misses  int64
+}
+
+// NewCheckpointCache returns an empty cache.
+func NewCheckpointCache() *CheckpointCache {
+	return &CheckpointCache{entries: make(map[string]*SynthCheckpoint)}
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *CheckpointCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached checkpoints.
+func (c *CheckpointCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// lookup fetches a deep copy of the checkpoint under key, counting the
+// access as a hit or miss.
+func (c *CheckpointCache) lookup(key string) (*SynthCheckpoint, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ck, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return ck.clone(), true
+}
+
+// store saves a deep copy of ck under key.
+func (c *CheckpointCache) store(key string, ck *SynthCheckpoint) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = ck.clone()
+}
+
+// clone deep-copies a checkpoint.
+func (ck *SynthCheckpoint) clone() *SynthCheckpoint {
+	out := *ck
+	out.BlackBoxes = append([]string(nil), ck.BlackBoxes...)
+	return &out
+}
+
+// checkpointKey digests everything a synthesis run depends on into an
+// FNV-1a content hash: device identity and capacity, the cost model's
+// synthesis-time parameters (a checkpoint's Runtime is model-dependent),
+// the OoC flag and the full module hierarchy with per-module interfaces
+// and resource signatures.
+func checkpointKey(dev *fpga.Device, model *CostModel, m *rtl.Module, ooc bool) string {
+	h := newFNV()
+	h.str(dev.Name)
+	for _, n := range dev.Total {
+		h.u64(uint64(n))
+	}
+	h.f64(model.SynthBase)
+	h.f64(model.SynthPerK)
+	h.f64(model.SynthExp)
+	h.f64(model.SynthOoCFactor)
+	h.f64(model.JitterFrac)
+	h.u64(model.JitterSeed)
+	if ooc {
+		h.str("ooc")
+	}
+	m.Walk(func(path string, mod *rtl.Module) {
+		h.str(path)
+		h.str(mod.Name)
+		if mod.BlackBox {
+			h.str("bb")
+		}
+		if mod.ClockModifying {
+			h.str("ckmod")
+		}
+		for _, p := range mod.Ports {
+			h.str(p.Name)
+			h.u64(uint64(p.Dir))
+			h.u64(uint64(p.Width))
+			h.u64(uint64(p.Class))
+		}
+		for _, r := range mod.Cost {
+			h.u64(uint64(r))
+		}
+	})
+	return fmt.Sprintf("%016x", uint64(*h))
+}
+
+// fnv is an incremental FNV-1a 64-bit hasher with field separators.
+type fnv uint64
+
+func newFNV() *fnv {
+	h := fnv(1469598103934665603)
+	return &h
+}
+
+func (h *fnv) byte(b byte) {
+	*h = (*h ^ fnv(b)) * 1099511628211
+}
+
+func (h *fnv) str(s string) {
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+	h.byte(0xff) // separator: ("ab","c") != ("a","bc")
+}
+
+func (h *fnv) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
+}
+
+func (h *fnv) f64(v float64) {
+	h.u64(math.Float64bits(v))
+}

@@ -2,6 +2,7 @@ package vivado
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"presp/internal/bitstream"
 	"presp/internal/fpga"
@@ -12,10 +13,19 @@ import (
 // runtime cost model. Methods correspond to the script steps the real
 // flow auto-generates; each returns what the step produces plus the
 // modelled runtime.
+//
+// A Tool is safe for concurrent use: device, model and generator are
+// read-only after construction, the optional checkpoint cache locks
+// internally, and the hit/miss counters are atomic — the flow's worker
+// pool drives one shared instance from many goroutines.
 type Tool struct {
 	dev   *fpga.Device
 	model *CostModel
 	gen   *bitstream.Generator
+
+	cache       *CheckpointCache
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
 }
 
 // New builds a tool for device d with cost model m (nil selects the
@@ -39,6 +49,17 @@ func (t *Tool) Device() *fpga.Device { return t.dev }
 // Model returns the cost model in use.
 func (t *Tool) Model() *CostModel { return t.model }
 
+// SetCache attaches a shared synthesis-checkpoint cache (nil detaches).
+// Subsequent Synthesize calls consult it before paying the modelled
+// synthesis cost and populate it on misses.
+func (t *Tool) SetCache(c *CheckpointCache) { t.cache = c }
+
+// CacheStats returns this tool's synthesis cache hits and misses (both
+// zero when no cache is attached).
+func (t *Tool) CacheStats() (hits, misses int64) {
+	return t.cacheHits.Load(), t.cacheMisses.Load()
+}
+
 // SynthCheckpoint is the product of a synthesis run.
 type SynthCheckpoint struct {
 	// Name is the synthesized module name.
@@ -61,6 +82,15 @@ func (t *Tool) Synthesize(m *rtl.Module, ooc bool) (*SynthCheckpoint, error) {
 	if m == nil {
 		return nil, fmt.Errorf("vivado: synthesize nil module")
 	}
+	key := ""
+	if t.cache != nil {
+		key = checkpointKey(t.dev, t.model, m, ooc)
+		if ck, ok := t.cache.lookup(key); ok {
+			t.cacheHits.Add(1)
+			return ck, nil
+		}
+		t.cacheMisses.Add(1)
+	}
 	ck := &SynthCheckpoint{Name: m.Name, OoC: ooc}
 	m.Walk(func(path string, mod *rtl.Module) {
 		if mod.BlackBox {
@@ -76,6 +106,9 @@ func (t *Tool) Synthesize(m *rtl.Module, ooc bool) (*SynthCheckpoint, error) {
 			m.Name, ck.Resources[fpga.LUT], t.dev.Name, t.dev.Total[fpga.LUT])
 	}
 	ck.Runtime = t.model.SynthTime(kluts(ck.Resources), ooc)
+	if t.cache != nil {
+		t.cache.store(key, ck)
+	}
 	return ck, nil
 }
 

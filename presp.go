@@ -45,6 +45,7 @@ type Platform struct {
 	dev   *fpga.Device
 	reg   *accel.Registry
 	model *vivado.CostModel
+	cache *vivado.CheckpointCache
 }
 
 // NewPlatform builds a platform for the named evaluation board (VC707,
@@ -60,7 +61,20 @@ func NewPlatform(board string) (*Platform, error) {
 	if err := wami.AddTo(reg); err != nil {
 		return nil, err
 	}
-	return &Platform{dev: dev, reg: reg, model: vivado.DefaultCostModel()}, nil
+	return &Platform{
+		dev:   dev,
+		reg:   reg,
+		model: vivado.DefaultCostModel(),
+		cache: vivado.NewCheckpointCache(),
+	}, nil
+}
+
+// CacheStats reports the platform-wide synthesis-checkpoint cache: hits
+// and misses accumulated over every flow run. Repeated runs of the same
+// design (strategy sweeps, baselines) hit the cache and skip their
+// synthesis jobs.
+func (p *Platform) CacheStats() (hits, misses int64) {
+	return p.cache.Stats()
 }
 
 // Device returns the platform's FPGA device model.
@@ -129,6 +143,10 @@ type FlowOptions struct {
 	Compress bool
 	// SkipBitstreams stops after P&R.
 	SkipBitstreams bool
+	// Workers bounds the flow scheduler's worker-goroutine pool (0 =
+	// NumCPU). Only real CPU time changes; reported wall times and
+	// bitstreams are identical for every value.
+	Workers int
 }
 
 // FlowResult is the product of a flow run (see flow.Result).
@@ -144,6 +162,8 @@ func (p *Platform) RunFlow(s *SoC, opt FlowOptions) (*FlowResult, error) {
 		SemiTau:        opt.SemiTau,
 		Compress:       opt.Compress,
 		SkipBitstreams: opt.SkipBitstreams,
+		Workers:        opt.Workers,
+		Cache:          p.cache,
 	})
 }
 
@@ -154,6 +174,8 @@ func (p *Platform) RunMonolithicFlow(s *SoC, opt FlowOptions) (*FlowResult, erro
 		Model:          p.model,
 		Compress:       opt.Compress,
 		SkipBitstreams: opt.SkipBitstreams,
+		Workers:        opt.Workers,
+		Cache:          p.cache,
 	})
 }
 
@@ -165,6 +187,8 @@ func (p *Platform) RunStandardDFXFlow(s *SoC, opt FlowOptions) (*FlowResult, err
 		Model:          p.model,
 		Compress:       opt.Compress,
 		SkipBitstreams: opt.SkipBitstreams,
+		Workers:        opt.Workers,
+		Cache:          p.cache,
 	})
 }
 
