@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench fuzz
+.PHONY: ci vet build test race bench fuzz fuzz-smoke
 
-ci: vet build test race
+ci: vet build test race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,3 +30,10 @@ bench:
 # Longer fuzz session for the scheduler property suite.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzSchedulerExecute -fuzztime=30s ./internal/flow/
+
+# Short fuzz pass over the property suites, part of `make ci`: the
+# scheduler executor and the reconfiguration fault-plan harness (any
+# plan must leave the tile un-wedged and two runs byte-identical).
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzSchedulerExecute -fuzztime=5s ./internal/flow/
+	$(GO) test -run=^$$ -fuzz=FuzzFaultPlan -fuzztime=5s ./internal/reconfig/

@@ -7,6 +7,7 @@
 //
 //	presp-sim -soc SoC_Y -frames 10 -edge 128
 //	presp-sim -soc SoC_Z -no-compress     # compression ablation
+//	presp-sim -faults 'seed=7,icap=0.2,crc=0.1'   # seeded fault storm
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"presp/internal/accel"
 	"presp/internal/bitstream"
 	"presp/internal/experiments"
+	"presp/internal/faultinject"
 	"presp/internal/flow"
 	"presp/internal/noc"
 	"presp/internal/reconfig"
@@ -32,15 +34,16 @@ func main() {
 	edge := flag.Int("edge", 128, "frame edge length in pixels")
 	iters := flag.Int("lk-iters", 1, "Lucas-Kanade iterations per frame")
 	noCompress := flag.Bool("no-compress", false, "disable bitstream compression")
+	faults := flag.String("faults", "", "fault plan, e.g. 'seed=7,icap=0.2,crc@rt_2=0.1,transfer@dma:after=3:count=1' (see internal/faultinject)")
 	flag.Parse()
 
-	if err := run(*soc, *frames, *edge, *iters, !*noCompress); err != nil {
+	if err := run(*soc, *frames, *edge, *iters, !*noCompress, *faults); err != nil {
 		fmt.Fprintln(os.Stderr, "presp-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(socName string, frames, edge, iters int, compress bool) error {
+func run(socName string, frames, edge, iters int, compress bool, faults string) error {
 	cfg, alloc, err := wami.RuntimeSoC(socName)
 	if err != nil {
 		return err
@@ -57,8 +60,16 @@ func run(socName string, frames, edge, iters int, compress bool) error {
 	if err := wami.AddTo(reg); err != nil {
 		return err
 	}
+	rcfg := reconfig.DefaultConfig()
+	if faults != "" {
+		fp, err := faultinject.ParsePlan(faults)
+		if err != nil {
+			return err
+		}
+		rcfg.FaultPlan = fp
+	}
 	eng := sim.NewEngine()
-	rt, err := reconfig.New(eng, d, reg, plan, reconfig.DefaultConfig())
+	rt, err := reconfig.New(eng, d, reg, plan, rcfg)
 	if err != nil {
 		return err
 	}
@@ -111,6 +122,16 @@ func run(socName string, frames, edge, iters int, compress bool) error {
 	fmt.Printf("steady state: %.4f s/frame, %.3f J/frame; %d reconfigurations (%.3f s total), %d CPU kernels\n",
 		rep.TimePerFrame(), rep.EnergyPerFrame(),
 		rep.Stats.Reconfigurations, rep.Stats.ReconfigTime.Seconds(), rep.Stats.CPUFallbacks)
+	if faults != "" {
+		st := rt.Stats()
+		fmt.Printf("fault injection: %d injected; %d failed reconfigurations, %d retries, %d prefetch errors, %d dead tiles\n",
+			rt.FaultsInjected(), st.FailedReconfigs, st.Retries, st.PrefetchErrors, st.DeadTiles)
+		for _, name := range rt.Tiles() {
+			if dead, _ := rt.Dead(name); dead {
+				fmt.Printf("  tile %s declared dead — its kernels degraded to the processor\n", name)
+			}
+		}
+	}
 	bd := rt.Meter().Breakdown()
 	fmt.Println("energy breakdown (J):")
 	for _, name := range rt.Meter().Consumers() {
@@ -129,8 +150,14 @@ func run(socName string, frames, edge, iters int, compress bool) error {
 	if n := len(tl); n > 0 {
 		fmt.Printf("last reconfigurations (%d total):\n", n)
 		for _, ev := range tl[max(0, n-5):] {
-			fmt.Printf("  %-8v %-5s <- %-16s %4d KB in %v\n",
-				ev.Start.Truncate(time.Microsecond), ev.Tile, ev.Accel, ev.Bytes/1024, ev.End-ev.Start)
+			status := ""
+			if ev.Failed {
+				status = fmt.Sprintf("  FAILED after %d attempts: %s", ev.Attempts, ev.Err)
+			} else if ev.Attempts > 1 {
+				status = fmt.Sprintf("  (recovered on attempt %d)", ev.Attempts)
+			}
+			fmt.Printf("  %-8v %-5s <- %-16s %4d KB in %v%s\n",
+				ev.Start.Truncate(time.Microsecond), ev.Tile, ev.Accel, ev.Bytes/1024, ev.End-ev.Start, status)
 		}
 	}
 	return nil

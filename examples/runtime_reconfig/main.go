@@ -112,4 +112,52 @@ func main() {
 		st.Reconfigurations, st.ReconfigTime, st.Invocations, st.BytesConfigured/1024)
 	fmt.Printf("virtual time elapsed: %v; energy consumed: %.3f J\n",
 		rt.Engine.Now(), rt.Manager.Meter().TotalEnergy())
+
+	// 5. Fault storm: rerun the same SoC with injected hardware faults
+	// and watch the recovery machinery hold the line. The plan injects a
+	// one-shot ICAP programming error (absorbed by a retry), a seeded
+	// 30% corruption rate on bitstream fetches (caught by the CRC check
+	// and retried), and finally a persistent decoupler fault that kills
+	// the tile — after which invocations transparently degrade to the
+	// processor.
+	fmt.Println("\n--- fault storm ---")
+	plan, err := presp.ParseFaultPlan("seed=11,icap@rt_1:count=1,crc=0.3,decouple@rt_1:after=4:count=-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fcfg := presp.DefaultRuntimeConfig()
+	fcfg.FaultPlan = plan
+	fcfg.MaxReconfigRetries = 2
+	fcfg.TileDeadThreshold = 2
+	frt, err := p.NewRuntimeWithConfig(soc, fcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := p.StageBitstreams(frt, map[string][]string{
+		"rt_1": {"fft", "gemm", "sort"},
+	}, true); err != nil {
+		log.Fatal(err)
+	}
+	inputs := map[string][][]float64{
+		"fft":  {{1, 0, 0, 0, 0, 0, 0, 0}},
+		"gemm": {{1, 0, 0, 1}, {4, 2, 8, 6}},
+		"sort": {{4, 2, 8, 6}},
+	}
+	for _, acc := range []string{"gemm", "sort", "fft", "gemm", "sort", "fft", "gemm"} {
+		res, err := frt.Invoke("rt_1", acc, inputs[acc])
+		switch {
+		case err != nil:
+			fmt.Printf("  %-5s failed: %v\n", acc, err)
+		case res.OnCPU:
+			fmt.Printf("  %-5s degraded to CPU: out=%.0f (took %v)\n", acc, res.Out[0], res.End-res.Start)
+		default:
+			fmt.Printf("  %-5s on tile: out=%.0f (reconfigured=%v)\n", acc, res.Out[0], res.Reconfigured)
+		}
+	}
+	fst := frt.Manager.Stats()
+	fmt.Printf("storm stats: %d faults injected; %d retries, %d failed reconfigs, %d dead tiles, %d CPU fallbacks\n",
+		frt.Manager.FaultsInjected(), fst.Retries, fst.FailedReconfigs, fst.DeadTiles, fst.CPUFallbacks)
+	if dead, _ := frt.Manager.Dead("rt_1"); dead {
+		fmt.Println("tile rt_1 is dead, re-coupled and powered down; the SoC kept computing")
+	}
 }

@@ -9,6 +9,7 @@ package bitstream
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 
 	"presp/internal/fpga"
 )
@@ -45,6 +46,13 @@ type Bitstream struct {
 	Data []byte
 	// Compressed records whether Data is compressed.
 	Compressed bool
+	// Checksum is the IEEE CRC-32 of Data, recorded at generation time.
+	// The runtime manager verifies every fetched image against it
+	// before the ICAP consumes it: real bitstreams carry per-frame CRC
+	// words for the same reason — a corrupted configuration image must
+	// never reach the fabric. Zero means "no checksum recorded" and
+	// disables verification (hand-built images in tests).
+	Checksum uint32
 }
 
 // Size returns the stored payload size in bytes.
@@ -60,6 +68,39 @@ func (b *Bitstream) CompressionRatio() float64 {
 		return 0
 	}
 	return float64(b.RawBytes) / float64(len(b.Data))
+}
+
+// CRC returns the IEEE CRC-32 of the stored payload as it is now.
+func (b *Bitstream) CRC() uint32 { return crc32.ChecksumIEEE(b.Data) }
+
+// Verify checks the payload against the generation-time checksum and
+// returns an error describing the mismatch. Images without a recorded
+// checksum pass.
+func (b *Bitstream) Verify() error {
+	if b.Checksum == 0 {
+		return nil
+	}
+	if got := b.CRC(); got != b.Checksum {
+		return fmt.Errorf("bitstream: %s: CRC mismatch (got %08x, want %08x): image corrupted in transit", b.Name, got, b.Checksum)
+	}
+	return nil
+}
+
+// CorruptedCopy returns a copy of b whose payload has one byte flipped
+// at offset mod len(Data) — what a faulted DMA fetch delivers. The
+// copy keeps the original checksum, so Verify on it fails (a one-byte
+// flip always changes a CRC-32).
+func (b *Bitstream) CorruptedCopy(offset int) *Bitstream {
+	c := *b
+	c.Data = make([]byte, len(b.Data))
+	copy(c.Data, b.Data)
+	if len(c.Data) > 0 {
+		if offset < 0 {
+			offset = -offset
+		}
+		c.Data[offset%len(c.Data)] ^= 0xff
+	}
+	return &c
 }
 
 // Generator produces deterministic frame payloads whose statistics track
@@ -113,6 +154,7 @@ func (g *Generator) Partial(name string, pb fpga.Pblock, usedLUTs int, compress 
 	} else {
 		bs.Data = raw
 	}
+	bs.Checksum = bs.CRC()
 	return bs, nil
 }
 
@@ -131,6 +173,7 @@ func (g *Generator) FullDevice(name string, usedLUTs int, compress bool) (*Bitst
 	} else {
 		bs.Data = raw
 	}
+	bs.Checksum = bs.CRC()
 	return bs, nil
 }
 

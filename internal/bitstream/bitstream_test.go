@@ -194,3 +194,62 @@ func TestKindString(t *testing.T) {
 		t.Fatal("kind names wrong")
 	}
 }
+
+func TestChecksumRecordedAndVerifies(t *testing.T) {
+	dev, err := fpga.ByBoard("VC707")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(dev)
+	pb := fpga.Pblock{Name: "pb", X0: 0, Y0: 0, X1: 3, Y1: 3}
+	for _, compress := range []bool{true, false} {
+		bs, err := g.Partial("tb.rt_1.fft.pbs", pb, 1000, compress)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bs.Checksum == 0 {
+			t.Fatalf("compress=%v: no checksum recorded", compress)
+		}
+		if bs.Checksum != bs.CRC() {
+			t.Fatalf("compress=%v: checksum does not match payload", compress)
+		}
+		if err := bs.Verify(); err != nil {
+			t.Fatalf("compress=%v: pristine image fails verification: %v", compress, err)
+		}
+	}
+	full, err := g.FullDevice("tb.bit", 10000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Checksum == 0 || full.Verify() != nil {
+		t.Fatal("full-device bitstream not checksummed")
+	}
+}
+
+func TestCorruptedCopyFailsVerification(t *testing.T) {
+	dev, err := fpga.ByBoard("VC707")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(dev)
+	pb := fpga.Pblock{Name: "pb", X0: 0, Y0: 0, X1: 3, Y1: 3}
+	bs, err := g.Partial("tb.rt_1.gemm.pbs", pb, 1000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{0, 1, len(bs.Data) - 1, len(bs.Data) * 3, -7} {
+		bad := bs.CorruptedCopy(off)
+		if err := bad.Verify(); err == nil {
+			t.Fatalf("offset %d: corrupted image passed verification", off)
+		}
+	}
+	// The original is untouched.
+	if err := bs.Verify(); err != nil {
+		t.Fatalf("corruption leaked into the original: %v", err)
+	}
+	// Unchecksummed images skip verification (hand-built test images).
+	plain := &Bitstream{Name: "raw", Kind: Partial, Data: []byte{1, 2, 3}}
+	if err := plain.Verify(); err != nil {
+		t.Fatalf("unchecksummed image rejected: %v", err)
+	}
+}

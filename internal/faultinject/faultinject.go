@@ -1,0 +1,316 @@
+// Package faultinject is a deterministic, seed-driven fault-injection
+// layer for the simulated hardware substrate. A Plan names the
+// operations that must fail — NoC transfers, decoupler engage and
+// disengage, ICAP programming, bitstream fetch corruption, kernel
+// execution — either at exact occurrence indices (deterministic rules)
+// or at a seeded probability per occurrence (rate rules). Because the
+// simulation engine is single-threaded and its event order is
+// reproducible, the same plan against the same workload injects the
+// same faults at the same virtual times on every run, which is what
+// makes error-path behaviour testable at all: a failure you cannot
+// replay is a failure you cannot regression-test.
+//
+// The package is dependency-free by design; each substrate layer
+// (internal/noc, internal/reconfig) adapts its own operations onto
+// Injector.Check sites.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Op identifies one class of injectable operation.
+type Op int
+
+const (
+	// OpTransfer is a NoC packet transfer (any plane; rules select a
+	// plane or endpoint tile through their site).
+	OpTransfer Op = iota
+	// OpDecouple is the decoupler engaging before reconfiguration.
+	OpDecouple
+	// OpRecouple is the decoupler disengaging after reconfiguration.
+	OpRecouple
+	// OpICAP is ICAP programming of a fetched bitstream.
+	OpICAP
+	// OpFetchCRC corrupts a bitstream image during the DMA fetch; the
+	// manager's CRC verification catches it before the ICAP does.
+	OpFetchCRC
+	// OpKernel is accelerator kernel execution on a tile.
+	OpKernel
+	numOps
+)
+
+// String names the operation the way ParsePlan spells it.
+func (o Op) String() string {
+	switch o {
+	case OpTransfer:
+		return "transfer"
+	case OpDecouple:
+		return "decouple"
+	case OpRecouple:
+		return "recouple"
+	case OpICAP:
+		return "icap"
+	case OpFetchCRC:
+		return "crc"
+	case OpKernel:
+		return "kernel"
+	default:
+		return fmt.Sprintf("op-%d", int(o))
+	}
+}
+
+// ParseOp parses an operation name as spelled by Op.String.
+func ParseOp(s string) (Op, error) {
+	for o := Op(0); o < numOps; o++ {
+		if o.String() == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("faultinject: unknown operation %q", s)
+}
+
+// Rule injects faults into one class of operation. A rule matches an
+// operation when the Op is equal and Site is empty or equal to one of
+// the sites the caller reports (plane name, tile name, accelerator
+// name — whatever labels the layer attaches to the operation).
+//
+// Matching occurrences are numbered from zero. The first After matches
+// never fault. A deterministic rule (Rate == 0) then faults the next
+// Count matches (Count < 0 means every later match — a persistent,
+// stuck-at fault). A rate rule (Rate > 0) faults each later match with
+// probability Rate drawn from the plan's seeded generator, stopping
+// after Count injected faults when Count > 0.
+type Rule struct {
+	Op    Op
+	Site  string
+	After int
+	Count int
+	Rate  float64
+}
+
+// String renders the rule in ParsePlan syntax.
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Op.String())
+	if r.Site != "" {
+		fmt.Fprintf(&b, "@%s", r.Site)
+	}
+	if r.Rate > 0 {
+		fmt.Fprintf(&b, "=%g", r.Rate)
+	}
+	if r.After > 0 {
+		fmt.Fprintf(&b, ":after=%d", r.After)
+	}
+	if r.Rate > 0 && r.Count != 0 || r.Rate == 0 && r.Count != 1 {
+		fmt.Fprintf(&b, ":count=%d", r.Count)
+	}
+	return b.String()
+}
+
+func (r Rule) validate() error {
+	if r.Op < 0 || r.Op >= numOps {
+		return fmt.Errorf("faultinject: rule %s: unknown op", r)
+	}
+	if r.After < 0 {
+		return fmt.Errorf("faultinject: rule %s: negative after", r)
+	}
+	if r.Rate < 0 || r.Rate > 1 {
+		return fmt.Errorf("faultinject: rule %s: rate %g outside [0,1]", r, r.Rate)
+	}
+	if r.Rate == 0 && r.Count == 0 {
+		return fmt.Errorf("faultinject: rule %s: deterministic rule with count 0 never fires", r)
+	}
+	return nil
+}
+
+// Plan is a reproducible fault schedule: a seed for the rate rules plus
+// the rule list. The zero Plan injects nothing.
+type Plan struct {
+	Seed  uint64
+	Rules []Rule
+}
+
+// Validate checks every rule.
+func (p *Plan) Validate() error {
+	for _, r := range p.Rules {
+		if err := r.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the plan in ParsePlan syntax.
+func (p *Plan) String() string {
+	parts := make([]string, 0, len(p.Rules)+1)
+	if p.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	for _, r := range p.Rules {
+		parts = append(parts, r.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+// Fault is the error an injected failure surfaces as. Layers propagate
+// it unwrapped so callers can recognize injected faults with As.
+type Fault struct {
+	// Op and Site identify the faulted operation.
+	Op   Op
+	Site string
+	// Seq is the 1-based ordinal of this fault among all injected.
+	Seq int
+	// Rule is the index of the plan rule that fired.
+	Rule int
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	site := f.Site
+	if site == "" {
+		site = "?"
+	}
+	return fmt.Sprintf("faultinject: injected %s fault at %s (fault #%d, rule %d)", f.Op, site, f.Seq, f.Rule)
+}
+
+// As reports whether err is (or wraps) an injected fault.
+func As(err error) (*Fault, bool) {
+	var f *Fault
+	ok := errors.As(err, &f)
+	return f, ok
+}
+
+// Injector evaluates a plan against a stream of operations. It is not
+// safe for concurrent use; the single-threaded simulation engine
+// serializes all checks, which is also what keeps the injected fault
+// sequence reproducible.
+type Injector struct {
+	plan     Plan
+	rng      splitmix64
+	matches  []int
+	fired    []int
+	injected int
+	perOp    [numOps]int
+}
+
+// New builds an injector for the plan.
+func New(plan Plan) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	rules := make([]Rule, len(plan.Rules))
+	copy(rules, plan.Rules)
+	plan.Rules = rules
+	return &Injector{
+		plan:    plan,
+		rng:     splitmix64(plan.Seed),
+		matches: make([]int, len(rules)),
+		fired:   make([]int, len(rules)),
+	}, nil
+}
+
+// Check reports one occurrence of op at the given sites and returns the
+// fault to inject, or nil. Every matching rule advances its occurrence
+// counter (and rate rules always consume their random draw), so the
+// fault sequence depends only on the operation stream, not on which
+// earlier rules fired. The first listed site labels the fault.
+func (in *Injector) Check(op Op, sites ...string) error {
+	if in == nil {
+		return nil
+	}
+	var fault *Fault
+	for ri := range in.plan.Rules {
+		r := &in.plan.Rules[ri]
+		if r.Op != op || !siteMatches(r.Site, sites) {
+			continue
+		}
+		n := in.matches[ri]
+		in.matches[ri]++
+		if n < r.After {
+			continue
+		}
+		if r.Rate > 0 {
+			hit := in.draw() < r.Rate
+			if !hit || (r.Count > 0 && in.fired[ri] >= r.Count) {
+				continue
+			}
+		} else if r.Count >= 0 && n >= r.After+r.Count {
+			continue
+		}
+		in.fired[ri]++
+		if fault == nil {
+			in.injected++
+			in.perOp[op]++
+			fault = &Fault{Op: op, Site: firstSite(sites), Seq: in.injected, Rule: ri}
+		}
+	}
+	if fault == nil {
+		return nil
+	}
+	return fault
+}
+
+// Injected returns the total number of faults delivered so far.
+func (in *Injector) Injected() int {
+	if in == nil {
+		return 0
+	}
+	return in.injected
+}
+
+// InjectedBy returns the number of faults delivered for one operation
+// class.
+func (in *Injector) InjectedBy(op Op) int {
+	if in == nil || op < 0 || op >= numOps {
+		return 0
+	}
+	return in.perOp[op]
+}
+
+// Plan returns a copy of the injector's plan.
+func (in *Injector) Plan() Plan {
+	p := in.plan
+	p.Rules = make([]Rule, len(in.plan.Rules))
+	copy(p.Rules, in.plan.Rules)
+	return p
+}
+
+func siteMatches(want string, sites []string) bool {
+	if want == "" {
+		return true
+	}
+	for _, s := range sites {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+func firstSite(sites []string) string {
+	if len(sites) == 0 {
+		return ""
+	}
+	return sites[0]
+}
+
+// draw returns a uniform float64 in [0,1).
+func (in *Injector) draw() float64 {
+	return float64(in.rng.next()>>11) / float64(1<<53)
+}
+
+// splitmix64 is the same tiny deterministic PRNG the bitstream
+// generator uses: no math/rand dependency, so injected fault sequences
+// are reproducible across Go versions.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

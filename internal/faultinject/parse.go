@@ -1,0 +1,107 @@
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePlan parses the compact fault-plan syntax the presp-sim -faults
+// flag accepts: comma-separated clauses, each either
+//
+//	seed=<uint64>
+//
+// or a rule
+//
+//	<op>[@<site>][=<rate>][:after=<n>][:count=<n>]
+//
+// where <op> is one of transfer, decouple, recouple, icap, crc or
+// kernel and <site> is a plane, tile or accelerator name. A rule
+// without a rate is deterministic and fires once by default; count=-1
+// makes it persistent (stuck-at). Examples:
+//
+//	icap@rt_1:count=2            fail the tile's first two ICAP programs
+//	transfer@dma=0.05            drop 5% of DMA-plane packets (seeded)
+//	recouple@rt_2:after=1:count=-1   decoupler stuck after one success
+//	seed=42,crc=0.2              corrupt 20% of bitstream fetches
+func ParsePlan(s string) (*Plan, error) {
+	p := &Plan{}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	for _, clause := range strings.Split(s, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(clause, "seed="); ok {
+			seed, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: bad seed %q: %v", v, err)
+			}
+			p.Seed = seed
+			continue
+		}
+		r, err := parseRule(clause)
+		if err != nil {
+			return nil, err
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseRule(clause string) (Rule, error) {
+	fields := strings.Split(clause, ":")
+	head, opts := fields[0], fields[1:]
+
+	var r Rule
+	rated := false
+	if eq := strings.IndexByte(head, '='); eq >= 0 {
+		rate, err := strconv.ParseFloat(head[eq+1:], 64)
+		if err != nil {
+			return r, fmt.Errorf("faultinject: clause %q: bad rate: %v", clause, err)
+		}
+		r.Rate = rate
+		rated = true
+		head = head[:eq]
+	}
+	if at := strings.IndexByte(head, '@'); at >= 0 {
+		r.Site = head[at+1:]
+		head = head[:at]
+		if r.Site == "" {
+			return r, fmt.Errorf("faultinject: clause %q: empty site", clause)
+		}
+	}
+	op, err := ParseOp(head)
+	if err != nil {
+		return r, fmt.Errorf("faultinject: clause %q: %v", clause, err)
+	}
+	r.Op = op
+	if !rated {
+		r.Count = 1 // deterministic rules fire once unless told otherwise
+	}
+	for _, o := range opts {
+		key, val, ok := strings.Cut(o, "=")
+		if !ok {
+			return r, fmt.Errorf("faultinject: clause %q: option %q is not key=value", clause, o)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return r, fmt.Errorf("faultinject: clause %q: bad %s: %v", clause, key, err)
+		}
+		switch key {
+		case "after":
+			r.After = n
+		case "count":
+			r.Count = n
+		default:
+			return r, fmt.Errorf("faultinject: clause %q: unknown option %q", clause, key)
+		}
+	}
+	return r, nil
+}

@@ -24,6 +24,15 @@ import (
 // map iteration order — and the generation jobs fan out on the shared
 // worker-pool scheduler.
 func GenerateRuntimeBitstreams(d *socgen.Design, plan *floorplan.Plan, alloc map[string][]string, reg *accel.Registry, compress bool) (map[string]map[string]*bitstream.Bitstream, error) {
+	return GenerateRuntimeBitstreamsWorkers(d, plan, alloc, reg, compress, 0)
+}
+
+// GenerateRuntimeBitstreamsWorkers is GenerateRuntimeBitstreams with an
+// explicit worker-pool bound (<= 0 selects NumCPU). The outputs are
+// identical for every worker count — the fault-injection determinism
+// suite runs the same seeded plan against bitstream sets generated at
+// different widths to prove it.
+func GenerateRuntimeBitstreamsWorkers(d *socgen.Design, plan *floorplan.Plan, alloc map[string][]string, reg *accel.Registry, compress bool, workers int) (map[string]map[string]*bitstream.Bitstream, error) {
 	tool, err := vivado.New(d.Dev, nil)
 	if err != nil {
 		return nil, err
@@ -84,7 +93,7 @@ func GenerateRuntimeBitstreams(d *socgen.Design, plan *floorplan.Plan, alloc map
 			return t, nil
 		}))
 	}
-	if _, err := g.Execute(0); err != nil {
+	if _, err := g.Execute(workers); err != nil {
 		return nil, err
 	}
 

@@ -91,12 +91,30 @@ type Config struct {
 	RouterLatencyCycles int
 }
 
+// FaultHook lets a fault-injection layer veto NoC operations. Each
+// method is consulted before the operation takes effect and returns
+// the error to inject, or nil to let the operation proceed. Hooks see
+// every operation in simulation order, so a deterministic hook yields
+// a deterministic fault schedule.
+type FaultHook interface {
+	// TransferFault is consulted once per Transfer, after validation
+	// and gating checks but before any link is reserved.
+	TransferFault(p Plane, src, dst Coord) error
+	// DecoupleFault is consulted before the decoupler engages.
+	DecoupleFault(c Coord) error
+	// RecoupleFault is consulted before the decoupler disengages. A
+	// fault here models a stuck decoupler; recovery paths bypass it
+	// with ResetTile.
+	RecoupleFault(c Coord) error
+}
+
 // Network is the mesh instance.
 type Network struct {
 	cfg     Config
 	eng     *sim.Engine
 	links   map[linkKey]*link
 	gated   map[Coord]bool
+	faults  FaultHook
 	packets int64
 }
 
@@ -175,11 +193,20 @@ func (n *Network) Hops(src, dst Coord) int {
 	return dx + dy
 }
 
+// SetFaultHook installs (or, with nil, removes) the fault-injection
+// hook consulted by Transfer, Decouple and Recouple.
+func (n *Network) SetFaultHook(h FaultHook) { n.faults = h }
+
 // Decouple gates the NoC queues of the tile at c, as the reconfigurable
 // tile's decoupling logic does during partial reconfiguration.
 func (n *Network) Decouple(c Coord) error {
 	if !n.Contains(c) {
 		return fmt.Errorf("noc: decouple %s outside mesh", c)
+	}
+	if n.faults != nil {
+		if err := n.faults.DecoupleFault(c); err != nil {
+			return err
+		}
 	}
 	n.gated[c] = true
 	return nil
@@ -191,9 +218,20 @@ func (n *Network) Recouple(c Coord) error {
 	if !n.Contains(c) {
 		return fmt.Errorf("noc: recouple %s outside mesh", c)
 	}
+	if n.faults != nil {
+		if err := n.faults.RecoupleFault(c); err != nil {
+			return err
+		}
+	}
 	delete(n.gated, c)
 	return nil
 }
+
+// ResetTile force-disengages the decoupler at c, bypassing any fault
+// hook — the PRC's dedicated reset line, which error recovery asserts
+// when a normal disengage cannot be trusted. It is a no-op for tiles
+// that are not gated.
+func (n *Network) ResetTile(c Coord) { delete(n.gated, c) }
 
 // Decoupled reports whether the tile at c is currently gated.
 func (n *Network) Decoupled(c Coord) bool { return n.gated[c] }
@@ -228,6 +266,11 @@ func (n *Network) Transfer(p Plane, src, dst Coord, bytes int) (sim.Time, error)
 	path, err := n.Route(src, dst)
 	if err != nil {
 		return 0, err
+	}
+	if n.faults != nil {
+		if err := n.faults.TransferFault(p, src, dst); err != nil {
+			return 0, err
+		}
 	}
 	flits := int64((bytes + n.cfg.FlitBytes - 1) / n.cfg.FlitBytes)
 	flits++ // head flit

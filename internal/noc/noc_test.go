@@ -279,3 +279,102 @@ func TestPlaneStats(t *testing.T) {
 		t.Fatal("plane stats do not sum to the total")
 	}
 }
+
+// hookFaults is a scripted FaultHook for tests: each field, when
+// non-nil, is returned once and cleared.
+type hookFaults struct {
+	transfer, decouple, recouple error
+	calls                        int
+}
+
+func (h *hookFaults) TransferFault(p Plane, src, dst Coord) error {
+	h.calls++
+	err := h.transfer
+	h.transfer = nil
+	return err
+}
+func (h *hookFaults) DecoupleFault(c Coord) error {
+	h.calls++
+	err := h.decouple
+	h.decouple = nil
+	return err
+}
+func (h *hookFaults) RecoupleFault(c Coord) error {
+	h.calls++
+	err := h.recouple
+	h.recouple = nil
+	return err
+}
+
+func TestFaultHookVetoesOperations(t *testing.T) {
+	_, n := mesh(t, 2, 2)
+	boom := errors.New("injected")
+	h := &hookFaults{transfer: boom}
+	n.SetFaultHook(h)
+
+	if _, err := n.Transfer(PlaneDMA, Coord{0, 0}, Coord{1, 1}, 64); !errors.Is(err, boom) {
+		t.Fatalf("transfer fault not delivered: %v", err)
+	}
+	if n.Stats().Packets != 0 || n.Stats().LinksUsed != 0 {
+		t.Fatalf("faulted transfer mutated link state: %+v", n.Stats())
+	}
+	// The hook is consumed: the retry goes through.
+	if _, err := n.Transfer(PlaneDMA, Coord{0, 0}, Coord{1, 1}, 64); err != nil {
+		t.Fatalf("retry after transient fault: %v", err)
+	}
+
+	h.decouple = boom
+	if err := n.Decouple(Coord{1, 1}); !errors.Is(err, boom) {
+		t.Fatalf("decouple fault not delivered: %v", err)
+	}
+	if n.Decoupled(Coord{1, 1}) {
+		t.Fatal("faulted decouple gated the tile")
+	}
+	if err := n.Decouple(Coord{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	h.recouple = boom
+	if err := n.Recouple(Coord{1, 1}); !errors.Is(err, boom) {
+		t.Fatalf("recouple fault not delivered: %v", err)
+	}
+	if !n.Decoupled(Coord{1, 1}) {
+		t.Fatal("faulted recouple un-gated the tile")
+	}
+	// Recovery path: ResetTile bypasses the stuck decoupler.
+	h.recouple = boom
+	n.ResetTile(Coord{1, 1})
+	if n.Decoupled(Coord{1, 1}) {
+		t.Fatal("ResetTile did not clear the gate")
+	}
+	// Removing the hook restores normal operation.
+	n.SetFaultHook(nil)
+	if err := n.Decouple(Coord{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Recouple(Coord{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultHookNotConsultedOnInvalidInput(t *testing.T) {
+	_, n := mesh(t, 2, 2)
+	h := &hookFaults{}
+	n.SetFaultHook(h)
+	if _, err := n.Transfer(PlaneDMA, Coord{0, 0}, Coord{5, 5}, 64); err == nil {
+		t.Fatal("out-of-mesh transfer accepted")
+	}
+	if _, err := n.Transfer(PlaneDMA, Coord{0, 0}, Coord{1, 1}, 0); err == nil {
+		t.Fatal("zero-byte transfer accepted")
+	}
+	// Gated-destination failures also precede injection.
+	if err := n.Decouple(Coord{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	before := h.calls
+	if _, err := n.Transfer(PlaneDMA, Coord{0, 0}, Coord{1, 1}, 64); err == nil {
+		t.Fatal("transfer to gated tile accepted")
+	}
+	if h.calls != before {
+		t.Fatal("hook consulted for a transfer that fails validation")
+	}
+}

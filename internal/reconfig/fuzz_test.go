@@ -1,0 +1,66 @@
+package reconfig
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"presp/internal/faultinject"
+	"presp/internal/noc"
+)
+
+// FuzzFaultPlan throws arbitrary fault-plan strings at the runtime and
+// checks the two properties the recovery machinery promises for any
+// plan: the run is deterministic (two executions of the same plan are
+// byte-identical), and no failure — wherever it lands in the swap
+// sequence — wedges the tile (always re-coupled, no residual PRC
+// power, no stuck swap state, engine drains).
+func FuzzFaultPlan(f *testing.F) {
+	f.Add(uint64(1), "icap@rt_1:count=1")
+	f.Add(uint64(7), "transfer@dma=0.5,crc=0.3")
+	f.Add(uint64(9), "decouple@rt_1:count=-1")
+	f.Add(uint64(42), "recouple@rt_1:after=1:count=2,kernel@gemm=0.4")
+	f.Add(uint64(3), "icap=1.0,crc=1.0,transfer=0.9")
+	f.Fuzz(func(t *testing.T, seed uint64, spec string) {
+		if len(spec) > 128 {
+			t.Skip()
+		}
+		plan, err := faultinject.ParsePlan(fmt.Sprintf("seed=%d,%s", seed, spec))
+		if err != nil {
+			t.Skip() // malformed plans are rejected at parse time
+		}
+		run := func() string {
+			tb := newFaultTestbed(t, faultCfg(plan, 1, 2), 1)
+			for _, acc := range []string{"gemm", "sort", "fft"} {
+				_ = reconfigureSync(tb, "rt_1", acc)
+			}
+			tb.rt.InvokeOn("rt_1", "sort", [][]float64{{2, 1}}, func(*InvokeResult, error) {})
+			tb.drain()
+
+			// Invariants: whatever the plan injected, the tile must not
+			// be wedged once the engine drains.
+			pos := noc.Coord{X: 1, Y: 1}
+			if tb.rt.Network().Decoupled(pos) {
+				t.Fatalf("plan %q left the tile decoupled", plan)
+			}
+			if w := tb.rt.Meter().Power("prc"); w != 0 {
+				t.Fatalf("plan %q left %g W on the PRC rail", plan, w)
+			}
+			ts := tb.rt.tiles["rt_1"]
+			if ts.reconfig || ts.pending != "" || ts.busy {
+				t.Fatalf("plan %q left stuck state: reconfig=%v pending=%q busy=%v",
+					plan, ts.reconfig, ts.pending, ts.busy)
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "%+v|%x|%d|%d", tb.rt.Stats(),
+				tb.rt.Meter().TotalEnergy(), tb.rt.FaultsInjected(), tb.rt.Engine().Now())
+			for _, ev := range tb.rt.Timeline() {
+				fmt.Fprintf(&b, "|%d,%d,%s,%d,%v,%q", ev.Start, ev.End, ev.Accel, ev.Attempts, ev.Failed, ev.Err)
+			}
+			return b.String()
+		}
+		if a, b := run(), run(); a != b {
+			t.Fatalf("plan %q nondeterministic:\n%s\n%s", plan, a, b)
+		}
+	})
+}

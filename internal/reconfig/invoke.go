@@ -3,6 +3,7 @@ package reconfig
 import (
 	"fmt"
 
+	"presp/internal/faultinject"
 	"presp/internal/noc"
 	"presp/internal/sim"
 )
@@ -49,8 +50,28 @@ func (r *Runtime) InvokeOn(tileName, accName string, in [][]float64, done func(*
 		done(nil, fmt.Errorf("reconfig: accelerator %s has no functional model", accName))
 		return
 	}
+	// Graceful degradation: a dead tile's kernels run on the processor.
+	// The SoC stays usable — slower, but correct — which is the whole
+	// point of the recovery machinery.
+	if ts.dead {
+		r.RunOnCPU(accName, in, done)
+		return
+	}
 	start := r.eng.Now()
 	needSwap := ts.loaded != accName
+
+	// swapFailed handles a reconfiguration error on the invocation
+	// path: if the failure killed the tile, degrade to the CPU
+	// fallback instead of surfacing the error — otherwise propagate it
+	// (the caller may retry; transient faults were already retried by
+	// the manager's own policy).
+	swapFailed := func(err error) {
+		if ts.dead {
+			r.RunOnCPU(accName, in, done)
+			return
+		}
+		done(nil, err)
+	}
 
 	run := func() {
 		// Re-check: another thread may have swapped the tile between
@@ -58,7 +79,7 @@ func (r *Runtime) InvokeOn(tileName, accName string, in [][]float64, done func(*
 		if ts.loaded != accName {
 			r.RequestReconfig(tileName, accName, func(err error) {
 				if err != nil {
-					done(nil, err)
+					swapFailed(err)
 					return
 				}
 				r.whenTileIdle(ts, func() { r.execute(ts, accName, in, start, true, done) })
@@ -70,7 +91,7 @@ func (r *Runtime) InvokeOn(tileName, accName string, in [][]float64, done func(*
 	if needSwap {
 		r.RequestReconfig(tileName, accName, func(err error) {
 			if err != nil {
-				done(nil, err)
+				swapFailed(err)
 				return
 			}
 			r.whenTileIdle(ts, run)
@@ -139,7 +160,12 @@ func (r *Runtime) execute(ts *tileState, accName string, in [][]float64, start s
 			finish(nil, fmt.Errorf("reconfig: accelerator %s swapped out of tile %s mid-execution", accName, ts.t.Name))
 			return
 		}
-		// Functional execution.
+		// Functional execution. An injected kernel fault models a
+		// datapath error the accelerator's done register reports.
+		if ferr := r.faultCheck(faultinject.OpKernel, accName, ts.t.Name); ferr != nil {
+			finish(nil, ferr)
+			return
+		}
 		out, kerr := desc.Kernel.Run(in)
 		if kerr != nil {
 			finish(nil, kerr)

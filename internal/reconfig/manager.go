@@ -4,10 +4,22 @@ import (
 	"fmt"
 	"math"
 
+	"presp/internal/faultinject"
 	"presp/internal/fpga"
 	"presp/internal/noc"
 	"presp/internal/sim"
 )
+
+// ErrTileDead reports a request against a tile the manager has declared
+// dead after repeated reconfiguration failures.
+type ErrTileDead struct {
+	Tile string
+}
+
+// Error implements error.
+func (e *ErrTileDead) Error() string {
+	return fmt.Sprintf("reconfig: tile %s is dead (repeated reconfiguration failures)", e.Tile)
+}
 
 // RequestReconfig asks the manager to load accName into tileName. The
 // request is queued on the kernel workqueue and executed as soon as the
@@ -21,6 +33,10 @@ func (r *Runtime) RequestReconfig(tileName, accName string, done func(error)) {
 	ts, err := r.tile(tileName)
 	if err != nil {
 		done(err)
+		return
+	}
+	if ts.dead {
+		done(&ErrTileDead{Tile: tileName})
 		return
 	}
 	if _, ok := ts.bitstream[accName]; !ok {
@@ -105,25 +121,36 @@ func (r *Runtime) pumpWorkqueue() {
 //
 //  1. the driver engages the tile's decoupler (also gating its NoC
 //     queues),
-//  2. the DFXC fetches the bitstream from memory over the NoC DMA plane,
+//  2. the DFXC fetches the bitstream from memory over the NoC DMA
+//     plane, and the manager CRC-checks the fetched image,
 //  3. the ICAP programs the partition,
 //  4. the DFXC raises an interrupt; the handler disengages the decoupler
 //     (resetting the queues), swaps the driver and unlocks the device.
+//
+// Any step can fail (a faulted transfer, a stuck decoupler, a corrupted
+// fetch, an ICAP error). Every failure funnels through failReconfig,
+// which first restores the tile to a safe state via recoverTile and
+// then either retries the whole sequence — transient faults — or gives
+// up and reports the error.
 func (r *Runtime) executeReconfig(req *request) {
+	r.attemptReconfig(req, r.eng.Now(), 1)
+}
+
+// attemptReconfig runs one hardware attempt. start is the virtual time
+// the request left the workqueue; retries extend the same timeline
+// event. attempt counts from 1.
+func (r *Runtime) attemptReconfig(req *request, start sim.Time, attempt int) {
 	ts := r.tiles[req.tileName]
 	bs := ts.bitstream[req.accName]
-	start := r.eng.Now()
-
-	fail := func(err error) {
-		ts.reconfig = false
-		if ts.pending == req.accName {
-			ts.pending = ""
-		}
-		r.prcBusy = false
-		req.done(err)
-		r.releaseTile(ts)
-		r.pumpWorkqueue()
+	// Re-assert the swap-in-progress lock: recovery from an earlier
+	// attempt cleared it so the tile never looks wedged between
+	// attempts.
+	ts.reconfig = true
+	if ts.pending == "" {
+		ts.pending = req.accName
 	}
+
+	fail := func(err error) { r.failReconfig(req, ts, start, attempt, err) }
 
 	// Step 1: decouple.
 	if err := r.net.Decouple(ts.pos); err != nil {
@@ -142,11 +169,28 @@ func (r *Runtime) executeReconfig(req *request) {
 			fail(err)
 			return
 		}
+		// The fetched image is CRC-checked on arrival, before the ICAP
+		// consumes it. An injected fetch fault delivers a corrupted
+		// copy, which the real verification machinery then catches.
+		fetched := bs
+		if ferr := r.faultCheck(faultinject.OpFetchCRC, req.tileName, req.accName); ferr != nil {
+			fetched = bs.CorruptedCopy(attempt)
+		}
+		if verr := fetched.Verify(); verr != nil {
+			if aerr := r.eng.At(arrive, func() { fail(verr) }); aerr != nil {
+				fail(aerr)
+			}
+			return
+		}
 		// Step 3: ICAP programming overlaps the tail of the fetch; the
 		// slower of the two paths bounds completion.
 		icap := r.icapTime(bs.Size())
 		finish := arrive + icap
 		if err := r.eng.At(finish, func() {
+			if ferr := r.faultCheck(faultinject.OpICAP, req.tileName, req.accName); ferr != nil {
+				fail(ferr)
+				return
+			}
 			// Step 4: interrupt to the processor.
 			intrAt, err := r.net.Transfer(noc.PlaneInterrupt, r.auxPos, r.cpuPos, 8)
 			if err != nil {
@@ -162,6 +206,7 @@ func (r *Runtime) executeReconfig(req *request) {
 				ts.loaded = req.accName
 				ts.driver = req.accName
 				ts.reconfig = false
+				ts.failures = 0
 				if ts.pending == req.accName {
 					ts.pending = ""
 				}
@@ -174,7 +219,7 @@ func (r *Runtime) executeReconfig(req *request) {
 				r.timeline = append(r.timeline, TimelineEvent{
 					Start: start, End: r.eng.Now(),
 					Tile: ts.t.Name, Accel: req.accName,
-					Bytes: bs.Size(),
+					Bytes: bs.Size(), Attempts: attempt,
 				})
 				if e := r.cfg.ReconfigEnergyPerByte * float64(bs.Size()); e > 0 {
 					if err := r.meter.AddEnergy("config", e); err != nil {
@@ -196,6 +241,58 @@ func (r *Runtime) executeReconfig(req *request) {
 	}
 }
 
+// recoverTile restores a tile to a safe, usable state after a failed
+// reconfiguration attempt: force the decoupler open (the PRC reset
+// line — a normal disengage cannot be trusted on this path), drop the
+// PRC power rail, restore the tile's idle power and clear the
+// swap-in-progress state. After recoverTile the tile is exactly as
+// usable as before the attempt: nothing is gated, nothing leaks power,
+// and a later RequestReconfig or InvokeOn proceeds normally.
+func (r *Runtime) recoverTile(ts *tileState, accName string) {
+	if r.net.Decoupled(ts.pos) {
+		r.net.ResetTile(ts.pos)
+	}
+	ts.reconfig = false
+	if accName == "" || ts.pending == accName {
+		ts.pending = ""
+	}
+	r.mustSetPower("prc", 0)
+	r.setTileIdlePower(ts)
+}
+
+// failReconfig is the single failure path of executeReconfig: recover
+// the tile, then retry (bounded, with linear backoff) or report.
+func (r *Runtime) failReconfig(req *request, ts *tileState, start sim.Time, attempt int, err error) {
+	r.recoverTile(ts, req.accName)
+	if attempt <= r.cfg.MaxReconfigRetries && !ts.dead {
+		// Transient-fault policy: the whole hardware sequence re-runs
+		// after a backoff proportional to the attempt number. The PRC
+		// stays busy, so queued requests cannot interleave with the
+		// retry.
+		r.stats.Retries++
+		backoff := r.cfg.RetryBackoff * sim.Time(attempt)
+		if serr := r.eng.Schedule(backoff, func() { r.attemptReconfig(req, start, attempt+1) }); serr == nil {
+			return
+		}
+		// Could not schedule the retry; fall through to a hard failure.
+	}
+	r.stats.FailedReconfigs++
+	ts.failures++
+	if r.cfg.TileDeadThreshold > 0 && ts.failures >= r.cfg.TileDeadThreshold && !ts.dead {
+		ts.dead = true
+		r.stats.DeadTiles++
+	}
+	r.timeline = append(r.timeline, TimelineEvent{
+		Start: start, End: r.eng.Now(),
+		Tile: ts.t.Name, Accel: req.accName,
+		Attempts: attempt, Failed: true, Err: err.Error(),
+	})
+	r.prcBusy = false
+	req.done(err)
+	r.releaseTile(ts)
+	r.pumpWorkqueue()
+}
+
 // icapTime returns the ICAP programming time for a stored image of the
 // given size. Compressed images program faster: multi-frame writes skip
 // repeated frames, which is exactly why the flow enables compression.
@@ -214,17 +311,30 @@ func (r *Runtime) icapTime(bytes int) sim.Time {
 // Prefetch asks the manager to opportunistically load accName into the
 // tile ahead of its next use. The request goes through the same
 // workqueue as demand reconfigurations; if the guess is wrong, the
-// demand path simply swaps again.
+// demand path simply swaps again. A failed speculative load is not an
+// application error — no caller waits on it — but it must not vanish
+// either: the manager counts it in Stats.PrefetchErrors, and by the
+// time the callback runs the recovery path has already restored the
+// tile, so the failure leaves no residue.
 func (r *Runtime) Prefetch(tileName, accName string) {
-	r.RequestReconfig(tileName, accName, nil)
+	r.RequestReconfig(tileName, accName, func(err error) {
+		if err != nil {
+			r.stats.PrefetchErrors++
+		}
+	})
 }
 
 // updateLeakagePower re-evaluates the configured-fabric leakage from
-// the total pblock area currently holding loaded modules.
+// the total pblock area currently holding loaded modules. The fold
+// runs over the sorted tile-name slice: float addition is not
+// associative, so summing in map iteration order would perturb the
+// leakage term — and every energy figure derived from it — from run
+// to run.
 func (r *Runtime) updateLeakagePower() {
 	var areaK float64
 	loaded := 0
-	for _, ts := range r.tiles {
+	for _, name := range r.tileNames {
+		ts := r.tiles[name]
 		if ts.loaded != "" {
 			areaK += float64(ts.pblock.ResourcesOn(r.design.Dev)[fpga.LUT]) / 1000.0
 			loaded++

@@ -13,10 +13,12 @@ package reconfig
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"presp/internal/accel"
 	"presp/internal/bitstream"
+	"presp/internal/faultinject"
 	"presp/internal/floorplan"
 	"presp/internal/fpga"
 	"presp/internal/noc"
@@ -93,6 +95,28 @@ type Config struct {
 	// trade-off.
 	LeakagePerKLUTW float64
 	LeakageExponent float64
+	// MaxReconfigRetries bounds how many times the manager re-attempts
+	// a partial reconfiguration whose hardware sequence failed
+	// (transient ICAP or DMA faults) before reporting the error to the
+	// caller. Zero disables retries.
+	MaxReconfigRetries int
+	// RetryBackoff is the base delay before re-attempting a failed
+	// reconfiguration: attempt k waits k·RetryBackoff. Linear backoff
+	// in virtual time keeps the schedule deterministic.
+	RetryBackoff sim.Time
+	// TileDeadThreshold declares a tile dead after this many
+	// consecutive reconfiguration failures, each having exhausted its
+	// retries. Invocations on a dead tile gracefully degrade to the
+	// CPU fallback; a successful reconfiguration resets the count.
+	// Zero never declares tiles dead.
+	TileDeadThreshold int
+	// FaultPlan, when non-nil, arms the deterministic fault injector
+	// against this runtime's substrate: NoC transfers (sites: plane
+	// and endpoint tile names), decoupler engage/disengage (site: tile
+	// name), ICAP programming and fetch CRC corruption (sites: tile
+	// and accelerator names) and kernel execution (sites: accelerator
+	// and tile names).
+	FaultPlan *faultinject.Plan
 }
 
 // DefaultConfig returns the evaluation configuration.
@@ -111,6 +135,9 @@ func DefaultConfig() Config {
 		PerTilePowerW:         3.0,
 		LeakagePerKLUTW:       0.0025,
 		LeakageExponent:       1.75,
+		MaxReconfigRetries:    2,
+		RetryBackoff:          20 * time.Microsecond,
+		TileDeadThreshold:     3,
 	}
 }
 
@@ -124,6 +151,8 @@ type tileState struct {
 	pending   string // accelerator a queued/in-flight swap will install
 	busy      bool   // accelerator executing
 	reconfig  bool   // reconfiguration in progress
+	dead      bool   // declared dead after repeated reconfig failures
+	failures  int    // consecutive exhausted-retry reconfig failures
 	waiters   []func()
 	bitstream map[string]*bitstream.Bitstream
 }
@@ -135,8 +164,16 @@ type TimelineEvent struct {
 	Start, End sim.Time
 	// Tile and Accel identify the swap.
 	Tile, Accel string
-	// Bytes is the configured bitstream size.
+	// Bytes is the configured bitstream size (zero for failures).
 	Bytes int
+	// Attempts is the number of hardware attempts the event consumed
+	// (1 = first try succeeded; retries extend the same event).
+	Attempts int
+	// Failed marks a reconfiguration that exhausted its retries; Err
+	// holds the final error text. Failures are recorded in the
+	// timeline precisely so they are observable after the fact.
+	Failed bool
+	Err    string
 }
 
 // Stats aggregates runtime counters.
@@ -151,6 +188,18 @@ type Stats struct {
 	CPUFallbacks int
 	// BytesConfigured is the total bitstream bytes pushed through ICAP.
 	BytesConfigured int64
+	// FailedReconfigs counts reconfigurations that failed after
+	// exhausting their retries.
+	FailedReconfigs int
+	// Retries counts re-attempted reconfiguration hardware sequences.
+	Retries int
+	// PrefetchErrors counts speculative loads that failed; no caller
+	// waits on a prefetch, so this counter is the only place the
+	// errors surface.
+	PrefetchErrors int
+	// DeadTiles counts tiles declared dead (their kernels degrade to
+	// the CPU fallback).
+	DeadTiles int
 }
 
 // Runtime is the reconfiguration manager bound to one simulated SoC.
@@ -164,6 +213,14 @@ type Runtime struct {
 
 	memPos, auxPos, cpuPos noc.Coord
 	tiles                  map[string]*tileState
+	// tileNames holds the reconfigurable tile names sorted: every loop
+	// that folds floats across tiles iterates this slice, never the
+	// map, so energy totals do not depend on map iteration order.
+	tileNames []string
+	// posName labels mesh coordinates with tile names for fault sites.
+	posName map[noc.Coord]string
+	// inj is the armed fault injector (nil when no FaultPlan is set).
+	inj *faultinject.Injector
 
 	// The single DFXC serializes reconfigurations; queued requests wait
 	// in the kernel workqueue.
@@ -198,17 +255,27 @@ func New(eng *sim.Engine, d *socgen.Design, reg *accel.Registry, plan *floorplan
 		return nil, err
 	}
 	r := &Runtime{
-		eng:    eng,
-		net:    net,
-		meter:  sim.NewPowerMeter(eng),
-		design: d,
-		reg:    reg,
-		cfg:    cfg,
-		tiles:  make(map[string]*tileState),
+		eng:     eng,
+		net:     net,
+		meter:   sim.NewPowerMeter(eng),
+		design:  d,
+		reg:     reg,
+		cfg:     cfg,
+		tiles:   make(map[string]*tileState),
+		posName: make(map[noc.Coord]string),
+	}
+	if cfg.FaultPlan != nil {
+		inj, err := faultinject.New(*cfg.FaultPlan)
+		if err != nil {
+			return nil, err
+		}
+		r.inj = inj
+		net.SetFaultHook(&nocFaultAdapter{r: r})
 	}
 	var haveMem, haveAux, haveCPU bool
 	for i := range d.Cfg.Tiles {
 		t := &d.Cfg.Tiles[i]
+		r.posName[t.Pos] = t.Name
 		switch t.Kind {
 		case tile.Mem:
 			if !haveMem {
@@ -247,14 +314,57 @@ func New(eng *sim.Engine, d *socgen.Design, reg *accel.Registry, plan *floorplan
 	if !haveMem || !haveAux || !haveCPU {
 		return nil, fmt.Errorf("reconfig: design %s lacks MEM/AUX/CPU tiles", d.Cfg.Name)
 	}
+	for n := range r.tiles {
+		r.tileNames = append(r.tileNames, n)
+	}
+	sort.Strings(r.tileNames)
 	if err := r.meter.SetPower("static", cfg.StaticPowerW); err != nil {
 		return nil, err
 	}
-	for _, ts := range r.tiles {
-		r.setTileIdlePower(ts)
+	for _, n := range r.tileNames {
+		r.setTileIdlePower(r.tiles[n])
 	}
 	return r, nil
 }
+
+// nocFaultAdapter translates NoC operations into fault-injector sites:
+// the plane name plus the tile names at the endpoints, so plans can
+// target "every DMA-plane packet" or "anything touching rt_2" alike.
+type nocFaultAdapter struct{ r *Runtime }
+
+func (a *nocFaultAdapter) TransferFault(p noc.Plane, src, dst noc.Coord) error {
+	return a.r.inj.Check(faultinject.OpTransfer, p.String(), a.r.siteName(src), a.r.siteName(dst))
+}
+
+func (a *nocFaultAdapter) DecoupleFault(c noc.Coord) error {
+	return a.r.inj.Check(faultinject.OpDecouple, a.r.siteName(c))
+}
+
+func (a *nocFaultAdapter) RecoupleFault(c noc.Coord) error {
+	return a.r.inj.Check(faultinject.OpRecouple, a.r.siteName(c))
+}
+
+// siteName labels a mesh coordinate with its tile name, falling back
+// to the coordinate string for unnamed positions.
+func (r *Runtime) siteName(c noc.Coord) string {
+	if n, ok := r.posName[c]; ok {
+		return n
+	}
+	return c.String()
+}
+
+// faultCheck consults the armed injector; with no fault plan it is
+// free. Sites order matters only for the fault's label.
+func (r *Runtime) faultCheck(op faultinject.Op, sites ...string) error {
+	if r.inj == nil {
+		return nil
+	}
+	return r.inj.Check(op, sites...)
+}
+
+// FaultsInjected reports how many faults the armed injector has
+// delivered so far (zero without a FaultPlan).
+func (r *Runtime) FaultsInjected() int { return r.inj.Injected() }
 
 // Engine exposes the simulation engine (for scheduling application work).
 func (r *Runtime) Engine() *sim.Engine { return r.eng }
@@ -275,13 +385,21 @@ func (r *Runtime) Timeline() []TimelineEvent {
 	return out
 }
 
-// Tiles lists the reconfigurable tile names.
+// Tiles lists the reconfigurable tile names, sorted.
 func (r *Runtime) Tiles() []string {
-	out := make([]string, 0, len(r.tiles))
-	for n := range r.tiles {
-		out = append(out, n)
-	}
+	out := make([]string, len(r.tileNames))
+	copy(out, r.tileNames)
 	return out
+}
+
+// Dead reports whether the manager has declared the tile dead after
+// repeated reconfiguration failures.
+func (r *Runtime) Dead(tileName string) (bool, error) {
+	ts, err := r.tile(tileName)
+	if err != nil {
+		return false, err
+	}
+	return ts.dead, nil
 }
 
 // Loaded returns the accelerator currently configured in the tile.
@@ -327,6 +445,9 @@ func (r *Runtime) RegisterBitstream(tileName, accName string, bs *bitstream.Bits
 	}
 	if _, err := r.reg.Lookup(accName); err != nil {
 		return err
+	}
+	if err := bs.Verify(); err != nil {
+		return fmt.Errorf("reconfig: %s/%s: %w", tileName, accName, err)
 	}
 	ts.bitstream[accName] = bs
 	return nil

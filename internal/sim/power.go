@@ -86,12 +86,25 @@ func (m *PowerMeter) Energy(name string) float64 {
 }
 
 // TotalEnergy returns the energy summed over all consumers, in Joules.
+// The fold runs in sorted name order: float addition is not
+// associative, and a map-order sum differs in the last bits between
+// otherwise identical runs.
 func (m *PowerMeter) TotalEnergy() float64 {
 	var sum float64
-	for name := range m.consumers {
+	for _, name := range m.Consumers() {
 		sum += m.Energy(name)
 	}
 	return sum
+}
+
+// Power returns the instantaneous power level of name in Watts — what
+// the recovery tests assert returns to baseline after a failure.
+func (m *PowerMeter) Power(name string) float64 {
+	c, ok := m.consumers[name]
+	if !ok {
+		return 0
+	}
+	return c.powerW
 }
 
 // BusyTime returns how long name has drawn non-zero power.

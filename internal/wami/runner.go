@@ -175,10 +175,17 @@ func (r *Runner) dispatch(idx int, in [][]float64, done func(*reconfig.InvokeRes
 		return
 	}
 	r.rt.InvokeOn(tileName, Names[idx], in, func(res *reconfig.InvokeResult, err error) {
-		if err == nil {
-			if next := r.nextOnTile(tileName, idx); next != 0 && next != idx {
-				r.rt.Prefetch(tileName, Names[next])
-			}
+		if err != nil {
+			// The tile invocation failed — a reconfiguration error the
+			// manager's retries could not absorb, or an injected
+			// datapath fault. Degrade this invocation to the processor
+			// instead of failing the frame; a genuinely broken kernel
+			// still surfaces its error from the software run.
+			r.rt.RunOnCPU(Names[idx], in, done)
+			return
+		}
+		if next := r.nextOnTile(tileName, idx); next != 0 && next != idx {
+			r.rt.Prefetch(tileName, Names[next])
 		}
 		done(res, err)
 	})

@@ -7,6 +7,7 @@ import (
 	"presp/internal/bitstream"
 	"presp/internal/core"
 	"presp/internal/experiments"
+	"presp/internal/faultinject"
 	"presp/internal/floorplan"
 	"presp/internal/fpga"
 	"presp/internal/noc"
@@ -47,7 +48,38 @@ type (
 	RuntimeConfig = reconfig.Config
 	// InvokeResult carries an accelerator invocation's outputs/timing.
 	InvokeResult = reconfig.InvokeResult
+	// FaultPlan is a seeded, deterministic fault-injection plan for the
+	// runtime (set it on RuntimeConfig.FaultPlan).
+	FaultPlan = faultinject.Plan
+	// FaultRule is one injection rule of a FaultPlan.
+	FaultRule = faultinject.Rule
+	// Fault is the error an injected fault reports; test for it with
+	// IsFault.
+	Fault = faultinject.Fault
+	// ErrTileDead reports a request against a tile the runtime declared
+	// dead after repeated reconfiguration failures.
+	ErrTileDead = reconfig.ErrTileDead
 )
+
+// Fault-injection operations, re-exported for building FaultRules.
+const (
+	FaultTransfer = faultinject.OpTransfer
+	FaultDecouple = faultinject.OpDecouple
+	FaultRecouple = faultinject.OpRecouple
+	FaultICAP     = faultinject.OpICAP
+	FaultFetchCRC = faultinject.OpFetchCRC
+	FaultKernel   = faultinject.OpKernel
+)
+
+// ParseFaultPlan parses the textual fault-plan syntax used by
+// presp-sim's -faults flag:
+//
+//	seed=<n>,<op>[@<site>][=<rate>][:after=<n>][:count=<n>],...
+func ParseFaultPlan(s string) (*FaultPlan, error) { return faultinject.ParsePlan(s) }
+
+// IsFault reports whether err is (or wraps) an injected fault, and
+// returns it.
+func IsFault(err error) (*Fault, bool) { return faultinject.As(err) }
 
 // Tile kinds, re-exported.
 const (
