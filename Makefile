@@ -1,27 +1,40 @@
 # PR-ESP build/test targets.
 #
-# `make ci` is the gate every change must pass: vet, build, the tier-1
-# unit suite, and the same suite under the race detector — the flow
-# engine executes its job graphs on a goroutine worker pool, so the race
-# run is a permanent part of the check, not an optional extra.
+# `make ci` is the gate every change must pass: vet, static analysis
+# (when staticcheck is installed), build, the tier-1 unit suite, and the
+# same suite under the race detector — the flow engine executes its job
+# graphs on a goroutine worker pool, so the race run is a permanent part
+# of the check, not an optional extra.
 
 GO ?= go
+# Explicit per-package timeout: a wedged scheduler or leaked goroutine
+# must fail the suite, not hang CI.
+TEST_TIMEOUT ?= 5m
 
-.PHONY: ci vet build test race bench fuzz fuzz-smoke
+.PHONY: ci vet staticcheck build test race bench fuzz fuzz-smoke
 
-ci: vet build test race fuzz-smoke
+ci: vet staticcheck build test race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when the binary is on PATH; the sandbox image has no
+# network access to install it, so its absence is a skip, not a failure.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout $(TEST_TIMEOUT) ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout $(TEST_TIMEOUT) ./...
 
 # Reproduce the paper's tables/figures and the cache speedup numbers.
 bench:
@@ -32,8 +45,11 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzSchedulerExecute -fuzztime=30s ./internal/flow/
 
 # Short fuzz pass over the property suites, part of `make ci`: the
-# scheduler executor and the reconfiguration fault-plan harness (any
-# plan must leave the tile un-wedged and two runs byte-identical).
+# scheduler executor, the reconfiguration fault-plan harness (any plan
+# must leave the tile un-wedged and two runs byte-identical), and the
+# CAD fault-plan parser/injector (arbitrary plans parse or reject
+# cleanly, and the injected fault set is interleaving-independent).
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzSchedulerExecute -fuzztime=5s ./internal/flow/
 	$(GO) test -run=^$$ -fuzz=FuzzFaultPlan -fuzztime=5s ./internal/reconfig/
+	$(GO) test -run=^$$ -fuzz=FuzzCADFaultPlan -fuzztime=5s ./internal/faultinject/

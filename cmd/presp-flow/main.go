@@ -8,19 +8,32 @@
 //	presp-flow -preset SOC_2                 # a built-in configuration
 //	presp-flow -config my_soc.json           # a JSON tile-grid config
 //	presp-flow -preset SoC_A -strategy serial -baseline both
+//	presp-flow -preset SOC_2 -journal run.jsonl -timeout 30s
+//	presp-flow -preset SOC_2 -resume run.jsonl
+//	presp-flow -preset SOC_2 -faults 'seed=7,synth=0.2' -retries 2
 //
 // Presets: SOC_1..SOC_4 (characterization), SoC_A..SoC_D (WAMI flow
 // evaluation), SoC_X/SoC_Y/SoC_Z (WAMI runtime systems).
+//
+// The run is interruptible: SIGINT/SIGTERM (or -timeout) stop it at
+// the next job boundary. With -journal, completed jobs are recorded so
+// a later -resume run skips them through the checkpoint cache.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
+	"time"
 
 	"presp/internal/core"
 	"presp/internal/experiments"
+	"presp/internal/faultinject"
 	"presp/internal/flow"
 	"presp/internal/fpga"
 	"presp/internal/report"
@@ -28,25 +41,100 @@ import (
 	"presp/internal/vivado"
 )
 
-func main() {
-	preset := flag.String("preset", "", "built-in SoC (SOC_1..SOC_4, SoC_A..SoC_D, SoC_X/Y/Z)")
-	configPath := flag.String("config", "", "path to a JSON SoC configuration")
-	strategy := flag.String("strategy", "", "force a strategy: serial, semi, fully (default: size-driven choice)")
-	tau := flag.Int("tau", core.DefaultSemiTau, "semi-parallel degree")
-	compress := flag.Bool("compress", true, "compress bitstreams")
-	baseline := flag.String("baseline", "", "also run a baseline: mono, dfx or both")
-	scripts := flag.Bool("scripts", false, "print the auto-generated CAD scripts")
-	workers := flag.Int("workers", 0, "scheduler worker goroutines (0 = all CPUs); results are identical for every value")
-	flag.Parse()
+// cliOptions is the parsed, validated command line.
+type cliOptions struct {
+	preset      string
+	configPath  string
+	strategy    string
+	tau         int
+	compress    bool
+	baseline    string
+	scripts     bool
+	workers     int
+	timeout     time.Duration
+	retries     int
+	errorPolicy flow.ErrorPolicy
+	faultPlan   *faultinject.Plan
+	journalPath string
+	resumePath  string
+}
 
-	if err := run(*preset, *configPath, *strategy, *tau, *compress, *baseline, *scripts, *workers); err != nil {
+// parseCLI parses and validates argv (without the program name). It is
+// side-effect free so tests can drive it directly.
+func parseCLI(args []string) (*cliOptions, error) {
+	fs := flag.NewFlagSet("presp-flow", flag.ContinueOnError)
+	o := &cliOptions{}
+	var faults, policy string
+	fs.StringVar(&o.preset, "preset", "", "built-in SoC (SOC_1..SOC_4, SoC_A..SoC_D, SoC_X/Y/Z)")
+	fs.StringVar(&o.configPath, "config", "", "path to a JSON SoC configuration")
+	fs.StringVar(&o.strategy, "strategy", "", "force a strategy: serial, semi, fully (default: size-driven choice)")
+	fs.IntVar(&o.tau, "tau", core.DefaultSemiTau, "semi-parallel degree")
+	fs.BoolVar(&o.compress, "compress", true, "compress bitstreams")
+	fs.StringVar(&o.baseline, "baseline", "", "also run a baseline: mono, dfx or both")
+	fs.BoolVar(&o.scripts, "scripts", false, "print the auto-generated CAD scripts")
+	fs.IntVar(&o.workers, "workers", 0, "scheduler worker goroutines (0 = all CPUs); results are identical for every value")
+	fs.DurationVar(&o.timeout, "timeout", 0, "abort the whole flow after this wall-clock duration (0 = none)")
+	fs.IntVar(&o.retries, "retries", 0, "retry failed jobs up to N times with capped virtual-time backoff")
+	fs.StringVar(&policy, "error-policy", "fail-fast", "job-failure policy: fail-fast or collect")
+	fs.StringVar(&faults, "faults", "", "inject seeded CAD faults, e.g. 'seed=7,synth@rt_1:count=1,impl=0.3'")
+	fs.StringVar(&o.journalPath, "journal", "", "record completed jobs to this JSON-lines file (resumable with -resume)")
+	fs.StringVar(&o.resumePath, "resume", "", "resume from a journal written by an interrupted run")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if _, err := flow.NormalizeWorkers(o.workers); err != nil {
+		return nil, err
+	}
+	if o.retries < 0 {
+		return nil, fmt.Errorf("-retries must be >= 0, got %d", o.retries)
+	}
+	switch policy {
+	case "fail-fast":
+		o.errorPolicy = flow.FailFast
+	case "collect":
+		o.errorPolicy = flow.Collect
+	default:
+		return nil, fmt.Errorf("unknown error policy %q (want fail-fast or collect)", policy)
+	}
+	if faults != "" {
+		plan, err := faultinject.ParsePlan(faults)
+		if err != nil {
+			return nil, err
+		}
+		o.faultPlan = plan
+	}
+	if o.journalPath != "" && o.journalPath == o.resumePath {
+		return nil, fmt.Errorf("-journal and -resume must name different files")
+	}
+	return o, nil
+}
+
+func main() {
+	o, err := parseCLI(os.Args[1:])
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "presp-flow:", err)
+		os.Exit(2)
+	}
+	// SIGINT/SIGTERM cancel the flow at the next job boundary; the
+	// journal (if any) stays valid for -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o); err != nil {
+		fmt.Fprintln(os.Stderr, "presp-flow:", err)
+		if o.journalPath != "" {
+			if _, statErr := os.Stat(o.journalPath); statErr == nil {
+				fmt.Fprintf(os.Stderr, "presp-flow: journal saved; resume with -resume %s\n", o.journalPath)
+			}
+		}
 		os.Exit(1)
 	}
 }
 
-func run(preset, configPath, strategy string, tau int, compress bool, baseline string, scripts bool, workers int) error {
-	cfg, err := loadConfig(preset, configPath)
+func run(ctx context.Context, o *cliOptions) error {
+	cfg, err := loadConfig(o.preset, o.configPath)
 	if err != nil {
 		return err
 	}
@@ -54,40 +142,73 @@ func run(preset, configPath, strategy string, tau int, compress bool, baseline s
 	if err != nil {
 		return err
 	}
-	opt := flow.Options{Compress: compress, Workers: workers, Cache: vivado.NewCheckpointCache()}
-	if strategy != "" {
-		kind, err := parseStrategy(strategy)
+	cache := vivado.NewCheckpointCache()
+	opt := flow.Options{
+		Compress:      o.compress,
+		Workers:       o.workers,
+		Cache:         cache,
+		Timeout:       o.timeout,
+		MaxJobRetries: o.retries,
+		ErrorPolicy:   o.errorPolicy,
+		FaultPlan:     o.faultPlan,
+	}
+	if o.strategy != "" {
+		kind, err := parseStrategy(o.strategy)
 		if err != nil {
 			return err
 		}
-		strat, err := core.ForceStrategy(d, kind, tau)
+		strat, err := core.ForceStrategy(d, kind, o.tau)
 		if err != nil {
 			return err
 		}
 		opt.Strategy = strat
 	}
-	res, err := flow.RunPRESP(d, opt)
+	if o.resumePath != "" {
+		f, err := os.Open(o.resumePath)
+		if err != nil {
+			return err
+		}
+		journal, jerr := flow.LoadJournal(f)
+		f.Close()
+		if jerr != nil {
+			return fmt.Errorf("%s: %w", o.resumePath, jerr)
+		}
+		opt.Resume = journal
+		fmt.Printf("resuming: %d completed jobs journaled in %s\n", len(journal.CompletedJobs()), o.resumePath)
+	}
+	if o.journalPath != "" {
+		f, err := os.Create(o.journalPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opt.Journal = flow.NewJournal(f)
+	}
+
+	res, err := flow.RunPRESPContext(ctx, d, opt)
 	if err != nil {
 		return err
 	}
-	printResult(res)
-	if scripts && res.Scripts != nil {
+	printResult(res, cache)
+	if o.scripts && res.Scripts != nil {
 		printScripts(res.Scripts)
 	}
 
-	switch baseline {
+	baseOpt := opt
+	baseOpt.Journal, baseOpt.Resume = nil, nil
+	switch o.baseline {
 	case "":
 	case "mono":
-		return printBaseline("monolithic", flow.RunMonolithic, d, opt, res)
+		return printBaseline(ctx, "monolithic", flow.RunMonolithicContext, d, baseOpt, res)
 	case "dfx":
-		return printBaseline("standard DFX", flow.RunStandardDFX, d, opt, res)
+		return printBaseline(ctx, "standard DFX", flow.RunStandardDFXContext, d, baseOpt, res)
 	case "both":
-		if err := printBaseline("monolithic", flow.RunMonolithic, d, opt, res); err != nil {
+		if err := printBaseline(ctx, "monolithic", flow.RunMonolithicContext, d, baseOpt, res); err != nil {
 			return err
 		}
-		return printBaseline("standard DFX", flow.RunStandardDFX, d, opt, res)
+		return printBaseline(ctx, "standard DFX", flow.RunStandardDFXContext, d, baseOpt, res)
 	default:
-		return fmt.Errorf("unknown baseline %q (want mono, dfx or both)", baseline)
+		return fmt.Errorf("unknown baseline %q (want mono, dfx or both)", o.baseline)
 	}
 	return nil
 }
@@ -126,7 +247,7 @@ func parseStrategy(s string) (core.StrategyKind, error) {
 	}
 }
 
-func printResult(res *flow.Result) {
+func printResult(res *flow.Result, cache *vivado.CheckpointCache) {
 	d := res.Design
 	m := res.Strategy.Metrics
 	fmt.Printf("SoC %s on %s (%s)\n", d.Cfg.Name, d.Dev.Board, d.Dev.Name)
@@ -149,10 +270,24 @@ func printResult(res *flow.Result) {
 	j := res.Jobs
 	fmt.Printf("scheduler: %d workers, %d synth + %d plan + %d impl + %d bitgen jobs",
 		j.Workers, j.SynthJobs, j.PlanJobs, j.ImplJobs, j.BitgenJobs)
+	if j.Retries > 0 {
+		fmt.Printf(", %d retries", j.Retries)
+	}
 	if j.CacheHits+j.CacheMisses > 0 {
 		fmt.Printf(", checkpoint cache %d hits / %d misses", j.CacheHits, j.CacheMisses)
+		if ev := cache.Evictions(); ev > 0 {
+			fmt.Printf(" / %d evictions", ev)
+		}
 	}
 	fmt.Println()
+
+	if res.Partial {
+		fmt.Printf("PARTIAL result: %d jobs failed, %d cancelled downstream\n",
+			j.FailedJobs, j.Cancelled)
+		for _, je := range res.JobErrors {
+			fmt.Printf("  %s (%s, %d attempts): %v\n", je.ID, je.Stage, je.Attempts, je.Err)
+		}
+	}
 
 	if res.Plan != nil {
 		names := make([]string, 0, len(res.Plan.Pblocks))
@@ -175,12 +310,15 @@ func printResult(res *flow.Result) {
 	}
 }
 
-type flowFunc func(*socgen.Design, flow.Options) (*flow.Result, error)
+type flowFunc func(context.Context, *socgen.Design, flow.Options) (*flow.Result, error)
 
-func printBaseline(label string, f flowFunc, d *socgen.Design, opt flow.Options, presp *flow.Result) error {
+func printBaseline(ctx context.Context, label string, f flowFunc, d *socgen.Design, opt flow.Options, presp *flow.Result) error {
 	opt.Strategy = nil
-	res, err := f(d, opt)
+	res, err := f(ctx, d, opt)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("baseline %s: %w", label, err)
+		}
 		return err
 	}
 	gain := (float64(res.Total) - float64(presp.Total)) / float64(res.Total)

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+	"time"
+
+	"presp/internal/faultinject"
+	"presp/internal/flow"
+)
+
+func TestParseCLIDefaults(t *testing.T) {
+	o, err := parseCLI([]string{"-preset", "SOC_2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.preset != "SOC_2" || !o.compress || o.workers != 0 || o.timeout != 0 ||
+		o.retries != 0 || o.errorPolicy != flow.FailFast || o.faultPlan != nil {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+}
+
+func TestParseCLIWorkers(t *testing.T) {
+	o, err := parseCLI([]string{"-preset", "SOC_1", "-workers", "7"})
+	if err != nil || o.workers != 7 {
+		t.Fatalf("workers=7 not accepted: %+v, %v", o, err)
+	}
+	if _, err := parseCLI([]string{"-preset", "SOC_1", "-workers", "-2"}); err == nil {
+		t.Fatal("negative -workers accepted")
+	}
+	if _, err := parseCLI([]string{"-preset", "SOC_1", "-workers", "x"}); err == nil {
+		t.Fatal("non-numeric -workers accepted")
+	}
+}
+
+func TestParseCLIRobustnessFlags(t *testing.T) {
+	o, err := parseCLI([]string{
+		"-preset", "SOC_2",
+		"-timeout", "90s",
+		"-retries", "2",
+		"-error-policy", "collect",
+		"-faults", "seed=7,synth@rt_1_rp:count=1,impl=0.3",
+		"-journal", "run.jsonl",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.timeout != 90*time.Second {
+		t.Fatalf("timeout = %v", o.timeout)
+	}
+	if o.retries != 2 || o.errorPolicy != flow.Collect || o.journalPath != "run.jsonl" {
+		t.Fatalf("parsed: %+v", o)
+	}
+	if o.faultPlan == nil || o.faultPlan.Seed != 7 || len(o.faultPlan.Rules) != 2 {
+		t.Fatalf("fault plan = %+v", o.faultPlan)
+	}
+	if o.faultPlan.Rules[0].Op != faultinject.OpCADSynth {
+		t.Fatalf("rule 0 = %+v", o.faultPlan.Rules[0])
+	}
+}
+
+func TestParseCLIRejects(t *testing.T) {
+	cases := [][]string{
+		{"-error-policy", "lenient"},
+		{"-faults", "frobnicate@x:count=1"},
+		{"-faults", "synth:count=notanumber"},
+		{"-retries", "-1"},
+		{"-journal", "same.jsonl", "-resume", "same.jsonl"},
+		{"-preset", "SOC_1", "stray-arg"},
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		if _, err := parseCLI(args); err == nil {
+			t.Errorf("parseCLI(%q) accepted", args)
+		}
+	}
+	if _, err := parseCLI([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+}
+
+// TestRunMissingConfig: run() rejects an empty selection and a
+// preset/config conflict before doing any work.
+func TestRunMissingConfig(t *testing.T) {
+	o, err := parseCLI(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), o); err == nil || !strings.Contains(err.Error(), "-preset") {
+		t.Fatalf("empty selection: %v", err)
+	}
+	o, err = parseCLI([]string{"-preset", "SOC_1", "-config", "x.json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), o); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("conflicting selection: %v", err)
+	}
+}
+
+// TestRunJournalAndResume drives the whole binary logic end to end:
+// run with -journal, then resume from the written file.
+func TestRunJournalAndResume(t *testing.T) {
+	dir := t.TempDir()
+	journal := dir + "/run.jsonl"
+	o, err := parseCLI([]string{"-preset", "SOC_1", "-journal", journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), o); err != nil {
+		t.Fatalf("journaled run failed: %v", err)
+	}
+	o, err = parseCLI([]string{"-preset", "SOC_1", "-resume", journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), o); err != nil {
+		t.Fatalf("resumed run failed: %v", err)
+	}
+}
+
+// TestRunCancelled: a cancelled context aborts the run with
+// context.Canceled.
+func TestRunCancelled(t *testing.T) {
+	o, err := parseCLI([]string{"-preset", "SOC_1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(ctx, o); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestRunCollectFaults: an injected persistent fault under -error-policy
+// collect still completes the run (Partial result, exit 0).
+func TestRunCollectFaults(t *testing.T) {
+	o, err := parseCLI([]string{
+		"-preset", "SOC_2",
+		"-faults", "synth@rt_1_rp:count=-1",
+		"-error-policy", "collect",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), o); err != nil {
+		t.Fatalf("collect run failed: %v", err)
+	}
+}

@@ -5,8 +5,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"time"
 
 	"presp"
 )
@@ -44,6 +49,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// The sweep is interruptible: Ctrl-C (or the safety timeout) stops
+	// the current flow run at its next job boundary instead of dying
+	// mid-synthesis, and the checkpoint cache stays valid for a rerun.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	fmt.Println("design space sweep: accelerator mix vs chosen strategy (modelled minutes)")
 	fmt.Printf("%-22s %6s %6s %6s %-6s %-15s %8s %8s %8s\n",
@@ -83,7 +94,10 @@ func main() {
 		// Evaluate all three strategies to see whether the choice wins.
 		times := map[presp.StrategyKind]float64{}
 		for _, kind := range []presp.StrategyKind{presp.Serial, presp.SemiParallel, presp.FullyParallel} {
-			t, ok := runWith(p, soc, kind)
+			t, ok, err := runWith(ctx, p, soc, kind)
+			if err != nil {
+				log.Fatal(err) // interrupted or timed out: stop the sweep
+			}
 			if ok {
 				times[kind] = t
 			}
@@ -100,8 +114,9 @@ func main() {
 }
 
 // runWith forces one strategy and returns the P&R wall time; strategies
-// that do not apply (semi-parallel with too few tiles) report !ok.
-func runWith(p *presp.Platform, soc *presp.SoC, kind presp.StrategyKind) (float64, bool) {
+// that do not apply (semi-parallel with too few tiles) report !ok. A
+// cancelled or timed-out run is an error, not a silent skip.
+func runWith(ctx context.Context, p *presp.Platform, soc *presp.SoC, kind presp.StrategyKind) (float64, bool, error) {
 	tau := 1
 	switch kind {
 	case presp.SemiParallel:
@@ -111,13 +126,20 @@ func runWith(p *presp.Platform, soc *presp.SoC, kind presp.StrategyKind) (float6
 	}
 	strat, err := forceStrategy(soc, kind, tau)
 	if err != nil {
-		return 0, false
+		return 0, false, nil
 	}
-	res, err := p.RunFlow(soc, presp.FlowOptions{Strategy: strat, SkipBitstreams: true})
+	res, err := p.RunFlowContext(ctx, soc, presp.FlowOptions{
+		Strategy:       strat,
+		SkipBitstreams: true,
+		Timeout:        time.Minute, // safety net per run; modelled time is unaffected
+	})
 	if err != nil {
-		return 0, false
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return 0, false, err
+		}
+		return 0, false, nil
 	}
-	return float64(res.PRWall), true
+	return float64(res.PRWall), true, nil
 }
 
 func forceStrategy(soc *presp.SoC, kind presp.StrategyKind, tau int) (*presp.Strategy, error) {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"presp/internal/fpga"
@@ -60,7 +61,7 @@ func Fig3() (*Fig3Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ck, err := tool.Synthesize(d.RPs[0].Content, true)
+		ck, err := tool.Synthesize(context.Background(), d.RPs[0].Content, true)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: profiling %s: %w", name, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"presp/internal/flow"
@@ -48,7 +49,7 @@ func Table2() (*Table2Result, error) {
 		if len(d.RPs) != 1 {
 			return nil, fmt.Errorf("experiments: profiling SoC for %s has %d partitions", acc, len(d.RPs))
 		}
-		ck, err := tool.Synthesize(d.RPs[0].Content, true)
+		ck, err := tool.Synthesize(context.Background(), d.RPs[0].Content, true)
 		if err != nil {
 			return nil, err
 		}
@@ -75,7 +76,7 @@ func Table2() (*Table2Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ck, err := tool.Synthesize(flow.BuildStaticTop(d), false)
+		ck, err := tool.Synthesize(context.Background(), flow.BuildStaticTop(d), false)
 		if err != nil {
 			return nil, err
 		}

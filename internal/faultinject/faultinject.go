@@ -39,6 +39,20 @@ const (
 	OpFetchCRC
 	// OpKernel is accelerator kernel execution on a tile.
 	OpKernel
+	// OpCADSynth is a (simulated) CAD synthesis run in the compile-time
+	// flow. CAD operations are checked through vivado.FaultHook by a
+	// StableInjector, whose occurrence windows apply independently at
+	// each site (see StableInjector).
+	OpCADSynth
+	// OpCADFloorplan is the floorplanning step of the flow.
+	OpCADFloorplan
+	// OpCADImpl is a place-and-route run (static pre-route, serial or
+	// in-context).
+	OpCADImpl
+	// OpCADBitgen is bitstream generation (full or partial).
+	OpCADBitgen
+	// OpCADDRC is the DFX design rule check on a partition.
+	OpCADDRC
 	numOps
 )
 
@@ -57,6 +71,16 @@ func (o Op) String() string {
 		return "crc"
 	case OpKernel:
 		return "kernel"
+	case OpCADSynth:
+		return "synth"
+	case OpCADFloorplan:
+		return "floorplan"
+	case OpCADImpl:
+		return "impl"
+	case OpCADBitgen:
+		return "bitgen"
+	case OpCADDRC:
+		return "drc"
 	default:
 		return fmt.Sprintf("op-%d", int(o))
 	}

@@ -134,11 +134,11 @@ func TestRateRuleCountBound(t *testing.T) {
 
 func TestValidation(t *testing.T) {
 	bad := []Plan{
-		{Rules: []Rule{{Op: OpICAP, Count: 0}}},               // never fires
-		{Rules: []Rule{{Op: OpICAP, Rate: 1.5, Count: 1}}},    // rate > 1
-		{Rules: []Rule{{Op: OpICAP, After: -1, Count: 1}}},    // negative after
-		{Rules: []Rule{{Op: Op(99), Count: 1}}},               // unknown op
-		{Rules: []Rule{{Op: OpICAP, Rate: -0.1}}},             // negative rate
+		{Rules: []Rule{{Op: OpICAP, Count: 0}}},            // never fires
+		{Rules: []Rule{{Op: OpICAP, Rate: 1.5, Count: 1}}}, // rate > 1
+		{Rules: []Rule{{Op: OpICAP, After: -1, Count: 1}}}, // negative after
+		{Rules: []Rule{{Op: Op(99), Count: 1}}},            // unknown op
+		{Rules: []Rule{{Op: OpICAP, Rate: -0.1}}},          // negative rate
 	}
 	for i, p := range bad {
 		if _, err := New(p); err == nil {
@@ -203,14 +203,14 @@ func TestParsePlanRoundTrip(t *testing.T) {
 
 func TestParsePlanErrors(t *testing.T) {
 	bad := []string{
-		"warp@rt_1",           // unknown op
-		"icap@",               // empty site
-		"seed=banana",         // bad seed
-		"icap:count=x",        // bad count
-		"icap:depth=3",        // unknown option
-		"transfer=2.0",        // rate out of range
-		"icap:count=0",        // never fires
-		"icap@rt_1:after",     // option without value
+		"warp@rt_1",       // unknown op
+		"icap@",           // empty site
+		"seed=banana",     // bad seed
+		"icap:count=x",    // bad count
+		"icap:depth=3",    // unknown option
+		"transfer=2.0",    // rate out of range
+		"icap:count=0",    // never fires
+		"icap@rt_1:after", // option without value
 	}
 	for _, s := range bad {
 		if _, err := ParsePlan(s); err == nil {

@@ -6,8 +6,9 @@ import (
 	"strings"
 )
 
-// ParsePlan parses the compact fault-plan syntax the presp-sim -faults
-// flag accepts: comma-separated clauses, each either
+// ParsePlan parses the compact fault-plan syntax shared by the
+// presp-sim -faults flag (runtime operations) and the presp-flow
+// -faults flag (CAD operations): comma-separated clauses, each either
 //
 //	seed=<uint64>
 //
@@ -15,15 +16,27 @@ import (
 //
 //	<op>[@<site>][=<rate>][:after=<n>][:count=<n>]
 //
-// where <op> is one of transfer, decouple, recouple, icap, crc or
-// kernel and <site> is a plane, tile or accelerator name. A rule
-// without a rate is deterministic and fires once by default; count=-1
-// makes it persistent (stuck-at). Examples:
+// Runtime operations — transfer, decouple, recouple, icap, crc, kernel
+// — are injected by the single-threaded simulation engine; <site> is a
+// plane, tile or accelerator name, and occurrences are numbered
+// globally in event order. CAD operations — synth, floorplan, impl,
+// bitgen, drc — are injected into the concurrent flow engine through a
+// StableInjector; <site> is a partition name, module name, design name
+// or bitstream name, and each rule's After/Count window applies
+// independently at every site (retries of a job advance that site's
+// occurrence counter), which is what keeps injected CAD faults
+// byte-identical for any worker count.
+//
+// A rule without a rate is deterministic and fires once by default;
+// count=-1 makes it persistent (stuck-at). Examples:
 //
 //	icap@rt_1:count=2            fail the tile's first two ICAP programs
 //	transfer@dma=0.05            drop 5% of DMA-plane packets (seeded)
 //	recouple@rt_2:after=1:count=-1   decoupler stuck after one success
 //	seed=42,crc=0.2              corrupt 20% of bitstream fetches
+//	synth@rt_1:count=1           crash the partition's first synthesis
+//	impl=0.3                     fail 30% of P&R runs (seeded, per site)
+//	bitgen@rt_2:count=-1         bitstream writer permanently wedged
 func ParsePlan(s string) (*Plan, error) {
 	p := &Plan{}
 	s = strings.TrimSpace(s)

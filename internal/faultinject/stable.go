@@ -1,0 +1,157 @@
+package faultinject
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sync"
+)
+
+// StableInjector evaluates a plan against operations reported from many
+// goroutines at once — the flow engine's worker pool checks CAD
+// operations concurrently, so the single-threaded Injector's global
+// occurrence stream (and its sequential random draws) would make the
+// injected fault set depend on goroutine scheduling.
+//
+// The StableInjector is order-independent by construction:
+//
+//   - occurrence counters are kept per (rule, primary site) instead of
+//     per rule, where the primary site is the first site the caller
+//     reports (the flow labels every CAD job with a unique primary
+//     site). Operations at one site are serialized by the job that owns
+//     it, so each counter advances deterministically however jobs
+//     interleave.
+//   - rate-rule draws are a pure function of (seed, rule, site,
+//     occurrence) rather than positions in a shared generator stream,
+//     so a draw's outcome cannot depend on which other sites were
+//     checked first.
+//
+// The semantic consequence, documented in ParsePlan: a CAD rule's
+// After/Count window applies independently at each site. A site-less
+// rule like "synth:count=1" fails the first synthesis of *every* module,
+// not the globally-first synthesis — "globally first" is not
+// well-defined under concurrency.
+type StableInjector struct {
+	plan Plan
+
+	mu       sync.Mutex
+	matches  map[ruleSite]int
+	fired    map[ruleSite]int
+	injected int
+	perOp    [numOps]int
+}
+
+// ruleSite keys the per-(rule, primary-site) occurrence counters.
+type ruleSite struct {
+	rule int
+	site string
+}
+
+// NewStable builds a concurrency-safe, order-independent injector for
+// the plan.
+func NewStable(plan Plan) (*StableInjector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	rules := make([]Rule, len(plan.Rules))
+	copy(rules, plan.Rules)
+	plan.Rules = rules
+	return &StableInjector{
+		plan:    plan,
+		matches: make(map[ruleSite]int),
+		fired:   make(map[ruleSite]int),
+	}, nil
+}
+
+// Check reports one occurrence of op at the given sites and returns the
+// fault to inject, or nil. The first listed site is the primary site:
+// it keys the occurrence counters and labels the fault. Fault.Seq is
+// the per-(rule, site) fired ordinal — a quantity that is reproducible
+// for any interleaving, unlike a global sequence number.
+func (in *StableInjector) Check(op Op, sites ...string) error {
+	if in == nil {
+		return nil
+	}
+	primary := firstSite(sites)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var fault *Fault
+	for ri := range in.plan.Rules {
+		r := &in.plan.Rules[ri]
+		if r.Op != op || !siteMatches(r.Site, sites) {
+			continue
+		}
+		k := ruleSite{rule: ri, site: primary}
+		n := in.matches[k]
+		in.matches[k]++
+		if n < r.After {
+			continue
+		}
+		if r.Rate > 0 {
+			if r.Count > 0 && in.fired[k] >= r.Count {
+				continue
+			}
+			if in.draw(ri, primary, n) >= r.Rate {
+				continue
+			}
+		} else if r.Count >= 0 && n >= r.After+r.Count {
+			continue
+		}
+		in.fired[k]++
+		if fault == nil {
+			in.injected++
+			in.perOp[op]++
+			fault = &Fault{Op: op, Site: primary, Seq: in.fired[k], Rule: ri}
+		}
+	}
+	if fault == nil {
+		return nil
+	}
+	return fault
+}
+
+// Injected returns the total number of faults delivered so far.
+func (in *StableInjector) Injected() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// InjectedBy returns the number of faults delivered for one operation
+// class.
+func (in *StableInjector) InjectedBy(op Op) int {
+	if in == nil || op < 0 || op >= numOps {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.perOp[op]
+}
+
+// Plan returns a copy of the injector's plan.
+func (in *StableInjector) Plan() Plan {
+	p := in.plan
+	p.Rules = make([]Rule, len(in.plan.Rules))
+	copy(p.Rules, in.plan.Rules)
+	return p
+}
+
+// draw returns a uniform float64 in [0,1) that depends only on the
+// plan seed, the rule index, the site and the occurrence index — never
+// on how many draws other sites consumed first.
+func (in *StableInjector) draw(rule int, site string, occurrence int) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], in.plan.Seed)
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(rule))
+	h.Write(buf[:])
+	h.Write([]byte(site))
+	h.Write([]byte{0xff})
+	binary.LittleEndian.PutUint64(buf[:], uint64(occurrence))
+	h.Write(buf[:])
+	s := splitmix64(h.Sum64())
+	return float64(s.next()>>11) / float64(1<<53)
+}

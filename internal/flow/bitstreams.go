@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -24,7 +25,7 @@ import (
 // map iteration order — and the generation jobs fan out on the shared
 // worker-pool scheduler.
 func GenerateRuntimeBitstreams(d *socgen.Design, plan *floorplan.Plan, alloc map[string][]string, reg *accel.Registry, compress bool) (map[string]map[string]*bitstream.Bitstream, error) {
-	return GenerateRuntimeBitstreamsWorkers(d, plan, alloc, reg, compress, 0)
+	return GenerateRuntimeBitstreamsContext(context.Background(), d, plan, alloc, reg, compress, 0)
 }
 
 // GenerateRuntimeBitstreamsWorkers is GenerateRuntimeBitstreams with an
@@ -33,6 +34,13 @@ func GenerateRuntimeBitstreams(d *socgen.Design, plan *floorplan.Plan, alloc map
 // suite runs the same seeded plan against bitstream sets generated at
 // different widths to prove it.
 func GenerateRuntimeBitstreamsWorkers(d *socgen.Design, plan *floorplan.Plan, alloc map[string][]string, reg *accel.Registry, compress bool, workers int) (map[string]map[string]*bitstream.Bitstream, error) {
+	return GenerateRuntimeBitstreamsContext(context.Background(), d, plan, alloc, reg, compress, workers)
+}
+
+// GenerateRuntimeBitstreamsContext is GenerateRuntimeBitstreamsWorkers
+// bounded by ctx: cancellation stops generation at the next job
+// boundary and drains the pool.
+func GenerateRuntimeBitstreamsContext(ctx context.Context, d *socgen.Design, plan *floorplan.Plan, alloc map[string][]string, reg *accel.Registry, compress bool, workers int) (map[string]map[string]*bitstream.Bitstream, error) {
 	tool, err := vivado.New(d.Dev, nil)
 	if err != nil {
 		return nil, err
@@ -84,8 +92,8 @@ func GenerateRuntimeBitstreamsWorkers(d *socgen.Design, plan *floorplan.Plan, al
 	for i, tk := range tasks {
 		i, tk := i, tk
 		id := fmt.Sprintf("bitgen/%03d/%s.%s", i, tk.tile, tk.acc)
-		must(g.Add(id, StageBitgen, nil, func() (vivado.Minutes, error) {
-			bs, t, err := tool.WritePartialBitstream(tk.name, tk.pb, tk.res, compress)
+		must(g.Add(id, StageBitgen, nil, func(ctx context.Context) (vivado.Minutes, error) {
+			bs, t, err := tool.WritePartialBitstream(ctx, tk.name, tk.pb, tk.res, compress)
 			if err != nil {
 				return 0, err
 			}
@@ -93,8 +101,10 @@ func GenerateRuntimeBitstreamsWorkers(d *socgen.Design, plan *floorplan.Plan, al
 			return t, nil
 		}))
 	}
-	if _, err := g.Execute(workers); err != nil {
+	if _, errs, err := g.ExecuteCtx(ctx, ExecOptions{Workers: workers}); err != nil {
 		return nil, err
+	} else if len(errs) > 0 {
+		return nil, errs[0]
 	}
 
 	out := make(map[string]map[string]*bitstream.Bitstream, len(alloc))

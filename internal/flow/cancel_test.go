@@ -1,0 +1,267 @@
+// Cancellation and resume suite: a flow killed at any point must leak
+// no goroutines, leave the checkpoint cache and journal consistent, and
+// resume to a byte-identical result.
+package flow
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"presp/internal/accel"
+	"presp/internal/leakcheck"
+	"presp/internal/socgen"
+	"presp/internal/vivado"
+)
+
+// TestSchedulerRandomCancelPoints: across random DAGs, worker counts
+// and cancellation points, the scheduler never violates dependency
+// order, never runs a job twice, always accounts every job as executed
+// or cancelled, and always drains its pool.
+func TestSchedulerRandomCancelPoints(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		g, rec, _, _ := randomDAG(rng, n, 0.1)
+		k := rng.Intn(n + 1) // cancel after the k-th completion
+
+		ctx, cancel := context.WithCancel(context.Background())
+		done := 0
+		stats, _, err := g.ExecuteCtx(ctx, ExecOptions{
+			Workers: 1 + rng.Intn(8),
+			OnJobDone: func(*Job, JobOutcome) {
+				done++
+				if done == k {
+					cancel()
+				}
+			},
+		})
+		cancel()
+
+		if rec.violation != "" {
+			t.Fatalf("seed=%d: %s", seed, rec.violation)
+		}
+		for id, count := range rec.runs {
+			if count > 1 {
+				t.Fatalf("seed=%d: job %s ran %d times", seed, id, count)
+			}
+		}
+		if got := stats.Executed() + stats.Cancelled; got != n {
+			t.Fatalf("seed=%d: executed %d + cancelled %d != %d jobs", seed, stats.Executed(), stats.Cancelled, n)
+		}
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("seed=%d: unexpected execution error: %v", seed, err)
+		}
+	}
+	leakcheck.VerifyNone(t)
+}
+
+// cancellingWriter counts journal lines and fires cancel once the
+// configured number has been written — a deterministic stand-in for
+// kill -9 at an arbitrary point of the run.
+type cancellingWriter struct {
+	buf    bytes.Buffer
+	cancel context.CancelFunc
+	after  int
+	writes int
+}
+
+func (w *cancellingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes == w.after {
+		w.cancel()
+	}
+	return w.buf.Write(p)
+}
+
+// TestFlowKillAndResume: interrupt a PR-ESP run after every possible
+// number of journaled completions, then resume from the journal with a
+// fresh cache. The resumed run must complete, hit the cache at least
+// once per journaled synthesis, and produce a byte-identical result.
+func TestFlowKillAndResume(t *testing.T) {
+	cfg := socgen.SOC1()
+	base := Options{Compress: true, Workers: 4}
+
+	ref, err := RunPRESP(elaborate(t, cfg), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSig := resultSignature(ref)
+	totalJobs := ref.Jobs.Executed()
+
+	for k := 1; k <= totalJobs+1; k++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		w := &cancellingWriter{cancel: cancel, after: 1 + k} // +1: header line
+		opt := base
+		opt.Journal = NewJournal(w)
+		_, runErr := RunPRESPContext(ctx, elaborate(t, cfg), opt)
+		cancel()
+		if runErr == nil {
+			// Cancellation landed after the last job: the run finished.
+			continue
+		}
+		if !errors.Is(runErr, context.Canceled) {
+			t.Fatalf("k=%d: interrupted run failed with %v, want context.Canceled", k, runErr)
+		}
+
+		journal, err := LoadJournal(bytes.NewReader(w.buf.Bytes()))
+		if err != nil {
+			t.Fatalf("k=%d: journal unreadable after kill: %v", k, err)
+		}
+		synthJournaled := 0
+		for _, e := range journal.Entries() {
+			if e.Checkpoint != nil {
+				synthJournaled++
+			}
+		}
+
+		opt = base
+		opt.Resume = journal
+		opt.Cache = vivado.NewCheckpointCache()
+		res, err := RunPRESPContext(context.Background(), elaborate(t, cfg), opt)
+		if err != nil {
+			t.Fatalf("k=%d: resumed run failed: %v", k, err)
+		}
+		if sig := resultSignature(res); sig != refSig {
+			t.Fatalf("k=%d: resumed result differs from uninterrupted run:\n--- resumed ---\n%s--- reference ---\n%s", k, sig, refSig)
+		}
+		if res.Jobs.CacheHits < synthJournaled {
+			t.Fatalf("k=%d: %d cache hits on resume, want >= %d journaled syntheses",
+				k, res.Jobs.CacheHits, synthJournaled)
+		}
+	}
+	leakcheck.VerifyNone(t)
+}
+
+// TestFlowCancelLeavesCacheConsistent: a shared cache that lived
+// through a cancelled run still serves a clean run to the reference
+// result.
+func TestFlowCancelLeavesCacheConsistent(t *testing.T) {
+	cfg := socgen.SOC2()
+	ref, err := RunPRESP(elaborate(t, cfg), Options{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSig := resultSignature(ref)
+
+	cache := vivado.NewCheckpointCache()
+	for k := 1; k <= 4; k++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		// Cancel mid-run by journaling to a writer that pulls the plug.
+		w := &cancellingWriter{cancel: cancel, after: 1 + k}
+		_, runErr := RunPRESPContext(ctx, elaborate(t, cfg), Options{
+			Compress: true, Cache: cache, Journal: NewJournal(w), Workers: runtime.NumCPU(),
+		})
+		cancel()
+		if runErr == nil {
+			continue
+		}
+		res, err := RunPRESP(elaborate(t, cfg), Options{Compress: true, Cache: cache})
+		if err != nil {
+			t.Fatalf("k=%d: clean run after cancellation failed: %v", k, err)
+		}
+		if sig := resultSignature(res); sig != refSig {
+			t.Fatalf("k=%d: cache corrupted by cancellation: result differs", k)
+		}
+	}
+	leakcheck.VerifyNone(t)
+}
+
+// TestFlowTimeout: an expired whole-flow timeout surfaces as
+// context.DeadlineExceeded before (or during) execution, for every
+// entry point.
+func TestFlowTimeout(t *testing.T) {
+	runs := []struct {
+		name string
+		run  func(d *socgen.Design, opt Options) (*Result, error)
+	}{
+		{"presp", RunPRESP},
+		{"standard-dfx", RunStandardDFX},
+		{"monolithic", RunMonolithic},
+	}
+	for _, r := range runs {
+		_, err := r.run(elaborate(t, socgen.SOC1()), Options{Timeout: 1})
+		if err == nil {
+			t.Fatalf("%s: 1ns timeout did not abort the flow", r.name)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%s: timeout error %v does not wrap DeadlineExceeded", r.name, err)
+		}
+	}
+	leakcheck.VerifyNone(t)
+}
+
+// TestFlowPreCancelledContext: an already-cancelled context stops the
+// run before any job.
+func TestFlowPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunPRESPContext(ctx, elaborate(t, socgen.SOC1()), Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestResumeRejectsWrongDesign: a journal from one design must not
+// seed a different design's run.
+func TestResumeRejectsWrongDesign(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	opt := Options{Journal: j, Compress: true}
+	if _, err := RunPRESP(elaborate(t, socgen.SOC1()), opt); err != nil {
+		t.Fatal(err)
+	}
+	journal, err := LoadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunPRESP(elaborate(t, socgen.SOC2()), Options{Resume: journal}); err == nil {
+		t.Fatal("journal for SOC_1 accepted by a SOC_2 run")
+	}
+	// Same design, wrong flow.
+	if _, err := RunStandardDFX(elaborate(t, socgen.SOC1()), Options{Resume: journal}); err == nil {
+		t.Fatal("presp journal accepted by the standard-DFX flow")
+	}
+}
+
+// TestGenerateRuntimeBitstreamsCancel: the runtime bitstream generator
+// honours its context too.
+func TestGenerateRuntimeBitstreamsCancel(t *testing.T) {
+	d := elaborate(t, socgen.SOC2())
+	plan, err := FloorplanDesign(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := map[string][]string{}
+	for _, rp := range d.RPs {
+		alloc[rp.Name] = []string{"mac"}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GenerateRuntimeBitstreamsContext(ctx, d, plan, alloc, accel.Default(), true, 2); err == nil {
+		t.Fatal("cancelled context did not abort bitstream generation")
+	}
+	leakcheck.VerifyNone(t)
+}
+
+// TestNormalizeWorkers covers the centralized validation shared by the
+// flow, the scheduler and the presp-flow CLI.
+func TestNormalizeWorkers(t *testing.T) {
+	if _, err := NormalizeWorkers(-1); err == nil {
+		t.Fatal("negative worker count accepted")
+	}
+	n, err := NormalizeWorkers(0)
+	if err != nil || n < 1 {
+		t.Fatalf("NormalizeWorkers(0) = %d, %v", n, err)
+	}
+	n, err = NormalizeWorkers(7)
+	if err != nil || n != 7 {
+		t.Fatalf("NormalizeWorkers(7) = %d, %v", n, err)
+	}
+	if _, err := RunPRESP(elaborate(t, socgen.SOC1()), Options{Workers: -3}); err == nil {
+		t.Fatal("flow accepted a negative worker count")
+	}
+}

@@ -64,6 +64,10 @@ func resultSignature(res *Result) string {
 		fmt.Fprintf(&b, "partial=%s frames=%d raw=%d crc=%08x\n",
 			bs.Name, bs.Frames, bs.RawBytes, crc32.ChecksumIEEE(bs.Data))
 	}
+	fmt.Fprintf(&b, "partial-result=%v\n", res.Partial)
+	for _, je := range res.JobErrors {
+		fmt.Fprintf(&b, "joberr=%s stage=%s attempts=%d err=%v\n", je.ID, je.Stage, je.Attempts, je.Err)
+	}
 	return b.String()
 }
 
@@ -270,7 +274,7 @@ func TestResultSignatureCoversResult(t *testing.T) {
 		"SynthRuns": true, "TStatic": true, "Groups": true, "MaxOmega": true,
 		"PRWall": true, "BitgenWall": true, "Total": true,
 		"FullBitstream": true, "PartialBitstreams": true, "Scripts": true,
-		"Jobs": true,
+		"Partial": true, "JobErrors": true, "Jobs": true,
 	}
 	rt := reflect.TypeOf(Result{})
 	for i := 0; i < rt.NumField(); i++ {

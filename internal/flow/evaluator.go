@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"sync"
 
 	"presp/internal/core"
@@ -20,6 +21,10 @@ type Evaluator struct {
 	Model *vivado.CostModel
 	// Workers bounds the scheduler worker pool per run (0 = NumCPU).
 	Workers int
+	// Context, when non-nil, bounds every evaluation probe — the
+	// core.CostEvaluator interface is fixed, so cancellation rides on
+	// the struct.
+	Context context.Context
 
 	once  sync.Once
 	cache *vivado.CheckpointCache
@@ -36,7 +41,11 @@ func (e *Evaluator) Cache() *vivado.CheckpointCache {
 
 // EvaluateStrategy implements core.CostEvaluator.
 func (e *Evaluator) EvaluateStrategy(d *socgen.Design, s *core.Strategy) (float64, error) {
-	res, err := RunPRESP(d, Options{
+	ctx := e.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := RunPRESPContext(ctx, d, Options{
 		Model:          e.Model,
 		Strategy:       s,
 		SkipBitstreams: true,

@@ -13,21 +13,57 @@
 // graph. Reported times stay the analytic values of the cost model —
 // the pool parallelizes the *simulation*, not the modelled clock — and
 // results are byte-identical for every worker count.
+//
+// Runs are fault-tolerant, cancellable and resumable: a context (plus
+// Options.Timeout) stops the graph at the next job boundary, failed
+// jobs are retried with capped virtual-time backoff, seeded CAD faults
+// can be injected from a faultinject plan, every completion is
+// journaled, and a journal from a killed run resumes via the
+// synthesis-checkpoint cache. See DESIGN.md §11 for the failure
+// semantics.
 package flow
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"presp/internal/bitstream"
 	"presp/internal/core"
+	"presp/internal/faultinject"
 	"presp/internal/floorplan"
 	"presp/internal/fpga"
 	"presp/internal/rtl"
 	"presp/internal/socgen"
 	"presp/internal/vivado"
 )
+
+// ErrorPolicy selects what a flow run does with job failures.
+type ErrorPolicy int
+
+const (
+	// FailFast (the default) stops dispatching new jobs after the first
+	// failure and returns it as the run error.
+	FailFast ErrorPolicy = iota
+	// Collect keeps independent subgraphs running: partitions that do
+	// not depend on the failed job still implement, and the Result
+	// carries every failure in JobErrors with Partial set.
+	Collect
+)
+
+// String names the policy.
+func (p ErrorPolicy) String() string {
+	switch p {
+	case FailFast:
+		return "fail-fast"
+	case Collect:
+		return "collect"
+	default:
+		return fmt.Sprintf("ErrorPolicy(%d)", int(p))
+	}
+}
 
 // Options tunes a flow run.
 type Options struct {
@@ -44,13 +80,46 @@ type Options struct {
 	Compress bool
 	// SkipBitstreams stops after P&R, for timing-only studies.
 	SkipBitstreams bool
-	// Workers bounds the job-scheduler worker pool (0 = NumCPU). The
-	// knob trades real CPU parallelism only; reported wall times are
-	// identical for every value.
+	// Workers bounds the job-scheduler worker pool (0 = GOMAXPROCS,
+	// negative is rejected; see NormalizeWorkers). The knob trades real
+	// CPU parallelism only; reported wall times are identical for every
+	// value.
 	Workers int
 	// Cache is a shared synthesis-checkpoint cache; runs with a warm
-	// cache skip re-synthesizing unchanged modules (nil = no cache).
+	// cache skip re-synthesizing unchanged modules (nil = no cache,
+	// except that Resume creates a private one).
 	Cache *vivado.CheckpointCache
+
+	// Timeout bounds the whole flow in real wall-clock time (0 = none).
+	// On expiry the run drains in-flight jobs and returns a
+	// context.DeadlineExceeded-wrapped error.
+	Timeout time.Duration
+	// JobDeadline fails any single job whose *modelled* runtime exceeds
+	// it (0 = none). Virtual time keeps the check deterministic for
+	// every worker count.
+	JobDeadline vivado.Minutes
+	// MaxJobRetries re-runs a failed job up to this many extra times
+	// with doubling, capped virtual-time backoff (default 0 = no
+	// retries).
+	MaxJobRetries int
+	// RetryBackoff overrides the first retry's virtual-time penalty
+	// (0 = DefaultRetryBackoff).
+	RetryBackoff vivado.Minutes
+	// ErrorPolicy selects fail-fast (default) or collect semantics for
+	// job failures.
+	ErrorPolicy ErrorPolicy
+	// FaultPlan injects seeded CAD faults (synth/floorplan/impl/
+	// bitgen/drc ops; see faultinject.ParsePlan) through the tool's
+	// fault hook. Injection is order-independent, so results under
+	// faults stay byte-identical for every worker count.
+	FaultPlan *faultinject.Plan
+	// Journal, when set, records every completed job (JSON lines); a
+	// later run can resume from it.
+	Journal *Journal
+	// Resume replays a journal from an interrupted run: journaled
+	// synthesis checkpoints are preloaded into the cache, so completed
+	// work is skipped. The journal must match the design and flow.
+	Resume *Journal
 }
 
 // GroupRun records one in-context P&R run (one Ω of the paper's model).
@@ -95,8 +164,16 @@ type Result struct {
 	PartialBitstreams []*bitstream.Bitstream
 	// Scripts are the auto-generated CAD scripts documenting the run.
 	Scripts *Scripts
+	// Partial is set under the Collect error policy when some jobs
+	// failed: the result carries whatever independent subgraphs
+	// produced, and JobErrors lists what did not.
+	Partial bool
+	// JobErrors lists the job failures of a Partial run, sorted in
+	// graph-insertion order (the order a sequential run would have hit
+	// them).
+	JobErrors []JobError
 	// Jobs reports the scheduler execution: per-stage job counts,
-	// cancellations and checkpoint-cache hits/misses.
+	// cancellations, retries and checkpoint-cache hits/misses.
 	Jobs JobStats
 }
 
@@ -109,22 +186,44 @@ const (
 	modeStandardDFX
 )
 
-// RunPRESP executes the PR-ESP flow on design d. Designs without
-// reconfigurable tiles (plain ESP SoCs with native accelerator tiles)
-// fall through to the monolithic implementation — the flow degrades
-// gracefully to the base ESP behaviour.
-func RunPRESP(d *socgen.Design, opt Options) (*Result, error) {
-	if len(d.RPs) == 0 {
-		return RunMonolithic(d, opt)
+// name labels the mode in journals, matching the presp-flow CLI.
+func (m flowMode) name() string {
+	if m == modeStandardDFX {
+		return "standard-dfx"
 	}
-	return runPartitioned(d, opt, modePRESP)
+	return "presp"
+}
+
+// RunPRESP executes the PR-ESP flow on design d with background
+// context. Designs without reconfigurable tiles (plain ESP SoCs with
+// native accelerator tiles) fall through to the monolithic
+// implementation — the flow degrades gracefully to the base ESP
+// behaviour.
+func RunPRESP(d *socgen.Design, opt Options) (*Result, error) {
+	return RunPRESPContext(context.Background(), d, opt)
+}
+
+// RunPRESPContext is RunPRESP bounded by ctx (and Options.Timeout):
+// cancellation stops the run at the next job boundary, drains the
+// worker pool and leaves the checkpoint cache and journal consistent
+// for a later resume.
+func RunPRESPContext(ctx context.Context, d *socgen.Design, opt Options) (*Result, error) {
+	if len(d.RPs) == 0 {
+		return RunMonolithicContext(ctx, d, opt)
+	}
+	return runPartitioned(ctx, d, opt, modePRESP)
 }
 
 // RunStandardDFX executes the baseline: the vendor DFX flow in a single
 // tool instance — sequential synthesis of the static part and every
 // reconfigurable module, then a serial whole-design implementation.
 func RunStandardDFX(d *socgen.Design, opt Options) (*Result, error) {
-	return runPartitioned(d, opt, modeStandardDFX)
+	return RunStandardDFXContext(context.Background(), d, opt)
+}
+
+// RunStandardDFXContext is RunStandardDFX bounded by ctx.
+func RunStandardDFXContext(ctx context.Context, d *socgen.Design, opt Options) (*Result, error) {
+	return runPartitioned(ctx, d, opt, modeStandardDFX)
 }
 
 // chooseStrategy resolves the implementation strategy up front (it
@@ -150,17 +249,138 @@ func chooseStrategy(d *socgen.Design, opt Options, mode flowMode) (*core.Strateg
 	return s, nil
 }
 
-// runPartitioned builds and executes the partitioned-design job graph:
-//
-//	synth/static ─┐                        ┌─ impl/group_i ─┐
-//	synth/<rp>  ──┼─ floorplan ─ scripts ──┼─ ...           ├─ bitgen/*
-//	...         ──┘                        └─ impl/serial  ─┘
-func runPartitioned(d *socgen.Design, opt Options, mode flowMode) (*Result, error) {
+// flowCtx applies the whole-flow timeout on top of the caller's
+// context. The returned cancel func must always be called.
+func flowCtx(ctx context.Context, opt Options) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Timeout > 0 {
+		return context.WithTimeout(ctx, opt.Timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// setupRun prepares the tool for one flow execution: fault injection
+// from the plan, the (possibly resume-private) checkpoint cache,
+// journal replay and the new journal's header.
+func setupRun(d *socgen.Design, opt Options, flowName string) (*vivado.Tool, error) {
 	tool, err := vivado.New(d.Dev, opt.Model)
 	if err != nil {
 		return nil, err
 	}
-	tool.SetCache(opt.Cache)
+	if opt.FaultPlan != nil {
+		inj, err := faultinject.NewStable(*opt.FaultPlan)
+		if err != nil {
+			return nil, err
+		}
+		tool.SetFaultHook(inj.Check)
+	}
+	cache := opt.Cache
+	if cache == nil && opt.Resume != nil {
+		// Resume rehydrates journaled checkpoints through the cache, so
+		// a private one serves when the caller brought none.
+		cache = vivado.NewCheckpointCache()
+	}
+	tool.SetCache(cache)
+	digest := DesignDigest(d)
+	if opt.Resume != nil {
+		if err := opt.Resume.CheckDesign(digest, flowName); err != nil {
+			return nil, err
+		}
+		opt.Resume.Restore(cache)
+	}
+	opt.Journal.Begin(digest, flowName)
+	return tool, nil
+}
+
+// journalBook captures each synthesis job's cache key and checkpoint so
+// the completion journal can embed them for resume. Synthesis jobs
+// write from worker goroutines; the journal callback reads from the
+// coordinator.
+type journalBook struct {
+	mu sync.Mutex
+	m  map[string]journalPayload
+}
+
+type journalPayload struct {
+	key string
+	ck  *vivado.SynthCheckpoint
+}
+
+func newJournalBook() *journalBook {
+	return &journalBook{m: make(map[string]journalPayload)}
+}
+
+func (b *journalBook) put(id, key string, ck *vivado.SynthCheckpoint) {
+	b.mu.Lock()
+	b.m[id] = journalPayload{key: key, ck: ck}
+	b.mu.Unlock()
+}
+
+func (b *journalBook) get(id string) journalPayload {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.m[id]
+}
+
+// execGraph runs the built graph under the options' retry, journal and
+// error policy, filling res.Jobs, res.Partial and res.JobErrors. It
+// returns the run-fatal error: execution-level failures (cancellation,
+// bad graph), journal write errors, or — under fail-fast — the first
+// job failure.
+func execGraph(ctx context.Context, g *Graph, tool *vivado.Tool, opt Options, res *Result, book *journalBook) error {
+	execOpt := ExecOptions{
+		Workers:     opt.Workers,
+		MaxRetries:  opt.MaxJobRetries,
+		Backoff:     opt.RetryBackoff,
+		JobDeadline: opt.JobDeadline,
+		FailFast:    opt.ErrorPolicy == FailFast,
+	}
+	if opt.Journal != nil {
+		execOpt.OnJobDone = func(j *Job, out JobOutcome) {
+			if out.Err != nil {
+				return
+			}
+			p := book.get(j.ID)
+			opt.Journal.Completed(j.ID, j.Stage, out.Minutes, out.Attempts, p.key, p.ck)
+		}
+	}
+	stats, jobErrs, execErr := g.ExecuteCtx(ctx, execOpt)
+	res.Jobs = stats
+	res.Jobs.CacheHits, res.Jobs.CacheMisses = cacheCounts(tool)
+	if execErr != nil {
+		return execErr
+	}
+	if err := opt.Journal.Err(); err != nil {
+		return fmt.Errorf("flow: journal write failed: %w", err)
+	}
+	if len(jobErrs) > 0 {
+		res.JobErrors = jobErrs
+		if opt.ErrorPolicy != Collect {
+			return jobErrs[0]
+		}
+		res.Partial = true
+	}
+	return nil
+}
+
+// runPartitioned builds and executes the partitioned-design job graph:
+//
+//	synth/static ─┐                        ┌─ impl/group_i ─┬─ bitgen/<rp ∈ group_i>
+//	synth/<rp>  ──┼─ floorplan ─ scripts ──┼─ ...           ├─ bitgen/full
+//	...         ──┘                        └─ impl/serial  ─┘
+//
+// Partial bitstreams depend only on the implementation run that covers
+// their partition, so under the Collect policy a failed group does not
+// block the others' bitstreams.
+func runPartitioned(ctx context.Context, d *socgen.Design, opt Options, mode flowMode) (*Result, error) {
+	ctx, cancel := flowCtx(ctx, opt)
+	defer cancel()
+	tool, err := setupRun(d, opt, mode.name())
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{Design: d, SynthRuns: make(map[string]vivado.Minutes)}
 	res.Strategy, err = chooseStrategy(d, opt, mode)
 	if err != nil {
@@ -168,6 +388,7 @@ func runPartitioned(d *socgen.Design, opt Options, mode flowMode) (*Result, erro
 	}
 
 	g := NewGraph()
+	book := newJournalBook()
 	var mu sync.Mutex // guards rpCks and SynthRuns across parallel synth jobs
 
 	// --- Parse & split, then OoC synthesis (Fig 1): one job per
@@ -180,8 +401,8 @@ func runPartitioned(d *socgen.Design, opt Options, mode flowMode) (*Result, erro
 	var staticCk *vivado.SynthCheckpoint
 	rpCks := make(map[string]*vivado.SynthCheckpoint, len(d.RPs))
 	synthIDs := []string{"synth/static"}
-	must(g.Add("synth/static", StageSynth, nil, func() (vivado.Minutes, error) {
-		ck, err := tool.Synthesize(staticMod, false)
+	must(g.Add("synth/static", StageSynth, nil, func(ctx context.Context) (vivado.Minutes, error) {
+		ck, err := tool.Synthesize(ctx, staticMod, false, "static")
 		if err != nil {
 			return 0, fmt.Errorf("flow: static synthesis: %w", err)
 		}
@@ -193,17 +414,20 @@ func runPartitioned(d *socgen.Design, opt Options, mode flowMode) (*Result, erro
 		staticCk = ck
 		res.SynthRuns["static"] = ck.Runtime
 		mu.Unlock()
+		if opt.Journal != nil {
+			book.put("synth/static", tool.CheckpointKey(staticMod, false), ck)
+		}
 		return ck.Runtime, nil
 	}))
 	for _, rp := range d.RPs {
 		rp := rp
 		id := "synth/" + rp.Name
 		synthIDs = append(synthIDs, id)
-		must(g.Add(id, StageSynth, nil, func() (vivado.Minutes, error) {
+		must(g.Add(id, StageSynth, nil, func(ctx context.Context) (vivado.Minutes, error) {
 			if rp.Content == nil {
 				return 0, fmt.Errorf("flow: partition %s has no initial content to synthesize", rp.Name)
 			}
-			ck, err := tool.Synthesize(rp.Content, true)
+			ck, err := tool.Synthesize(ctx, rp.Content, true, rp.Name)
 			if err != nil {
 				return 0, fmt.Errorf("flow: OoC synthesis of %s: %w", rp.Name, err)
 			}
@@ -211,13 +435,24 @@ func runPartitioned(d *socgen.Design, opt Options, mode flowMode) (*Result, erro
 			rpCks[rp.Name] = ck
 			res.SynthRuns[rp.Name] = ck.Runtime
 			mu.Unlock()
+			if opt.Journal != nil {
+				book.put(id, tool.CheckpointKey(rp.Content, true), ck)
+			}
 			return ck.Runtime, nil
 		}))
 	}
 
-	// --- Floorplanning (FLORA-adapted), joining every synthesis, plus
-	// the DFX design rule checks the PR-ESP flow enforces. ---
-	must(g.Add("floorplan", StagePlan, synthIDs, func() (vivado.Minutes, error) {
+	// --- Floorplanning (FLORA-adapted), plus the DFX design rule
+	// checks the PR-ESP flow enforces. It consumes the elaborated
+	// resource envelopes and the static split — not the OoC checkpoints
+	// — so it joins only the static synthesis; each partition's
+	// synthesis joins at the implementation run that consumes its
+	// checkpoint. One wedged partition therefore cannot cancel the
+	// whole plan under the Collect policy. ---
+	must(g.Add("floorplan", StagePlan, []string{"synth/static"}, func(ctx context.Context) (vivado.Minutes, error) {
+		if err := tool.CheckFault(ctx, faultinject.OpCADFloorplan, d.Cfg.Name); err != nil {
+			return 0, err
+		}
 		plan, err := FloorplanDesign(d, tool.Model())
 		if err != nil {
 			return 0, err
@@ -228,7 +463,7 @@ func runPartitioned(d *socgen.Design, opt Options, mode flowMode) (*Result, erro
 				if !ok {
 					return 0, fmt.Errorf("flow: floorplan lost partition %s", rp.Name)
 				}
-				if err := tool.CheckDFX(rp.Content, rp.Resources, pb); err != nil {
+				if err := tool.CheckDFX(ctx, rp.Content, rp.Resources, pb); err != nil {
 					return 0, fmt.Errorf("flow: partition %s: %w", rp.Name, err)
 				}
 			}
@@ -241,7 +476,7 @@ func runPartitioned(d *socgen.Design, opt Options, mode flowMode) (*Result, erro
 	implGate := "floorplan"
 	if mode == modePRESP {
 		implGate = "scripts"
-		must(g.Add("scripts", StagePlan, []string{"floorplan"}, func() (vivado.Minutes, error) {
+		must(g.Add("scripts", StagePlan, []string{"floorplan"}, func(_ context.Context) (vivado.Minutes, error) {
 			s, err := GenerateScripts(d, res.Strategy, res.Plan)
 			if err != nil {
 				return 0, err
@@ -253,15 +488,19 @@ func runPartitioned(d *socgen.Design, opt Options, mode flowMode) (*Result, erro
 
 	// --- Orchestrated P&R per the chosen strategy. ---
 	var implIDs []string
+	implFor := make(map[string]string, len(d.RPs)) // partition -> its impl job
 	var rs *vivado.RoutedStatic
 	ctxResults := make([]*vivado.ContextResult, len(res.Strategy.Groups))
 	switch res.Strategy.Kind {
 	case core.Serial:
 		deps := append(append([]string(nil), synthIDs...), implGate)
 		implIDs = []string{"impl/serial"}
-		must(g.Add("impl/serial", StageImpl, deps, func() (vivado.Minutes, error) {
+		for _, rp := range d.RPs {
+			implFor[rp.Name] = "impl/serial"
+		}
+		must(g.Add("impl/serial", StageImpl, deps, func(ctx context.Context) (vivado.Minutes, error) {
 			total := d.StaticResources.Add(d.ReconfigurableResources())
-			sr, err := tool.ImplementSerial(d.Cfg.Name, total, len(d.RPs), res.Plan.RPFraction)
+			sr, err := tool.ImplementSerial(ctx, d.Cfg.Name, total, len(d.RPs), res.Plan.RPFraction)
 			if err != nil {
 				return 0, err
 			}
@@ -269,8 +508,8 @@ func runPartitioned(d *socgen.Design, opt Options, mode flowMode) (*Result, erro
 			return sr.Runtime, nil
 		}))
 	case core.SemiParallel, core.FullyParallel:
-		must(g.Add("impl/static", StageImpl, []string{"synth/static", implGate}, func() (vivado.Minutes, error) {
-			r, err := tool.PreRouteStatic(d.Cfg.Name, staticCk, res.Plan.Pblocks, d.ReconfigurableResources())
+		must(g.Add("impl/static", StageImpl, []string{"synth/static", implGate}, func(ctx context.Context) (vivado.Minutes, error) {
+			r, err := tool.PreRouteStatic(ctx, d.Cfg.Name, staticCk, res.Plan.Pblocks, d.ReconfigurableResources())
 			if err != nil {
 				return 0, err
 			}
@@ -285,8 +524,9 @@ func runPartitioned(d *socgen.Design, opt Options, mode flowMode) (*Result, erro
 			deps := []string{"impl/static"}
 			for _, name := range group {
 				deps = append(deps, "synth/"+name)
+				implFor[name] = id
 			}
-			must(g.Add(id, StageImpl, deps, func() (vivado.Minutes, error) {
+			must(g.Add(id, StageImpl, deps, func(ctx context.Context) (vivado.Minutes, error) {
 				// Snapshot the group's checkpoints: other synthesis jobs
 				// may still be writing rpCks concurrently.
 				cks := make(map[string]*vivado.SynthCheckpoint, len(group))
@@ -295,7 +535,7 @@ func runPartitioned(d *socgen.Design, opt Options, mode flowMode) (*Result, erro
 					cks[name] = rpCks[name]
 				}
 				mu.Unlock()
-				cr, err := tool.ImplementInContext(rs, group, cks)
+				cr, err := tool.ImplementInContext(ctx, rs, group, cks)
 				if err != nil {
 					return 0, err
 				}
@@ -307,15 +547,16 @@ func runPartitioned(d *socgen.Design, opt Options, mode flowMode) (*Result, erro
 		return nil, fmt.Errorf("flow: unknown strategy %v", res.Strategy.Kind)
 	}
 
-	// --- Bitstream generation: one full-device job plus one partial per
-	// partition, all fanned out after P&R. ---
+	// --- Bitstream generation: one full-device job joining all of P&R,
+	// plus one partial per partition depending only on the run that
+	// implemented it. ---
 	var fullT vivado.Minutes
 	partials := make([]*bitstream.Bitstream, len(d.RPs))
 	partialT := make([]vivado.Minutes, len(d.RPs))
 	if !opt.SkipBitstreams {
-		must(g.Add("bitgen/full", StageBitgen, implIDs, func() (vivado.Minutes, error) {
+		must(g.Add("bitgen/full", StageBitgen, implIDs, func(ctx context.Context) (vivado.Minutes, error) {
 			total := d.StaticResources.Add(d.ReconfigurableResources())
-			full, t, err := tool.WriteFullBitstream(d.Cfg.Name+".bit", total, opt.Compress)
+			full, t, err := tool.WriteFullBitstream(ctx, d.Cfg.Name+".bit", total, opt.Compress)
 			if err != nil {
 				return 0, err
 			}
@@ -325,13 +566,17 @@ func runPartitioned(d *socgen.Design, opt Options, mode flowMode) (*Result, erro
 		}))
 		for i, rp := range d.RPs {
 			i, rp := i, rp
-			must(g.Add("bitgen/"+rp.Name, StageBitgen, implIDs, func() (vivado.Minutes, error) {
+			deps := implIDs
+			if id, ok := implFor[rp.Name]; ok {
+				deps = []string{id}
+			}
+			must(g.Add("bitgen/"+rp.Name, StageBitgen, deps, func(ctx context.Context) (vivado.Minutes, error) {
 				pb, ok := res.Plan.Pblocks[rp.Name]
 				if !ok {
 					return 0, fmt.Errorf("flow: no pblock for partition %s", rp.Name)
 				}
 				name := fmt.Sprintf("%s.%s.pbs", d.Cfg.Name, rp.Name)
-				bs, t, err := tool.WritePartialBitstream(name, pb, rp.Resources, opt.Compress)
+				bs, t, err := tool.WritePartialBitstream(ctx, name, pb, rp.Resources, opt.Compress)
 				if err != nil {
 					return 0, err
 				}
@@ -342,14 +587,14 @@ func runPartitioned(d *socgen.Design, opt Options, mode flowMode) (*Result, erro
 		}
 	}
 
-	res.Jobs, err = g.Execute(opt.Workers)
-	res.Jobs.CacheHits, res.Jobs.CacheMisses = cacheCounts(tool)
-	if err != nil {
+	if err := execGraph(ctx, g, tool, opt, res, book); err != nil {
 		return nil, err
 	}
 
 	// --- Wall-time aggregation: the analytic model of the paper,
-	// computed in deterministic order from the recorded job times. ---
+	// computed in deterministic order from the recorded job times. A
+	// Partial result aggregates whatever completed — failed groups are
+	// simply absent. ---
 	switch mode {
 	case modePRESP:
 		// All syntheses run in parallel, one tool instance each.
@@ -376,6 +621,9 @@ func runPartitioned(d *socgen.Design, opt Options, mode flowMode) (*Result, erro
 	if res.Strategy.Kind != core.Serial {
 		cont := tool.Model().Contention(res.Strategy.Tau)
 		for _, cr := range ctxResults {
+			if cr == nil {
+				continue // group failed or was cancelled (Collect policy)
+			}
 			run := GroupRun{Partitions: cr.Group, Runtime: vivado.Minutes(float64(cr.Runtime) * cont)}
 			res.Groups = append(res.Groups, run)
 			if run.Runtime > res.MaxOmega {
@@ -385,11 +633,15 @@ func runPartitioned(d *socgen.Design, opt Options, mode flowMode) (*Result, erro
 		res.PRWall = res.TStatic + res.MaxOmega
 	}
 	if !opt.SkipBitstreams {
-		res.PartialBitstreams = partials
 		var maxPartial vivado.Minutes
 		for _, t := range partialT {
 			if t > maxPartial {
 				maxPartial = t
+			}
+		}
+		for _, bs := range partials {
+			if bs != nil {
+				res.PartialBitstreams = append(res.PartialBitstreams, bs)
 			}
 		}
 		sort.Slice(res.PartialBitstreams, func(i, j int) bool {

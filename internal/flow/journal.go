@@ -1,0 +1,273 @@
+package flow
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+
+	"presp/internal/socgen"
+	"presp/internal/vivado"
+)
+
+// JournalEntry is one JSON line of a flow journal. The first line of a
+// journal is a header (Kind "flow") binding the journal to a design
+// digest and flow name; every following line (Kind "job") records one
+// successfully completed job. Synthesis entries embed the produced
+// checkpoint and its cache key, which is what lets a resumed run
+// rehydrate the checkpoint cache and skip the re-synthesis cost.
+type JournalEntry struct {
+	// Kind is "flow" for the header line, "job" for completions.
+	Kind string `json:"kind"`
+	// Design and Flow identify the run (header line only).
+	Design string `json:"design,omitempty"`
+	Flow   string `json:"flow,omitempty"`
+	// Job, Stage, Minutes and Attempts describe one completed job.
+	Job      string         `json:"job,omitempty"`
+	Stage    string         `json:"stage,omitempty"`
+	Minutes  vivado.Minutes `json:"minutes,omitempty"`
+	Attempts int            `json:"attempts,omitempty"`
+	// CacheKey and Checkpoint carry a synthesis job's product for
+	// resume (absent on plan/impl/bitgen jobs, whose recomputation is
+	// deterministic and costs no real time in the simulated tool).
+	CacheKey   string                  `json:"cache_key,omitempty"`
+	Checkpoint *vivado.SynthCheckpoint `json:"checkpoint,omitempty"`
+}
+
+// Journal is an append-only record of a flow run, written as JSON lines
+// so a killed process leaves at worst one truncated trailing line.
+// Completions are appended from the scheduler's coordinator goroutine;
+// the journal locks internally so facades can share one instance.
+//
+// A Journal is either being written (NewJournal) or replayed
+// (LoadJournal) — the resume path loads a journal from a previous run
+// and hands it to Options.Resume.
+type Journal struct {
+	mu      sync.Mutex
+	enc     *json.Encoder
+	err     error
+	design  string
+	flow    string
+	entries []JournalEntry
+}
+
+// NewJournal returns a journal that appends every entry to w as one
+// JSON line (nil keeps the record in memory only).
+func NewJournal(w io.Writer) *Journal {
+	j := &Journal{}
+	if w != nil {
+		j.enc = json.NewEncoder(w)
+	}
+	return j
+}
+
+// LoadJournal replays a journal written by a previous run. A malformed
+// trailing line — the telltale of a process killed mid-write — is
+// tolerated and marks the end of the record; a journal whose very first
+// line does not parse is rejected as not-a-journal.
+func LoadJournal(r io.Reader) (*Journal, error) {
+	j := &Journal{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e JournalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			if len(j.entries) == 0 {
+				return nil, fmt.Errorf("flow: not a journal: %v", err)
+			}
+			return j, nil // truncated tail from a killed run
+		}
+		if e.Kind == "flow" {
+			j.design, j.flow = e.Design, e.Flow
+		}
+		j.entries = append(j.entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("flow: reading journal: %w", err)
+	}
+	return j, nil
+}
+
+// Begin writes the header line binding the journal to a design digest
+// and flow name.
+func (j *Journal) Begin(designDigest, flowName string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.design, j.flow = designDigest, flowName
+	j.append(JournalEntry{Kind: "flow", Design: designDigest, Flow: flowName})
+}
+
+// Completed records one successfully finished job.
+func (j *Journal) Completed(jobID string, stage Stage, minutes vivado.Minutes, attempts int, cacheKey string, ck *vivado.SynthCheckpoint) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.append(JournalEntry{
+		Kind:       "job",
+		Job:        jobID,
+		Stage:      stage.String(),
+		Minutes:    minutes,
+		Attempts:   attempts,
+		CacheKey:   cacheKey,
+		Checkpoint: ck,
+	})
+}
+
+// append records e and streams it to the writer. Callers hold j.mu.
+func (j *Journal) append(e JournalEntry) {
+	j.entries = append(j.entries, e)
+	if j.enc != nil {
+		if err := j.enc.Encode(e); err != nil && j.err == nil {
+			j.err = err
+		}
+	}
+}
+
+// Err returns the first write error, if any — a journal that cannot be
+// written is useless for recovery, so the flow surfaces it.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// DesignDigest returns the digest from the journal header ("" before
+// Begin or for an empty journal).
+func (j *Journal) DesignDigest() string {
+	if j == nil {
+		return ""
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.design
+}
+
+// FlowName returns the flow name from the journal header.
+func (j *Journal) FlowName() string {
+	if j == nil {
+		return ""
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.flow
+}
+
+// CheckDesign verifies the journal was written by the same flow on the
+// same design — resuming a different design from stale checkpoints
+// would silently produce wrong results.
+func (j *Journal) CheckDesign(designDigest, flowName string) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.design == "" {
+		return fmt.Errorf("flow: journal has no header (empty or truncated at line one)")
+	}
+	if j.design != designDigest {
+		return fmt.Errorf("flow: journal is for design %s, current design is %s", j.design, designDigest)
+	}
+	if j.flow != flowName {
+		return fmt.Errorf("flow: journal is for the %s flow, current flow is %s", j.flow, flowName)
+	}
+	return nil
+}
+
+// Entries returns a copy of the journal's entries.
+func (j *Journal) Entries() []JournalEntry {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]JournalEntry(nil), j.entries...)
+}
+
+// CompletedJobs returns the IDs of all journaled job completions.
+func (j *Journal) CompletedJobs() map[string]bool {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	done := make(map[string]bool)
+	for _, e := range j.entries {
+		if e.Kind == "job" && e.Job != "" {
+			done[e.Job] = true
+		}
+	}
+	return done
+}
+
+// Restore preloads every journaled synthesis checkpoint into cache and
+// returns how many entries it rehydrated. Resumed runs then hit the
+// cache instead of re-paying the modelled synthesis cost; plan, impl
+// and bitgen jobs recompute deterministically at zero real cost.
+func (j *Journal) Restore(cache *vivado.CheckpointCache) int {
+	if j == nil || cache == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, e := range j.entries {
+		if e.Kind == "job" && e.CacheKey != "" && e.Checkpoint != nil {
+			cache.Preload(e.CacheKey, e.Checkpoint)
+			n++
+		}
+	}
+	return n
+}
+
+// DesignDigest fingerprints the parts of a design a journal's cached
+// results depend on: configuration name, device identity and capacity,
+// the static module set and every partition's name, content and
+// resource envelope.
+func DesignDigest(d *socgen.Design) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	ws := func(s string) {
+		h.Write([]byte(s))
+		h.Write([]byte{0xff}) // separator: ("ab","c") != ("a","bc")
+	}
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	ws(d.Cfg.Name)
+	ws(d.Dev.Name)
+	for _, n := range d.Dev.Total {
+		wu(uint64(n))
+	}
+	for _, m := range d.StaticModules {
+		ws(m.Name)
+		for _, n := range m.TotalCost() {
+			wu(uint64(n))
+		}
+	}
+	for _, rp := range d.RPs {
+		ws(rp.Name)
+		if rp.Content != nil {
+			ws(rp.Content.Name)
+		}
+		for _, n := range rp.Resources {
+			wu(uint64(n))
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

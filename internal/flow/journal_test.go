@@ -1,0 +1,128 @@
+package flow
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"presp/internal/socgen"
+	"presp/internal/vivado"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	j.Begin("digest123", "presp")
+	ck := &vivado.SynthCheckpoint{Name: "acc", OoC: true, Runtime: 42}
+	j.Completed("synth/rt_1", StageSynth, 42, 1, "cachekey1", ck)
+	j.Completed("floorplan", StagePlan, 0, 2, "", nil)
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.DesignDigest() != "digest123" || loaded.FlowName() != "presp" {
+		t.Fatalf("header did not round-trip: %q/%q", loaded.DesignDigest(), loaded.FlowName())
+	}
+	done := loaded.CompletedJobs()
+	if !done["synth/rt_1"] || !done["floorplan"] || len(done) != 2 {
+		t.Fatalf("CompletedJobs = %v", done)
+	}
+	entries := loaded.Entries()
+	if len(entries) != 3 || entries[1].Checkpoint == nil || entries[1].Checkpoint.Runtime != 42 {
+		t.Fatalf("entries did not round-trip: %+v", entries)
+	}
+	if entries[2].Attempts != 2 {
+		t.Fatalf("attempts did not round-trip: %+v", entries[2])
+	}
+
+	cache := vivado.NewCheckpointCache()
+	if n := loaded.Restore(cache); n != 1 {
+		t.Fatalf("Restore rehydrated %d entries, want 1", n)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries after restore", cache.Len())
+	}
+}
+
+func TestJournalTruncatedTail(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	j.Begin("d", "presp")
+	j.Completed("synth/a", StageSynth, 1, 1, "k", &vivado.SynthCheckpoint{Name: "a"})
+	j.Completed("synth/b", StageSynth, 1, 1, "k2", &vivado.SynthCheckpoint{Name: "b"})
+	// Chop the last line in half, as a kill mid-write would.
+	full := buf.String()
+	cut := full[:len(full)-len("\n")-10]
+
+	loaded, err := LoadJournal(strings.NewReader(cut))
+	if err != nil {
+		t.Fatalf("truncated journal rejected: %v", err)
+	}
+	done := loaded.CompletedJobs()
+	if !done["synth/a"] || done["synth/b"] {
+		t.Fatalf("truncated journal replayed wrong jobs: %v", done)
+	}
+}
+
+func TestJournalRejectsGarbage(t *testing.T) {
+	if _, err := LoadJournal(strings.NewReader("this is not json\n")); err == nil {
+		t.Fatal("garbage accepted as a journal")
+	}
+}
+
+func TestJournalCheckDesign(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	j.Begin("digA", "presp")
+	if err := j.CheckDesign("digA", "presp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.CheckDesign("digB", "presp"); err == nil {
+		t.Fatal("design mismatch accepted")
+	}
+	if err := j.CheckDesign("digA", "monolithic"); err == nil {
+		t.Fatal("flow mismatch accepted")
+	}
+	if err := NewJournal(nil).CheckDesign("digA", "presp"); err == nil {
+		t.Fatal("headerless journal accepted")
+	}
+}
+
+// failingWriter errors after n successful writes.
+type failingWriter struct{ n int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestJournalSurfacesWriteErrors(t *testing.T) {
+	j := NewJournal(&failingWriter{n: 1})
+	j.Begin("d", "presp")
+	if err := j.Err(); err != nil {
+		t.Fatalf("first write failed: %v", err)
+	}
+	j.Completed("synth/a", StageSynth, 1, 1, "", nil)
+	if err := j.Err(); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+func TestDesignDigestDistinguishesDesigns(t *testing.T) {
+	d1 := elaborate(t, socgen.SOC1())
+	d2 := elaborate(t, socgen.SOC2())
+	if DesignDigest(d1) != DesignDigest(elaborate(t, socgen.SOC1())) {
+		t.Fatal("digest is not deterministic for the same design")
+	}
+	if DesignDigest(d1) == DesignDigest(d2) {
+		t.Fatal("different designs share a digest")
+	}
+}

@@ -1,0 +1,12 @@
+package flow
+
+import (
+	"testing"
+
+	"presp/internal/leakcheck"
+)
+
+// TestMain fails the package's test run if any test — the cancellation
+// and fault-injection suites in particular — leaks a scheduler worker
+// goroutine.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

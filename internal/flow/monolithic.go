@@ -1,7 +1,11 @@
 package flow
 
 import (
+	"context"
+	"fmt"
+
 	"presp/internal/core"
+	"presp/internal/faultinject"
 	"presp/internal/fpga"
 	"presp/internal/socgen"
 	"presp/internal/vivado"
@@ -17,25 +21,38 @@ import (
 // — a three-job chain (synth → impl → bitgen), so Result.Jobs accounts
 // for it uniformly.
 func RunMonolithic(d *socgen.Design, opt Options) (*Result, error) {
-	tool, err := vivado.New(d.Dev, opt.Model)
+	return RunMonolithicContext(context.Background(), d, opt)
+}
+
+// RunMonolithicContext is RunMonolithic bounded by ctx (and
+// Options.Timeout), with the same retry, fault-injection, journal and
+// error-policy semantics as the partitioned flows.
+func RunMonolithicContext(ctx context.Context, d *socgen.Design, opt Options) (*Result, error) {
+	ctx, cancel := flowCtx(ctx, opt)
+	defer cancel()
+	tool, err := setupRun(d, opt, "monolithic")
 	if err != nil {
 		return nil, err
 	}
-	tool.SetCache(opt.Cache)
 	res := &Result{Design: d, SynthRuns: make(map[string]vivado.Minutes)}
 	total := d.StaticResources.Add(d.ReconfigurableResources())
 
 	g := NewGraph()
-	// Single-instance synthesis of the full hierarchy.
-	must(g.Add("synth/full", StageSynth, nil, func() (vivado.Minutes, error) {
+	// Single-instance synthesis of the full hierarchy. The time is
+	// computed from the aggregate size directly, so the fault gate the
+	// tool's Synthesize would apply is invoked explicitly.
+	must(g.Add("synth/full", StageSynth, nil, func(ctx context.Context) (vivado.Minutes, error) {
+		if err := tool.CheckFault(ctx, faultinject.OpCADSynth, "full", d.Cfg.Name); err != nil {
+			return 0, fmt.Errorf("flow: monolithic synthesis: %w", err)
+		}
 		t := tool.Model().SynthTime(float64(total[fpga.LUT])/1000.0, false)
 		res.SynthWall = t
 		res.SynthRuns["full"] = t
 		return t, nil
 	}))
 	// Flat implementation: no partitions (nRP = 0), no reserved area.
-	must(g.Add("impl/flat", StageImpl, []string{"synth/full"}, func() (vivado.Minutes, error) {
-		sr, err := tool.ImplementSerial(d.Cfg.Name+"_mono", total, 0, 0)
+	must(g.Add("impl/flat", StageImpl, []string{"synth/full"}, func(ctx context.Context) (vivado.Minutes, error) {
+		sr, err := tool.ImplementSerial(ctx, d.Cfg.Name+"_mono", total, 0, 0)
 		if err != nil {
 			return 0, err
 		}
@@ -43,8 +60,8 @@ func RunMonolithic(d *socgen.Design, opt Options) (*Result, error) {
 		return sr.Runtime, nil
 	}))
 	if !opt.SkipBitstreams {
-		must(g.Add("bitgen/full", StageBitgen, []string{"impl/flat"}, func() (vivado.Minutes, error) {
-			full, t, err := tool.WriteFullBitstream(d.Cfg.Name+"_mono.bit", total, opt.Compress)
+		must(g.Add("bitgen/full", StageBitgen, []string{"impl/flat"}, func(ctx context.Context) (vivado.Minutes, error) {
+			full, t, err := tool.WriteFullBitstream(ctx, d.Cfg.Name+"_mono.bit", total, opt.Compress)
 			if err != nil {
 				return 0, err
 			}
@@ -53,9 +70,7 @@ func RunMonolithic(d *socgen.Design, opt Options) (*Result, error) {
 			return t, nil
 		}))
 	}
-	res.Jobs, err = g.Execute(opt.Workers)
-	res.Jobs.CacheHits, res.Jobs.CacheMisses = cacheCounts(tool)
-	if err != nil {
+	if err := execGraph(ctx, g, tool, opt, res, newJournalBook()); err != nil {
 		return nil, err
 	}
 

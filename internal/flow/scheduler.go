@@ -4,12 +4,22 @@
 // executes concurrently. Each job carries its *simulated* CAD runtime
 // (vivado.Minutes), so the reported wall times stay the analytic values
 // of the cost model whatever the worker count; only the real CPU time
-// spent simulating shrinks on multicore hosts. Reported errors are
-// selected deterministically (earliest job in graph-insertion order), so
-// results are observationally identical for any worker count.
+// spent simulating shrinks on multicore hosts.
+//
+// The scheduler is fault-tolerant and cancellable: failed jobs are
+// retried up to a cap with exponential *virtual-time* backoff (the
+// penalty is accounted in modelled minutes, never slept for, so
+// published cost-model numbers stay byte-identical for any worker
+// count), a per-job deadline in modelled minutes fails oversized jobs
+// deterministically, and a cancelled context drains the pool at the
+// next job boundary without leaking goroutines. Reported errors are
+// selected deterministically (earliest job in graph-insertion order),
+// so results are observationally identical for any worker count.
 package flow
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -51,6 +61,20 @@ func (s Stage) String() string {
 	}
 }
 
+// NormalizeWorkers is the single validation point for worker-pool
+// sizes, shared by flow.Options, the scheduler and presp-flow's
+// -workers flag: negative counts are rejected, zero selects
+// runtime.GOMAXPROCS(0).
+func NormalizeWorkers(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("flow: worker count %d is negative (0 selects all CPUs)", n)
+	}
+	if n == 0 {
+		return runtime.GOMAXPROCS(0), nil
+	}
+	return n, nil
+}
+
 // Job is one unit of CAD work in the dependency graph. Run returns the
 // job's simulated duration; the scheduler only accumulates it — wall-time
 // aggregation (max over parallel instances, contention scaling) stays
@@ -62,8 +86,9 @@ type Job struct {
 	Stage Stage
 	// Deps lists job IDs that must complete successfully first.
 	Deps []string
-	// Run performs the work.
-	Run func() (vivado.Minutes, error)
+	// Run performs the work. It must honour ctx promptly: the scheduler
+	// passes the execution context so cancelled flows stop mid-graph.
+	Run func(ctx context.Context) (vivado.Minutes, error)
 	// order is the insertion index, the deterministic error-priority key.
 	order int
 }
@@ -81,7 +106,7 @@ func NewGraph() *Graph {
 
 // Add registers a job. Duplicate IDs are an error; dependencies are
 // validated at Execute time so jobs can be added in any order.
-func (g *Graph) Add(id string, stage Stage, deps []string, run func() (vivado.Minutes, error)) error {
+func (g *Graph) Add(id string, stage Stage, deps []string, run func(ctx context.Context) (vivado.Minutes, error)) error {
 	if id == "" {
 		return fmt.Errorf("flow: job with empty ID")
 	}
@@ -107,9 +132,11 @@ func (g *Graph) Add(id string, stage Stage, deps []string, run func() (vivado.Mi
 func (g *Graph) Len() int { return len(g.seq) }
 
 // JobStats summarizes one scheduler execution: how many jobs of each
-// stage ran, how many were cancelled by an upstream failure, how the
+// stage ran, how many were cancelled by an upstream failure or an
+// aborted context, how often failed jobs were retried, how the
 // synthesis cache performed and how much simulated CAD time the jobs
-// accumulated (Σ over all jobs, not wall time).
+// accumulated (Σ over all attempts plus virtual backoff, not wall
+// time).
 type JobStats struct {
 	// Workers is the worker-pool size the graph executed on.
 	Workers int
@@ -118,13 +145,20 @@ type JobStats struct {
 	PlanJobs   int
 	ImplJobs   int
 	BitgenJobs int
-	// Cancelled counts jobs skipped because a dependency failed.
+	// Cancelled counts jobs skipped because a dependency failed or the
+	// context was cancelled before they were dispatched.
 	Cancelled int
+	// Retries counts re-runs of failed job attempts (a job that
+	// succeeds on its third attempt contributes two).
+	Retries int
+	// FailedJobs counts jobs whose final attempt still failed.
+	FailedJobs int
 	// CacheHits and CacheMisses report the synthesis-checkpoint cache
 	// (zero when no cache is attached).
 	CacheHits   int
 	CacheMisses int
-	// SimMinutes is the summed simulated duration of all executed jobs.
+	// SimMinutes is the summed simulated duration of all executed jobs,
+	// including the virtual backoff charged to retries.
 	SimMinutes vivado.Minutes
 }
 
@@ -146,23 +180,128 @@ func (s *JobStats) count(st Stage) {
 	}
 }
 
-// jobDone carries one completion from a worker to the coordinator.
-type jobDone struct {
-	job     *Job
-	runtime vivado.Minutes
-	err     error
+// JobError records one job's final failure after retries were
+// exhausted. The flow's collect error policy surfaces the full sorted
+// list instead of aborting on the first.
+type JobError struct {
+	// ID and Stage identify the failed job.
+	ID    string
+	Stage Stage
+	// Attempts is how many times the job ran (1 = no retries).
+	Attempts int
+	// Err is the final attempt's error.
+	Err error
+
+	order int
 }
 
-// Execute runs the graph on a pool of workers goroutines (workers <= 0
-// selects runtime.NumCPU()). Every job runs exactly once after all its
-// dependencies succeeded; a failed job cancels its transitive dependents
-// without stopping independent work. When several jobs fail, the error
-// of the earliest-added one is returned — the same error a sequential
-// execution in insertion order would have surfaced — so the outcome does
-// not depend on goroutine scheduling.
+// Error implements error.
+func (e JobError) Error() string {
+	if e.Attempts > 1 {
+		return fmt.Sprintf("%s (after %d attempts): %v", e.ID, e.Attempts, e.Err)
+	}
+	return fmt.Sprintf("%s: %v", e.ID, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e JobError) Unwrap() error { return e.Err }
+
+// JobOutcome reports one finished job to the OnJobDone observer.
+type JobOutcome struct {
+	// Minutes is the job's accounted simulated time (all attempts plus
+	// virtual backoff).
+	Minutes vivado.Minutes
+	// Attempts is how many times the job ran.
+	Attempts int
+	// Err is nil when the job ultimately succeeded.
+	Err error
+}
+
+// ErrJobDeadline is wrapped by failures of jobs whose modelled runtime
+// exceeded ExecOptions.JobDeadline.
+var ErrJobDeadline = errors.New("job exceeded per-job deadline")
+
+// DefaultRetryBackoff is the virtual-time penalty charged to a job's
+// first retry when no explicit backoff is configured; it doubles per
+// subsequent attempt up to DefaultBackoffCap. Fifteen modelled minutes
+// approximates a license-server reconnect plus tool restart.
+const DefaultRetryBackoff = vivado.Minutes(15)
+
+// DefaultBackoffCap bounds the doubling virtual backoff.
+const DefaultBackoffCap = vivado.Minutes(120)
+
+// ExecOptions tunes one graph execution.
+type ExecOptions struct {
+	// Workers bounds the worker pool (0 = GOMAXPROCS, negative is an
+	// error; see NormalizeWorkers).
+	Workers int
+	// MaxRetries re-runs a failed job up to this many extra attempts.
+	// Context errors and deadline failures are never retried: the
+	// former mean the flow is shutting down, the latter are
+	// deterministic.
+	MaxRetries int
+	// Backoff is the virtual-time penalty of the first retry (0 =
+	// DefaultRetryBackoff when MaxRetries > 0); it doubles per attempt.
+	Backoff vivado.Minutes
+	// BackoffCap bounds the doubled backoff (0 = DefaultBackoffCap).
+	BackoffCap vivado.Minutes
+	// JobDeadline fails any job whose modelled runtime exceeds it
+	// (0 = no deadline). The check is in virtual time, so it is
+	// deterministic for every worker count.
+	JobDeadline vivado.Minutes
+	// FailFast stops dispatching new jobs after the first failure
+	// (in-flight jobs are still drained); the default keeps independent
+	// subgraphs running so partial results survive.
+	FailFast bool
+	// OnJobDone, when set, observes every finished job (success or
+	// final failure) from the coordinator goroutine, in completion
+	// order. The flow journals completed jobs through it.
+	OnJobDone func(j *Job, out JobOutcome)
+}
+
+// jobDone carries one completion from a worker to the coordinator.
+type jobDone struct {
+	job      *Job
+	runtime  vivado.Minutes
+	attempts int
+	err      error
+}
+
+// Execute runs the graph with background context and default retry
+// policy — the pre-cancellation API, kept for callers that need
+// neither.
 func (g *Graph) Execute(workers int) (JobStats, error) {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
+	stats, errs, err := g.ExecuteCtx(context.Background(), ExecOptions{Workers: workers})
+	if err != nil {
+		return stats, err
+	}
+	if len(errs) > 0 {
+		return stats, errs[0].Err
+	}
+	return stats, nil
+}
+
+// ExecuteCtx runs the graph on a pool of worker goroutines. Every job
+// runs after all its dependencies succeeded; a failed job (after
+// retries) cancels its transitive dependents without stopping
+// independent work. Job failures are returned as a list sorted by
+// graph-insertion order — the same order a sequential execution would
+// have surfaced them — so the outcome does not depend on goroutine
+// scheduling; the caller picks fail-fast (errs[0]) or collect
+// semantics.
+//
+// The returned error is reserved for execution-level problems: an
+// invalid worker count, an unknown dependency, a dependency cycle, or
+// a cancelled/expired context. On cancellation the scheduler stops
+// dispatching, drains every in-flight job, and shuts the pool down —
+// no goroutine outlives the call.
+func (g *Graph) ExecuteCtx(ctx context.Context, opt ExecOptions) (JobStats, []JobError, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers, err := NormalizeWorkers(opt.Workers)
+	if err != nil {
+		return JobStats{}, nil, err
 	}
 	if workers > len(g.seq) {
 		workers = len(g.seq)
@@ -170,9 +309,21 @@ func (g *Graph) Execute(workers int) (JobStats, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	if opt.MaxRetries < 0 {
+		return JobStats{}, nil, fmt.Errorf("flow: negative retry count %d", opt.MaxRetries)
+	}
+	if opt.Backoff <= 0 {
+		opt.Backoff = DefaultRetryBackoff
+	}
+	if opt.BackoffCap <= 0 {
+		opt.BackoffCap = DefaultBackoffCap
+	}
 	stats := JobStats{Workers: workers}
 	if len(g.seq) == 0 {
-		return stats, nil
+		return stats, nil, ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return stats, nil, fmt.Errorf("flow: execution cancelled before any job ran: %w", err)
 	}
 
 	indeg := make(map[string]int, len(g.seq))
@@ -180,7 +331,7 @@ func (g *Graph) Execute(workers int) (JobStats, error) {
 	for _, j := range g.seq {
 		for _, dep := range j.Deps {
 			if _, ok := g.jobs[dep]; !ok {
-				return stats, fmt.Errorf("flow: job %q depends on unknown job %q", j.ID, dep)
+				return stats, nil, fmt.Errorf("flow: job %q depends on unknown job %q", j.ID, dep)
 			}
 			indeg[j.ID]++
 			dependents[dep] = append(dependents[dep], j)
@@ -188,7 +339,8 @@ func (g *Graph) Execute(workers int) (JobStats, error) {
 	}
 
 	// Buffers sized to the job count: dispatch and completion never
-	// block, so the coordinator cannot deadlock against the pool.
+	// block, so the coordinator cannot deadlock against the pool and a
+	// cancelled coordinator can always drain in-flight results.
 	work := make(chan *Job, len(g.seq))
 	results := make(chan jobDone, len(g.seq))
 	var wg sync.WaitGroup
@@ -197,27 +349,26 @@ func (g *Graph) Execute(workers int) (JobStats, error) {
 		go func() {
 			defer wg.Done()
 			for j := range work {
-				t, err := j.Run()
-				results <- jobDone{job: j, runtime: t, err: err}
+				results <- runWithRetry(ctx, j, opt)
 			}
 		}()
 	}
 
 	cancelled := make(map[string]bool)
-	failed := make(map[string]*Job)
-	failure := make(map[string]error)
+	var failures []JobError
 	pending := len(g.seq)
 	running := 0
+	completed := make(map[string]bool)
 
 	dispatch := func(j *Job) {
 		running++
 		work <- j
 	}
-	// cancel removes j and its transitive dependents from the pending
+	// cancelJob removes j and its transitive dependents from the pending
 	// set; none of them has been dispatched (they still wait on the
 	// failed dependency).
-	var cancel func(j *Job)
-	cancel = func(j *Job) {
+	var cancelJob func(j *Job)
+	cancelJob = func(j *Job) {
 		if cancelled[j.ID] {
 			return
 		}
@@ -225,7 +376,19 @@ func (g *Graph) Execute(workers int) (JobStats, error) {
 		stats.Cancelled++
 		pending--
 		for _, dep := range dependents[j.ID] {
-			cancel(dep)
+			cancelJob(dep)
+		}
+	}
+	account := func(d jobDone) {
+		completed[d.job.ID] = true
+		stats.count(d.job.Stage)
+		stats.SimMinutes += d.runtime
+		stats.Retries += d.attempts - 1
+		if d.err != nil {
+			stats.FailedJobs++
+		}
+		if opt.OnJobDone != nil {
+			opt.OnJobDone(d.job, JobOutcome{Minutes: d.runtime, Attempts: d.attempts, Err: d.err})
 		}
 	}
 
@@ -234,33 +397,23 @@ func (g *Graph) Execute(workers int) (JobStats, error) {
 			dispatch(j)
 		}
 	}
-	for pending > 0 {
-		if running == 0 {
-			// Nothing runs and nothing can become ready: the remaining
-			// jobs wait on each other in a cycle.
-			close(work)
-			wg.Wait()
-			var stuck []string
-			for _, j := range g.seq {
-				if !cancelled[j.ID] && indeg[j.ID] > 0 {
-					stuck = append(stuck, j.ID)
-				}
-			}
-			sort.Strings(stuck)
-			return stats, fmt.Errorf("flow: job graph has a dependency cycle among %v", stuck)
-		}
-		d := <-results
+	// handle books one completion; when release is set a success frees
+	// its dependents for dispatch (a draining coordinator passes false).
+	handle := func(d jobDone, release bool) {
 		running--
 		pending--
-		stats.count(d.job.Stage)
-		stats.SimMinutes += d.runtime
+		account(d)
 		if d.err != nil {
-			failed[d.job.ID] = d.job
-			failure[d.job.ID] = d.err
+			failures = append(failures, JobError{
+				ID: d.job.ID, Stage: d.job.Stage, Attempts: d.attempts, Err: d.err, order: d.job.order,
+			})
 			for _, dep := range dependents[d.job.ID] {
-				cancel(dep)
+				cancelJob(dep)
 			}
-			continue
+			return
+		}
+		if !release {
+			return
 		}
 		for _, dep := range dependents[d.job.ID] {
 			if cancelled[dep.ID] {
@@ -272,17 +425,99 @@ func (g *Graph) Execute(workers int) (JobStats, error) {
 			}
 		}
 	}
+
+	aborted := false // context cancelled
+	stopped := false // fail-fast stop after a job failure
+	for pending > 0 && !aborted && !stopped {
+		if running == 0 {
+			// Nothing runs and nothing can become ready: the remaining
+			// jobs wait on each other in a cycle.
+			close(work)
+			wg.Wait()
+			var stuck []string
+			for _, j := range g.seq {
+				if !cancelled[j.ID] && !completed[j.ID] && indeg[j.ID] > 0 {
+					stuck = append(stuck, j.ID)
+				}
+			}
+			sort.Strings(stuck)
+			return stats, sortJobErrors(failures), fmt.Errorf("flow: job graph has a dependency cycle among %v", stuck)
+		}
+		select {
+		case <-ctx.Done():
+			aborted = true
+		case d := <-results:
+			handle(d, true)
+			if len(failures) > 0 && opt.FailFast {
+				stopped = true
+			}
+		}
+	}
+	// Drain every in-flight job before tearing the pool down: results is
+	// buffered, so workers can never block, and jobs observe ctx
+	// themselves and return promptly after a cancellation.
+	for running > 0 {
+		handle(<-results, false)
+	}
 	close(work)
 	wg.Wait()
 
-	if len(failed) > 0 {
-		var first *Job
-		for _, j := range failed {
-			if first == nil || j.order < first.order {
-				first = j
+	if aborted || stopped {
+		// Never-dispatched jobs count as cancelled so Executed +
+		// Cancelled always sums to the graph size.
+		for _, j := range g.seq {
+			if !completed[j.ID] && !cancelled[j.ID] {
+				cancelled[j.ID] = true
+				stats.Cancelled++
 			}
 		}
-		return stats, failure[first.ID]
 	}
-	return stats, nil
+	if aborted {
+		return stats, sortJobErrors(failures), fmt.Errorf("flow: execution cancelled: %w", ctx.Err())
+	}
+	return stats, sortJobErrors(failures), nil
+}
+
+// runWithRetry executes one job up to 1+MaxRetries times, charging the
+// doubling virtual backoff to each retry. Context errors and deadline
+// overruns stop the attempt loop immediately: retrying a cancelled
+// flow is pointless and a deadline overrun is deterministic.
+func runWithRetry(ctx context.Context, j *Job, opt ExecOptions) jobDone {
+	var total vivado.Minutes
+	backoff := opt.Backoff
+	attempts := 0
+	for {
+		attempts++
+		t, err := j.Run(ctx)
+		if err == nil && opt.JobDeadline > 0 && t > opt.JobDeadline {
+			err = fmt.Errorf("flow: job %s ran %v, over the %v deadline: %w",
+				j.ID, t, opt.JobDeadline, ErrJobDeadline)
+		}
+		total += t
+		if err == nil {
+			return jobDone{job: j, runtime: total, attempts: attempts, err: nil}
+		}
+		if attempts > opt.MaxRetries || !retryable(err) || ctx.Err() != nil {
+			return jobDone{job: j, runtime: total, attempts: attempts, err: err}
+		}
+		total += backoff
+		if backoff *= 2; backoff > opt.BackoffCap {
+			backoff = opt.BackoffCap
+		}
+	}
+}
+
+// retryable reports whether a failed attempt is worth re-running:
+// everything except cancellation and deterministic deadline overruns.
+func retryable(err error) bool {
+	return !errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded) &&
+		!errors.Is(err, ErrJobDeadline)
+}
+
+// sortJobErrors orders failures by graph-insertion order — the
+// deterministic, scheduling-independent error priority.
+func sortJobErrors(errs []JobError) []JobError {
+	sort.Slice(errs, func(i, j int) bool { return errs[i].order < errs[j].order })
+	return errs
 }

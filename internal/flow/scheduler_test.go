@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -25,8 +26,8 @@ func newRecorder() *recorder {
 
 // instrument wraps a job body so the recorder checks dependency order on
 // entry and records completion on exit.
-func (r *recorder) instrument(id string, deps []string, fail bool) func() (vivado.Minutes, error) {
-	return func() (vivado.Minutes, error) {
+func (r *recorder) instrument(id string, deps []string, fail bool) func(ctx context.Context) (vivado.Minutes, error) {
+	return func(_ context.Context) (vivado.Minutes, error) {
 		r.mu.Lock()
 		for _, dep := range deps {
 			if !r.completed[dep] {
@@ -189,7 +190,7 @@ func FuzzSchedulerExecute(f *testing.F) {
 // deadlocking the pool.
 func TestSchedulerDetectsCycles(t *testing.T) {
 	g := NewGraph()
-	noop := func() (vivado.Minutes, error) { return 0, nil }
+	noop := func(_ context.Context) (vivado.Minutes, error) { return 0, nil }
 	if err := g.Add("a", StageSynth, []string{"b"}, noop); err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestSchedulerDetectsCycles(t *testing.T) {
 
 // TestSchedulerRejectsBadGraphs covers the construction-time contract.
 func TestSchedulerRejectsBadGraphs(t *testing.T) {
-	noop := func() (vivado.Minutes, error) { return 0, nil }
+	noop := func(_ context.Context) (vivado.Minutes, error) { return 0, nil }
 	g := NewGraph()
 	if err := g.Add("a", StageSynth, nil, noop); err != nil {
 		t.Fatal(err)

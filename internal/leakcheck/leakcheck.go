@@ -1,0 +1,122 @@
+// Package leakcheck verifies that tests leave no goroutines behind —
+// the cancellation paths of the flow scheduler and the reconfiguration
+// manager must drain their worker pools completely.
+//
+// It mirrors the VerifyTestMain/VerifyNone API of go.uber.org/goleak
+// but is implemented on runtime.Stack alone, so it adds no dependency
+// (the build environment is offline). Detection is snapshot-based:
+// goroutines are given a grace period to finish, then any survivor that
+// is not part of the runtime, the test framework or this package is
+// reported as a leak.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// benign matches goroutine stacks that legitimately outlive a test:
+// the test runner itself, runtime service goroutines, and this
+// package's own snapshot machinery.
+var benign = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.(*T).Run(",
+	"testing.runFuzzing(",
+	"testing.runFuzzTests(",
+	"runtime.goexit",
+	"created by runtime.",
+	"runtime/trace.Start",
+	"signal.Notify",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"leakcheck.stacks",
+}
+
+// stacks returns one stack dump per live goroutine, excluding the
+// caller's own.
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	dumps := strings.Split(string(buf), "\n\n")
+	if len(dumps) > 0 {
+		dumps = dumps[1:] // first dump is this goroutine
+	}
+	return dumps
+}
+
+// leaked returns the stack dumps of goroutines that look like leaks.
+func leaked() []string {
+	var out []string
+	for _, d := range stacks() {
+		if strings.TrimSpace(d) == "" {
+			continue
+		}
+		ok := false
+		for _, pat := range benign {
+			if strings.Contains(d, pat) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// check retries for the grace period, letting goroutines that are
+// mid-shutdown finish before they are declared leaked.
+func check(grace time.Duration) []string {
+	deadline := time.Now().Add(grace)
+	var last []string
+	for {
+		last = leaked()
+		if len(last) == 0 || time.Now().After(deadline) {
+			return last
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// errorReporter is the subset of testing.TB VerifyNone needs.
+type errorReporter interface {
+	Errorf(format string, args ...any)
+}
+
+// VerifyNone fails t if goroutines are still running after a short
+// grace period. Call it at the end of a test that exercises worker
+// pools or cancellation.
+func VerifyNone(t errorReporter) {
+	if bad := check(2 * time.Second); len(bad) > 0 {
+		t.Errorf("leakcheck: %d leaked goroutine(s):\n%s", len(bad), strings.Join(bad, "\n\n"))
+	}
+}
+
+// VerifyTestMain wraps a package's TestMain: it runs the tests, then
+// fails the whole run if any goroutine outlived them. Usage:
+//
+//	func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }
+func VerifyTestMain(m interface{ Run() int }) {
+	code := m.Run()
+	if code == 0 {
+		if bad := check(2 * time.Second); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) leaked past the test run:\n%s\n",
+				len(bad), strings.Join(bad, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

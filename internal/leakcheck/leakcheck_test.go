@@ -1,0 +1,45 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder captures Errorf calls without failing the real test.
+type recorder struct {
+	msgs []string
+}
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.msgs = append(r.msgs, format)
+}
+
+func TestVerifyNoneCleanRun(t *testing.T) {
+	VerifyNone(t)
+}
+
+func TestVerifyNoneCatchesLeak(t *testing.T) {
+	stop := make(chan struct{})
+	go func() { <-stop }() // deliberate leak
+	time.Sleep(20 * time.Millisecond)
+
+	bad := check(50 * time.Millisecond)
+	close(stop)
+	if len(bad) == 0 {
+		t.Fatal("leaked goroutine not detected")
+	}
+	found := false
+	for _, d := range bad {
+		if strings.Contains(d, "TestVerifyNoneCatchesLeak") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leak report does not name the leaking test:\n%s", strings.Join(bad, "\n\n"))
+	}
+	// The goroutine exits once stop is closed; a later VerifyNone passes.
+	VerifyNone(&recorder{})
+}
+
+func TestMain(m *testing.M) { VerifyTestMain(m) }

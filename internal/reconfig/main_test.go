@@ -1,0 +1,11 @@
+package reconfig
+
+import (
+	"testing"
+
+	"presp/internal/leakcheck"
+)
+
+// TestMain fails the package's test run if the reconfiguration
+// manager's retry/recovery paths leak a goroutine.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

@@ -1,6 +1,7 @@
 package vivado
 
 import (
+	"container/list"
 	"fmt"
 	"math"
 	"sync"
@@ -17,19 +18,66 @@ import (
 // cache key digests exactly those, so any change to a module's resources,
 // its hierarchy, the device or the model invalidates the entry.
 //
+// The cache is bounded by an LRU eviction policy when MaxEntries is
+// set (SetMaxEntries; the default is unbounded, preserving the
+// original behaviour), so long strategy sweeps and resumed runs cannot
+// grow memory without limit. Evictions only cost future re-synthesis
+// time — a checkpoint is pure derived state.
+//
 // The cache is safe for concurrent use by the flow's worker pool.
 // Checkpoints are deep-copied on both store and load, so callers can
 // never mutate a cached entry through an aliased pointer.
 type CheckpointCache struct {
-	mu      sync.Mutex
-	entries map[string]*SynthCheckpoint
-	hits    int64
-	misses  int64
+	mu        sync.Mutex
+	max       int
+	entries   map[string]*list.Element
+	lru       *list.List // front = most recently used
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
-// NewCheckpointCache returns an empty cache.
+// lruEntry is the list payload: the key rides along so eviction can
+// delete the map entry from the list element alone.
+type lruEntry struct {
+	key string
+	ck  *SynthCheckpoint
+}
+
+// NewCheckpointCache returns an empty, unbounded cache.
 func NewCheckpointCache() *CheckpointCache {
-	return &CheckpointCache{entries: make(map[string]*SynthCheckpoint)}
+	return &CheckpointCache{
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// NewCheckpointCacheWithLimit returns an empty cache holding at most
+// max checkpoints (max <= 0 means unbounded).
+func NewCheckpointCacheWithLimit(max int) *CheckpointCache {
+	c := NewCheckpointCache()
+	c.SetMaxEntries(max)
+	return c
+}
+
+// SetMaxEntries bounds the cache to max checkpoints, evicting the
+// least-recently-used entries immediately if it is already over the
+// limit. max <= 0 removes the bound.
+func (c *CheckpointCache) SetMaxEntries(max int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if max < 0 {
+		max = 0
+	}
+	c.max = max
+	c.evict()
+}
+
+// MaxEntries returns the configured bound (0 = unbounded).
+func (c *CheckpointCache) MaxEntries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.max
 }
 
 // Stats returns the cumulative hit and miss counts.
@@ -39,6 +87,13 @@ func (c *CheckpointCache) Stats() (hits, misses int64) {
 	return c.hits, c.misses
 }
 
+// Evictions returns how many checkpoints the LRU policy has dropped.
+func (c *CheckpointCache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
 // Len returns the number of cached checkpoints.
 func (c *CheckpointCache) Len() int {
 	c.mu.Lock()
@@ -46,25 +101,60 @@ func (c *CheckpointCache) Len() int {
 	return len(c.entries)
 }
 
+// Preload seeds the cache with a checkpoint under an externally-known
+// key — the resume path rehydrates journaled synthesis results through
+// it. Preloading counts as neither hit nor miss.
+func (c *CheckpointCache) Preload(key string, ck *SynthCheckpoint) {
+	if key == "" || ck == nil {
+		return
+	}
+	c.store(key, ck)
+}
+
 // lookup fetches a deep copy of the checkpoint under key, counting the
-// access as a hit or miss.
+// access as a hit or miss and refreshing the entry's LRU position.
 func (c *CheckpointCache) lookup(key string) (*SynthCheckpoint, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ck, ok := c.entries[key]
+	el, ok := c.entries[key]
 	if !ok {
 		c.misses++
 		return nil, false
 	}
 	c.hits++
-	return ck.clone(), true
+	c.lru.MoveToFront(el)
+	return el.Value.(*lruEntry).ck.clone(), true
 }
 
-// store saves a deep copy of ck under key.
+// store saves a deep copy of ck under key and evicts over-limit
+// entries.
 func (c *CheckpointCache) store(key string, ck *SynthCheckpoint) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries[key] = ck.clone()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).ck = ck.clone()
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&lruEntry{key: key, ck: ck.clone()})
+	c.evict()
+}
+
+// evict drops least-recently-used entries until the bound is met.
+// Callers must hold c.mu.
+func (c *CheckpointCache) evict() {
+	if c.max <= 0 {
+		return
+	}
+	for len(c.entries) > c.max {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			return
+		}
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).key)
+		c.evictions++
+	}
 }
 
 // clone deep-copies a checkpoint.

@@ -1,6 +1,7 @@
 package vivado
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -41,11 +42,11 @@ func TestCacheHitMatchesColdSynthesis(t *testing.T) {
 	tool, cache := cachedTool(t, "VC707")
 	m := testModule("acc", 20000)
 
-	cold, err := tool.Synthesize(m, true)
+	cold, err := tool.Synthesize(context.Background(), m, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := tool.Synthesize(m, true)
+	warm, err := tool.Synthesize(context.Background(), m, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestCacheHitMatchesColdSynthesis(t *testing.T) {
 	// Mutating the returned checkpoint must not poison later hits.
 	warm.Resources[fpga.LUT] = 1
 	warm.Runtime = -1
-	again, err := tool.Synthesize(m, true)
+	again, err := tool.Synthesize(context.Background(), m, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestCacheHitMatchesColdSynthesis(t *testing.T) {
 // synthesis parameters must miss.
 func TestCacheKeyInvalidation(t *testing.T) {
 	tool, cache := cachedTool(t, "VC707")
-	if _, err := tool.Synthesize(testModule("acc", 20000), true); err != nil {
+	if _, err := tool.Synthesize(context.Background(), testModule("acc", 20000), true); err != nil {
 		t.Fatal(err)
 	}
 
@@ -85,17 +86,17 @@ func TestCacheKeyInvalidation(t *testing.T) {
 		run   func() error
 	}{
 		{"changed resources", func() error {
-			_, err := tool.Synthesize(testModule("acc", 20001), true)
+			_, err := tool.Synthesize(context.Background(), testModule("acc", 20001), true)
 			return err
 		}},
 		{"changed ooc mode", func() error {
-			_, err := tool.Synthesize(testModule("acc", 20000), false)
+			_, err := tool.Synthesize(context.Background(), testModule("acc", 20000), false)
 			return err
 		}},
 		{"changed hierarchy", func() error {
 			m := testModule("acc", 20000)
 			m.AddChild("u_extra", &rtl.Module{Name: "extra", Cost: fpga.NewResources(10, 10, 0, 0)})
-			_, err := tool.Synthesize(m, true)
+			_, err := tool.Synthesize(context.Background(), m, true)
 			return err
 		}},
 		{"changed device", func() error {
@@ -108,7 +109,7 @@ func TestCacheKeyInvalidation(t *testing.T) {
 				return err
 			}
 			other.SetCache(cache)
-			_, err = other.Synthesize(testModule("acc", 20000), true)
+			_, err = other.Synthesize(context.Background(), testModule("acc", 20000), true)
 			return err
 		}},
 		{"changed model", func() error {
@@ -123,7 +124,7 @@ func TestCacheKeyInvalidation(t *testing.T) {
 				return err
 			}
 			other.SetCache(cache)
-			_, err = other.Synthesize(testModule("acc", 20000), true)
+			_, err = other.Synthesize(context.Background(), testModule("acc", 20000), true)
 			return err
 		}},
 	}
@@ -141,7 +142,7 @@ func TestCacheKeyInvalidation(t *testing.T) {
 
 	// And the identical input still hits.
 	hitsBefore, _ := cache.Stats()
-	if _, err := tool.Synthesize(testModule("acc", 20000), true); err != nil {
+	if _, err := tool.Synthesize(context.Background(), testModule("acc", 20000), true); err != nil {
 		t.Fatal(err)
 	}
 	if hits, _ := cache.Stats(); hits != hitsBefore+1 {
@@ -161,7 +162,7 @@ func TestCacheConcurrentSynthesize(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 8; i++ {
 				m := testModule(fmt.Sprintf("acc%d", i%4), 10000+(i%4)*100)
-				ck, err := tool.Synthesize(m, true)
+				ck, err := tool.Synthesize(context.Background(), m, true)
 				if err != nil {
 					errs <- err
 					return
@@ -199,7 +200,7 @@ func TestToolWithoutCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tool.Synthesize(testModule("acc", 20000), true); err != nil {
+	if _, err := tool.Synthesize(context.Background(), testModule("acc", 20000), true); err != nil {
 		t.Fatal(err)
 	}
 	if hits, misses := tool.CacheStats(); hits != 0 || misses != 0 {

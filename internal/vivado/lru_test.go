@@ -1,0 +1,103 @@
+package vivado
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestCacheLRUEviction: a bounded cache drops the least-recently-used
+// checkpoint first and counts the evictions.
+func TestCacheLRUEviction(t *testing.T) {
+	cache := NewCheckpointCacheWithLimit(2)
+	if got := cache.MaxEntries(); got != 2 {
+		t.Fatalf("MaxEntries = %d, want 2", got)
+	}
+	tool := newTool(t)
+	tool.SetCache(cache)
+	synth := func(luts int) {
+		t.Helper()
+		if _, err := tool.Synthesize(context.Background(), testModule(fmt.Sprintf("m%d", luts), luts), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	synth(20000) // A
+	synth(20001) // B
+	synth(20000) // hit A -> A most recent, B is LRU
+	synth(20002) // C evicts B
+	if got := cache.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if got := cache.Evictions(); got != 1 {
+		t.Fatalf("Evictions = %d, want 1", got)
+	}
+	hits0, _ := cache.Stats()
+	synth(20000) // A must still be cached
+	if hits, _ := cache.Stats(); hits != hits0+1 {
+		t.Fatal("most-recently-used entry was evicted instead of the LRU one")
+	}
+	synth(20001) // B was evicted: this is a miss
+	_, misses := cache.Stats()
+	if misses != 4 { // A, B, C cold misses + B re-synthesis
+		t.Fatalf("misses = %d, want 4", misses)
+	}
+}
+
+// TestCacheSetMaxEntriesShrinks: lowering the bound on a full cache
+// evicts immediately; zero removes the bound.
+func TestCacheSetMaxEntriesShrinks(t *testing.T) {
+	cache := NewCheckpointCache()
+	for i := 0; i < 5; i++ {
+		cache.Preload(fmt.Sprintf("k%d", i), &SynthCheckpoint{Name: fmt.Sprintf("m%d", i), Runtime: 1})
+	}
+	if cache.Len() != 5 || cache.Evictions() != 0 {
+		t.Fatalf("unbounded cache evicted: len=%d evictions=%d", cache.Len(), cache.Evictions())
+	}
+	cache.SetMaxEntries(2)
+	if cache.Len() != 2 {
+		t.Fatalf("Len after shrink = %d, want 2", cache.Len())
+	}
+	if cache.Evictions() != 3 {
+		t.Fatalf("Evictions after shrink = %d, want 3", cache.Evictions())
+	}
+	// The two most recently preloaded entries survive.
+	for _, k := range []string{"k3", "k4"} {
+		if _, ok := cache.lookup(k); !ok {
+			t.Fatalf("recent entry %s was evicted", k)
+		}
+	}
+	cache.SetMaxEntries(0)
+	for i := 5; i < 20; i++ {
+		cache.Preload(fmt.Sprintf("k%d", i), &SynthCheckpoint{Name: "m", Runtime: 1})
+	}
+	if cache.Len() != 17 {
+		t.Fatalf("unbounding failed: len=%d, want 17", cache.Len())
+	}
+}
+
+// TestCachePreloadSemantics: preloading counts as neither hit nor miss,
+// ignores nil/empty input, and the preloaded checkpoint round-trips.
+func TestCachePreloadSemantics(t *testing.T) {
+	cache := NewCheckpointCache()
+	cache.Preload("", &SynthCheckpoint{Name: "x"})
+	cache.Preload("k", nil)
+	if cache.Len() != 0 {
+		t.Fatal("empty-key or nil-checkpoint preload stored something")
+	}
+	ck := &SynthCheckpoint{Name: "acc", Runtime: 12.5, BlackBoxes: []string{"bb"}}
+	cache.Preload("k", ck)
+	if h, m := cache.Stats(); h != 0 || m != 0 {
+		t.Fatalf("preload counted as hit/miss: %d/%d", h, m)
+	}
+	got, ok := cache.lookup("k")
+	if !ok || got.Name != "acc" || got.Runtime != 12.5 {
+		t.Fatalf("preloaded checkpoint did not round-trip: %+v", got)
+	}
+	// Deep copy: mutating the retrieved checkpoint must not corrupt the
+	// cached entry.
+	got.BlackBoxes[0] = "mutated"
+	again, _ := cache.lookup("k")
+	if again.BlackBoxes[0] != "bb" {
+		t.Fatal("cache aliases stored checkpoint slices")
+	}
+}

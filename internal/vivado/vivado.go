@@ -1,10 +1,12 @@
 package vivado
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
 	"presp/internal/bitstream"
+	"presp/internal/faultinject"
 	"presp/internal/fpga"
 	"presp/internal/rtl"
 )
@@ -14,10 +16,16 @@ import (
 // flow auto-generates; each returns what the step produces plus the
 // modelled runtime.
 //
-// A Tool is safe for concurrent use: device, model and generator are
-// read-only after construction, the optional checkpoint cache locks
-// internally, and the hit/miss counters are atomic — the flow's worker
-// pool drives one shared instance from many goroutines.
+// Every entry point takes a context.Context and checks it before doing
+// any work, so a cancelled or timed-out flow stops at the next job
+// boundary; it then consults the optional FaultHook, the seam the flow
+// uses to inject deterministic CAD failures (tool crashes, license
+// drops) from a faultinject plan.
+//
+// A Tool is safe for concurrent use: device, model, generator, cache
+// and fault hook are read-only after setup, the optional checkpoint
+// cache locks internally, and the hit/miss counters are atomic — the
+// flow's worker pool drives one shared instance from many goroutines.
 type Tool struct {
 	dev   *fpga.Device
 	model *CostModel
@@ -26,7 +34,16 @@ type Tool struct {
 	cache       *CheckpointCache
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+
+	fault FaultHook
 }
+
+// FaultHook intercepts one CAD operation before it runs. A non-nil
+// returned error fails the operation (the flow's retry policy then
+// decides whether to re-run it). The first site is the operation's
+// primary site; faultinject.StableInjector.Check satisfies this
+// signature directly.
+type FaultHook func(op faultinject.Op, sites ...string) error
 
 // New builds a tool for device d with cost model m (nil selects the
 // calibrated default).
@@ -54,13 +71,44 @@ func (t *Tool) Model() *CostModel { return t.model }
 // synthesis cost and populate it on misses.
 func (t *Tool) SetCache(c *CheckpointCache) { t.cache = c }
 
+// SetFaultHook attaches a CAD fault-injection hook (nil detaches). Set
+// it before sharing the tool across goroutines.
+func (t *Tool) SetFaultHook(h FaultHook) { t.fault = h }
+
+// CheckFault is the gate every entry point passes through: it fails
+// fast when ctx is cancelled or past its deadline, then gives the fault
+// hook a chance to crash the operation. Flow steps that live outside
+// this package (floorplanning) call it directly so the whole
+// compile-time surface shares one injection discipline.
+func (t *Tool) CheckFault(ctx context.Context, op faultinject.Op, sites ...string) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if t.fault == nil {
+		return nil
+	}
+	return t.fault(op, sites...)
+}
+
 // CacheStats returns this tool's synthesis cache hits and misses (both
 // zero when no cache is attached).
 func (t *Tool) CacheStats() (hits, misses int64) {
 	return t.cacheHits.Load(), t.cacheMisses.Load()
 }
 
-// SynthCheckpoint is the product of a synthesis run.
+// CheckpointKey returns the content-addressed cache key a synthesis of
+// m would use on this tool — the digest of everything the run depends
+// on. The flow journals it per synthesis job so an interrupted run can
+// be resumed from rehydrated cache entries.
+func (t *Tool) CheckpointKey(m *rtl.Module, ooc bool) string {
+	return checkpointKey(t.dev, t.model, m, ooc)
+}
+
+// SynthCheckpoint is the product of a synthesis run. All fields are
+// exported and JSON-serializable so flow journals can embed completed
+// checkpoints for crash recovery.
 type SynthCheckpoint struct {
 	// Name is the synthesized module name.
 	Name string
@@ -77,10 +125,15 @@ type SynthCheckpoint struct {
 
 // Synthesize runs synthesis on module m. In OoC mode the module is
 // compiled against its own interface; otherwise black boxes are
-// permitted only for declared reconfigurable partitions.
-func (t *Tool) Synthesize(m *rtl.Module, ooc bool) (*SynthCheckpoint, error) {
+// permitted only for declared reconfigurable partitions. Optional sites
+// label the run for fault injection (the flow passes the partition
+// name); the module name is always appended as a matchable site.
+func (t *Tool) Synthesize(ctx context.Context, m *rtl.Module, ooc bool, sites ...string) (*SynthCheckpoint, error) {
 	if m == nil {
 		return nil, fmt.Errorf("vivado: synthesize nil module")
+	}
+	if err := t.CheckFault(ctx, faultinject.OpCADSynth, append(append([]string(nil), sites...), m.Name)...); err != nil {
+		return nil, err
 	}
 	key := ""
 	if t.cache != nil {
@@ -116,7 +169,14 @@ func (t *Tool) Synthesize(m *rtl.Module, ooc bool) (*SynthCheckpoint, error) {
 // reconfigurable module and its assigned pblock: no clock-modifying
 // logic, no route-through clock outputs, and the pblock must cover the
 // module's resource needs.
-func (t *Tool) CheckDFX(content *rtl.Module, need fpga.Resources, pb fpga.Pblock) error {
+func (t *Tool) CheckDFX(ctx context.Context, content *rtl.Module, need fpga.Resources, pb fpga.Pblock) error {
+	drcSites := []string{pb.Name}
+	if content != nil {
+		drcSites = append(drcSites, content.Name)
+	}
+	if err := t.CheckFault(ctx, faultinject.OpCADDRC, drcSites...); err != nil {
+		return err
+	}
 	if content != nil {
 		if content.ContainsClockModifying() {
 			return fmt.Errorf("vivado: DRC HDPR-1: %s contains clock-modifying logic inside a reconfigurable partition", content.Name)
@@ -174,9 +234,12 @@ func (rs *RoutedStatic) RPFraction(d *fpga.Device) float64 {
 // place-holder macros inside every pblock (the intermediate step of the
 // parallel strategies; the empty netlists are prepared offline so they
 // add no timing overhead, per Section IV).
-func (t *Tool) PreRouteStatic(designName string, static *SynthCheckpoint, pblocks map[string]fpga.Pblock, reconfContent fpga.Resources) (*RoutedStatic, error) {
+func (t *Tool) PreRouteStatic(ctx context.Context, designName string, static *SynthCheckpoint, pblocks map[string]fpga.Pblock, reconfContent fpga.Resources) (*RoutedStatic, error) {
 	if static == nil {
 		return nil, fmt.Errorf("vivado: nil static checkpoint")
+	}
+	if err := t.CheckFault(ctx, faultinject.OpCADImpl, "static", designName); err != nil {
+		return nil, err
 	}
 	if len(pblocks) == 0 {
 		return nil, fmt.Errorf("vivado: static pre-route of %s has no reconfigurable partitions", designName)
@@ -219,7 +282,10 @@ type SerialResult struct {
 
 // ImplementSerial places and routes the whole design — static part plus
 // every reconfigurable module — in a single instance.
-func (t *Tool) ImplementSerial(designName string, totalRes fpga.Resources, nRP int, rpFrac float64) (*SerialResult, error) {
+func (t *Tool) ImplementSerial(ctx context.Context, designName string, totalRes fpga.Resources, nRP int, rpFrac float64) (*SerialResult, error) {
+	if err := t.CheckFault(ctx, faultinject.OpCADImpl, designName, "serial"); err != nil {
+		return nil, err
+	}
 	if totalRes[fpga.LUT] <= 0 {
 		return nil, fmt.Errorf("vivado: serial implementation of empty design %s", designName)
 	}
@@ -244,12 +310,15 @@ type ContextResult struct {
 
 // ImplementInContext implements the named partitions (with module
 // checkpoints cks, one per partition) against routed static rs.
-func (t *Tool) ImplementInContext(rs *RoutedStatic, group []string, cks map[string]*SynthCheckpoint) (*ContextResult, error) {
+func (t *Tool) ImplementInContext(ctx context.Context, rs *RoutedStatic, group []string, cks map[string]*SynthCheckpoint) (*ContextResult, error) {
 	if rs == nil {
 		return nil, fmt.Errorf("vivado: in-context run without a routed static")
 	}
 	if len(group) == 0 {
 		return nil, fmt.Errorf("vivado: empty in-context group")
+	}
+	if err := t.CheckFault(ctx, faultinject.OpCADImpl, append(append([]string(nil), group...), rs.DesignName)...); err != nil {
+		return nil, err
 	}
 	var groupK float64
 	for _, name := range group {
@@ -275,7 +344,10 @@ func (t *Tool) ImplementInContext(rs *RoutedStatic, group []string, cks map[stri
 
 // WritePartialBitstream generates the compressed partial bitstream for
 // partition name implemented in pblock pb with the given utilization.
-func (t *Tool) WritePartialBitstream(name string, pb fpga.Pblock, used fpga.Resources, compress bool) (*bitstream.Bitstream, Minutes, error) {
+func (t *Tool) WritePartialBitstream(ctx context.Context, name string, pb fpga.Pblock, used fpga.Resources, compress bool) (*bitstream.Bitstream, Minutes, error) {
+	if err := t.CheckFault(ctx, faultinject.OpCADBitgen, pb.Name, name); err != nil {
+		return nil, 0, err
+	}
 	bs, err := t.gen.Partial(name, pb, used[fpga.LUT], compress)
 	if err != nil {
 		return nil, 0, err
@@ -285,7 +357,10 @@ func (t *Tool) WritePartialBitstream(name string, pb fpga.Pblock, used fpga.Reso
 }
 
 // WriteFullBitstream generates the full-device bitstream.
-func (t *Tool) WriteFullBitstream(name string, used fpga.Resources, compress bool) (*bitstream.Bitstream, Minutes, error) {
+func (t *Tool) WriteFullBitstream(ctx context.Context, name string, used fpga.Resources, compress bool) (*bitstream.Bitstream, Minutes, error) {
+	if err := t.CheckFault(ctx, faultinject.OpCADBitgen, "full", name); err != nil {
+		return nil, 0, err
+	}
 	bs, err := t.gen.FullDevice(name, used[fpga.LUT], compress)
 	if err != nil {
 		return nil, 0, err

@@ -1,6 +1,7 @@
 package vivado
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -32,22 +33,22 @@ func TestNewValidation(t *testing.T) {
 func TestSynthesize(t *testing.T) {
 	tool := newTool(t)
 	m := &rtl.Module{Name: "m", Cost: fpga.NewResources(10000, 11000, 4, 8)}
-	ck, err := tool.Synthesize(m, true)
+	ck, err := tool.Synthesize(context.Background(), m, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ck.Resources != m.Cost || !ck.OoC || ck.Runtime <= 0 {
 		t.Fatalf("checkpoint wrong: %+v", ck)
 	}
-	if _, err := tool.Synthesize(nil, false); err == nil {
+	if _, err := tool.Synthesize(context.Background(), nil, false); err == nil {
 		t.Fatal("nil module synthesized")
 	}
 	empty := &rtl.Module{Name: "empty"}
-	if _, err := tool.Synthesize(empty, false); err == nil {
+	if _, err := tool.Synthesize(context.Background(), empty, false); err == nil {
 		t.Fatal("empty module synthesized")
 	}
 	huge := &rtl.Module{Name: "huge", Cost: fpga.NewResources(400000, 0, 0, 0)}
-	if _, err := tool.Synthesize(huge, false); err == nil {
+	if _, err := tool.Synthesize(context.Background(), huge, false); err == nil {
 		t.Fatal("over-capacity module synthesized")
 	}
 }
@@ -57,7 +58,7 @@ func TestSynthesizeRecordsBlackBoxes(t *testing.T) {
 	top := &rtl.Module{Name: "top", Cost: fpga.NewResources(5000, 5000, 0, 0)}
 	bb := &rtl.Module{Name: "rp_bb", BlackBox: true}
 	top.AddChild("rp0", bb)
-	ck, err := tool.Synthesize(top, false)
+	ck, err := tool.Synthesize(context.Background(), top, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,22 +71,22 @@ func TestCheckDFX(t *testing.T) {
 	tool := newTool(t)
 	pb := fpga.Pblock{Name: "p", X0: 0, Y0: 0, X1: 3, Y1: 1}
 	good := tile.WrapperModule("fft", fpga.NewResources(33000, 36000, 70, 140))
-	if err := tool.CheckDFX(good, good.Cost, pb); err != nil {
+	if err := tool.CheckDFX(context.Background(), good, good.Cost, pb); err != nil {
 		t.Fatalf("compliant module rejected: %v", err)
 	}
 	// Clock-modifying logic inside the partition.
 	bad := tile.NativeAccelModule("acc", fpga.NewResources(10000, 10000, 0, 0))
-	if err := tool.CheckDFX(bad, bad.TotalCost(), pb); err == nil {
+	if err := tool.CheckDFX(context.Background(), bad, bad.TotalCost(), pb); err == nil {
 		t.Fatal("clock-modifying partition passed DRC")
 	}
 	// Partition larger than its pblock.
 	tiny := fpga.Pblock{Name: "tiny", X0: 0, Y0: 0, X1: 0, Y1: 0}
-	if err := tool.CheckDFX(good, good.Cost, tiny); err == nil {
+	if err := tool.CheckDFX(context.Background(), good, good.Cost, tiny); err == nil {
 		t.Fatal("oversized partition passed DRC")
 	}
 	// Invalid pblock.
 	oob := fpga.Pblock{Name: "oob", X0: 0, Y0: 0, X1: 99, Y1: 0}
-	if err := tool.CheckDFX(good, good.Cost, oob); err == nil {
+	if err := tool.CheckDFX(context.Background(), good, good.Cost, oob); err == nil {
 		t.Fatal("out-of-grid pblock passed DRC")
 	}
 }
@@ -97,7 +98,7 @@ func TestPreRouteStatic(t *testing.T) {
 		"rp1": {Name: "rp1", X0: 0, Y0: 1, X1: 3, Y1: 2},
 		"rp2": {Name: "rp2", X0: 4, Y0: 1, X1: 7, Y1: 2},
 	}
-	rs, err := tool.PreRouteStatic("soc", static, pblocks, fpga.NewResources(60000, 0, 0, 0))
+	rs, err := tool.PreRouteStatic(context.Background(), "soc", static, pblocks, fpga.NewResources(60000, 0, 0, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,13 +110,13 @@ func TestPreRouteStatic(t *testing.T) {
 	}
 	// Overlapping pblocks must be rejected.
 	pblocks["rp3"] = fpga.Pblock{Name: "rp3", X0: 3, Y0: 2, X1: 5, Y1: 3}
-	if _, err := tool.PreRouteStatic("soc", static, pblocks, fpga.Resources{}); err == nil {
+	if _, err := tool.PreRouteStatic(context.Background(), "soc", static, pblocks, fpga.Resources{}); err == nil {
 		t.Fatal("overlapping pblocks accepted")
 	}
-	if _, err := tool.PreRouteStatic("soc", static, nil, fpga.Resources{}); err == nil {
+	if _, err := tool.PreRouteStatic(context.Background(), "soc", static, nil, fpga.Resources{}); err == nil {
 		t.Fatal("pre-route without partitions accepted")
 	}
-	if _, err := tool.PreRouteStatic("soc", nil, pblocks, fpga.Resources{}); err == nil {
+	if _, err := tool.PreRouteStatic(context.Background(), "soc", nil, pblocks, fpga.Resources{}); err == nil {
 		t.Fatal("nil checkpoint accepted")
 	}
 }
@@ -127,24 +128,24 @@ func TestPreRouteStaticCapacity(t *testing.T) {
 	pblocks := map[string]fpga.Pblock{
 		"rp1": {Name: "rp1", X0: 0, Y0: 0, X1: 7, Y1: 3}, // half the device
 	}
-	if _, err := tool.PreRouteStatic("soc", static, pblocks, fpga.Resources{}); err == nil {
+	if _, err := tool.PreRouteStatic(context.Background(), "soc", static, pblocks, fpga.Resources{}); err == nil {
 		t.Fatal("over-capacity design accepted")
 	}
 }
 
 func TestImplementSerial(t *testing.T) {
 	tool := newTool(t)
-	res, err := tool.ImplementSerial("soc", fpga.NewResources(200000, 0, 0, 0), 4, 0.5)
+	res, err := tool.ImplementSerial(context.Background(), "soc", fpga.NewResources(200000, 0, 0, 0), 4, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Runtime <= 0 {
 		t.Fatal("no runtime")
 	}
-	if _, err := tool.ImplementSerial("soc", fpga.Resources{}, 0, 0); err == nil {
+	if _, err := tool.ImplementSerial(context.Background(), "soc", fpga.Resources{}, 0, 0); err == nil {
 		t.Fatal("empty design implemented")
 	}
-	if _, err := tool.ImplementSerial("soc", fpga.NewResources(400000, 0, 0, 0), 0, 0); err == nil {
+	if _, err := tool.ImplementSerial(context.Background(), "soc", fpga.NewResources(400000, 0, 0, 0), 0, 0); err == nil {
 		t.Fatal("over-capacity design implemented")
 	}
 }
@@ -155,14 +156,14 @@ func TestImplementInContext(t *testing.T) {
 	pblocks := map[string]fpga.Pblock{
 		"rp1": {Name: "rp1", X0: 0, Y0: 1, X1: 3, Y1: 2},
 	}
-	rs, err := tool.PreRouteStatic("soc", static, pblocks, fpga.NewResources(30000, 0, 0, 0))
+	rs, err := tool.PreRouteStatic(context.Background(), "soc", static, pblocks, fpga.NewResources(30000, 0, 0, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
 	cks := map[string]*SynthCheckpoint{
 		"rp1": {Name: "rp1", Resources: fpga.NewResources(30000, 0, 0, 0)},
 	}
-	cr, err := tool.ImplementInContext(rs, []string{"rp1"}, cks)
+	cr, err := tool.ImplementInContext(context.Background(), rs, []string{"rp1"}, cks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,17 +171,17 @@ func TestImplementInContext(t *testing.T) {
 		t.Fatal("in-context run took no time")
 	}
 	// Unknown partition, missing checkpoint, oversized module.
-	if _, err := tool.ImplementInContext(rs, []string{"ghost"}, cks); err == nil {
+	if _, err := tool.ImplementInContext(context.Background(), rs, []string{"ghost"}, cks); err == nil {
 		t.Fatal("unknown partition accepted")
 	}
 	cks["rp1"].Resources = fpga.NewResources(400000, 0, 0, 0)
-	if _, err := tool.ImplementInContext(rs, []string{"rp1"}, cks); err == nil {
+	if _, err := tool.ImplementInContext(context.Background(), rs, []string{"rp1"}, cks); err == nil {
 		t.Fatal("module larger than its pblock accepted")
 	}
-	if _, err := tool.ImplementInContext(nil, []string{"rp1"}, cks); err == nil {
+	if _, err := tool.ImplementInContext(context.Background(), nil, []string{"rp1"}, cks); err == nil {
 		t.Fatal("nil routed static accepted")
 	}
-	if _, err := tool.ImplementInContext(rs, nil, cks); err == nil {
+	if _, err := tool.ImplementInContext(context.Background(), rs, nil, cks); err == nil {
 		t.Fatal("empty group accepted")
 	}
 }
@@ -188,7 +189,7 @@ func TestImplementInContext(t *testing.T) {
 func TestBitstreams(t *testing.T) {
 	tool := newTool(t)
 	pb := fpga.Pblock{Name: "p", X0: 0, Y0: 0, X1: 3, Y1: 1}
-	bs, tm, err := tool.WritePartialBitstream("x.pbs", pb, fpga.NewResources(30000, 0, 0, 0), true)
+	bs, tm, err := tool.WritePartialBitstream(context.Background(), "x.pbs", pb, fpga.NewResources(30000, 0, 0, 0), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestBitstreams(t *testing.T) {
 	if bs.CompressionRatio() < 2 {
 		t.Fatalf("compression ineffective: %.2fx", bs.CompressionRatio())
 	}
-	full, _, err := tool.WriteFullBitstream("x.bit", fpga.NewResources(150000, 0, 0, 0), true)
+	full, _, err := tool.WriteFullBitstream(context.Background(), "x.bit", fpga.NewResources(150000, 0, 0, 0), true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,11 +24,14 @@
 package presp
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"presp/internal/accel"
 	"presp/internal/bitstream"
 	"presp/internal/core"
+	"presp/internal/faultinject"
 	"presp/internal/floorplan"
 	"presp/internal/flow"
 	"presp/internal/fpga"
@@ -147,6 +150,51 @@ type FlowOptions struct {
 	// NumCPU). Only real CPU time changes; reported wall times and
 	// bitstreams are identical for every value.
 	Workers int
+	// Timeout bounds the whole run in real wall-clock time (0 = none).
+	Timeout time.Duration
+	// JobDeadline fails any single job whose modelled runtime exceeds
+	// it, in cost-model minutes (0 = none).
+	JobDeadline float64
+	// MaxJobRetries re-runs failed jobs with capped virtual-time
+	// backoff (0 = no retries).
+	MaxJobRetries int
+	// CollectErrors keeps independent partitions running past a
+	// failure; the Result reports Partial plus per-job errors. The
+	// default is fail-fast.
+	CollectErrors bool
+	// FaultPlan injects seeded CAD faults (synth, floorplan, impl,
+	// bitgen, drc; see ParseFaultPlan).
+	FaultPlan *faultinject.Plan
+	// Journal records every completed job so an interrupted run can be
+	// resumed.
+	Journal *flow.Journal
+	// Resume replays a journal from an interrupted run: journaled
+	// synthesis results are served from the cache instead of re-run.
+	Resume *flow.Journal
+}
+
+// flowOptions maps the facade options onto the flow package's.
+func (p *Platform) flowOptions(opt FlowOptions) flow.Options {
+	policy := flow.FailFast
+	if opt.CollectErrors {
+		policy = flow.Collect
+	}
+	return flow.Options{
+		Model:          p.model,
+		Strategy:       opt.Strategy,
+		SemiTau:        opt.SemiTau,
+		Compress:       opt.Compress,
+		SkipBitstreams: opt.SkipBitstreams,
+		Workers:        opt.Workers,
+		Cache:          p.cache,
+		Timeout:        opt.Timeout,
+		JobDeadline:    vivado.Minutes(opt.JobDeadline),
+		MaxJobRetries:  opt.MaxJobRetries,
+		ErrorPolicy:    policy,
+		FaultPlan:      opt.FaultPlan,
+		Journal:        opt.Journal,
+		Resume:         opt.Resume,
+	}
 }
 
 // FlowResult is the product of a flow run (see flow.Result).
@@ -156,40 +204,38 @@ type FlowResult = flow.Result
 // out-of-context synthesis, FLORA-style floorplanning, the size-driven
 // strategy choice, orchestrated P&R and bitstream generation.
 func (p *Platform) RunFlow(s *SoC, opt FlowOptions) (*FlowResult, error) {
-	return flow.RunPRESP(s.Design, flow.Options{
-		Model:          p.model,
-		Strategy:       opt.Strategy,
-		SemiTau:        opt.SemiTau,
-		Compress:       opt.Compress,
-		SkipBitstreams: opt.SkipBitstreams,
-		Workers:        opt.Workers,
-		Cache:          p.cache,
-	})
+	return p.RunFlowContext(context.Background(), s, opt)
+}
+
+// RunFlowContext is RunFlow under a context: cancellation (or
+// FlowOptions.Timeout) stops the run at the next job boundary, drains
+// the worker pool and leaves the checkpoint cache and journal
+// consistent for a later resume.
+func (p *Platform) RunFlowContext(ctx context.Context, s *SoC, opt FlowOptions) (*FlowResult, error) {
+	return flow.RunPRESPContext(ctx, s.Design, p.flowOptions(opt))
 }
 
 // RunMonolithicFlow executes the monolithic (flat, single-instance)
 // baseline the paper compares compile times against.
 func (p *Platform) RunMonolithicFlow(s *SoC, opt FlowOptions) (*FlowResult, error) {
-	return flow.RunMonolithic(s.Design, flow.Options{
-		Model:          p.model,
-		Compress:       opt.Compress,
-		SkipBitstreams: opt.SkipBitstreams,
-		Workers:        opt.Workers,
-		Cache:          p.cache,
-	})
+	return p.RunMonolithicFlowContext(context.Background(), s, opt)
+}
+
+// RunMonolithicFlowContext is RunMonolithicFlow under a context.
+func (p *Platform) RunMonolithicFlowContext(ctx context.Context, s *SoC, opt FlowOptions) (*FlowResult, error) {
+	return flow.RunMonolithicContext(ctx, s.Design, p.flowOptions(opt))
 }
 
 // RunStandardDFXFlow executes the vendor DFX flow baseline: same
 // partitioned outputs as PR-ESP but synthesized and implemented
 // sequentially in one tool instance.
 func (p *Platform) RunStandardDFXFlow(s *SoC, opt FlowOptions) (*FlowResult, error) {
-	return flow.RunStandardDFX(s.Design, flow.Options{
-		Model:          p.model,
-		Compress:       opt.Compress,
-		SkipBitstreams: opt.SkipBitstreams,
-		Workers:        opt.Workers,
-		Cache:          p.cache,
-	})
+	return p.RunStandardDFXFlowContext(context.Background(), s, opt)
+}
+
+// RunStandardDFXFlowContext is RunStandardDFXFlow under a context.
+func (p *Platform) RunStandardDFXFlowContext(ctx context.Context, s *SoC, opt FlowOptions) (*FlowResult, error) {
+	return flow.RunStandardDFXContext(ctx, s.Design, p.flowOptions(opt))
 }
 
 // ChooseStrategy runs only the size-driven decision (metrics,
@@ -264,7 +310,14 @@ func (p *Platform) NewRuntimeWithConfig(s *SoC, cfg reconfig.Config) (*Runtime, 
 // StageBitstreams generates and registers compressed partial bitstreams
 // for every (tile, accelerator) pair of the allocation.
 func (p *Platform) StageBitstreams(rt *Runtime, alloc map[string][]string, compress bool) (map[string]map[string]*bitstream.Bitstream, error) {
-	bss, err := flow.GenerateRuntimeBitstreams(rt.soc.Design, rt.Plan, alloc, p.reg, compress)
+	return p.StageBitstreamsContext(context.Background(), rt, alloc, compress)
+}
+
+// StageBitstreamsContext is StageBitstreams under a context; generation
+// runs on the flow's worker pool and stops at the next bitstream
+// boundary on cancellation.
+func (p *Platform) StageBitstreamsContext(ctx context.Context, rt *Runtime, alloc map[string][]string, compress bool) (map[string]map[string]*bitstream.Bitstream, error) {
+	bss, err := flow.GenerateRuntimeBitstreamsContext(ctx, rt.soc.Design, rt.Plan, alloc, p.reg, compress, 0)
 	if err != nil {
 		return nil, err
 	}

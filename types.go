@@ -2,6 +2,7 @@ package presp
 
 import (
 	"fmt"
+	"io"
 
 	"presp/internal/accel"
 	"presp/internal/bitstream"
@@ -9,11 +10,13 @@ import (
 	"presp/internal/experiments"
 	"presp/internal/faultinject"
 	"presp/internal/floorplan"
+	"presp/internal/flow"
 	"presp/internal/fpga"
 	"presp/internal/noc"
 	"presp/internal/reconfig"
 	"presp/internal/socgen"
 	"presp/internal/tile"
+	"presp/internal/vivado"
 	"presp/internal/wami"
 )
 
@@ -59,9 +62,29 @@ type (
 	// ErrTileDead reports a request against a tile the runtime declared
 	// dead after repeated reconfiguration failures.
 	ErrTileDead = reconfig.ErrTileDead
+	// Minutes is the cost model's modelled-runtime unit.
+	Minutes = vivado.Minutes
+	// Journal records a flow run's completed jobs (JSON lines) so an
+	// interrupted run can be resumed (FlowOptions.Journal / .Resume).
+	Journal = flow.Journal
+	// JournalEntry is one journaled job completion.
+	JournalEntry = flow.JournalEntry
+	// JobError reports one failed flow job (Result.JobErrors, or the
+	// run error under the fail-fast policy).
+	JobError = flow.JobError
 )
 
-// Fault-injection operations, re-exported for building FaultRules.
+// NewJournal starts a journal that appends one JSON line per completed
+// flow job to w.
+func NewJournal(w io.Writer) *Journal { return flow.NewJournal(w) }
+
+// LoadJournal reads a journal written by a previous (possibly killed)
+// run; a truncated trailing line is tolerated.
+func LoadJournal(r io.Reader) (*Journal, error) { return flow.LoadJournal(r) }
+
+// Fault-injection operations, re-exported for building FaultRules. The
+// runtime operations are injected by presp-sim's simulation engine;
+// the CAD operations by the flow engine (FlowOptions.FaultPlan).
 const (
 	FaultTransfer = faultinject.OpTransfer
 	FaultDecouple = faultinject.OpDecouple
@@ -69,10 +92,16 @@ const (
 	FaultICAP     = faultinject.OpICAP
 	FaultFetchCRC = faultinject.OpFetchCRC
 	FaultKernel   = faultinject.OpKernel
+
+	FaultCADSynth     = faultinject.OpCADSynth
+	FaultCADFloorplan = faultinject.OpCADFloorplan
+	FaultCADImpl      = faultinject.OpCADImpl
+	FaultCADBitgen    = faultinject.OpCADBitgen
+	FaultCADDRC       = faultinject.OpCADDRC
 )
 
-// ParseFaultPlan parses the textual fault-plan syntax used by
-// presp-sim's -faults flag:
+// ParseFaultPlan parses the textual fault-plan syntax shared by
+// presp-sim's and presp-flow's -faults flags:
 //
 //	seed=<n>,<op>[@<site>][=<rate>][:after=<n>][:count=<n>],...
 func ParseFaultPlan(s string) (*FaultPlan, error) { return faultinject.ParsePlan(s) }
