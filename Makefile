@@ -11,9 +11,9 @@ GO ?= go
 # must fail the suite, not hang CI.
 TEST_TIMEOUT ?= 5m
 
-.PHONY: ci vet staticcheck build test race bench fuzz fuzz-smoke
+.PHONY: ci vet staticcheck build test race bench bench-smoke fuzz fuzz-smoke
 
-ci: vet staticcheck build test race fuzz-smoke
+ci: vet staticcheck build test race fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -39,6 +39,17 @@ race:
 # Reproduce the paper's tables/figures and the cache speedup numbers.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One-iteration smoke pass over the flow benchmarks, part of `make ci`:
+# the cold/warm evaluator sweeps plus the observed/nil-observer flow
+# pair (the check that instrumentation costs nothing when disabled).
+# The parsed results land in BENCH_flow.json for diffing across
+# changes; -benchtime=1x numbers are smoke-level, not statistics.
+bench-smoke:
+	$(GO) test -run='^$$' -bench='^Benchmark(EvaluateStrategy(Cold|Warm)|RunPRESP(NilObserver|Observed))$$' \
+		-benchtime=1x -benchmem -timeout $(TEST_TIMEOUT) ./internal/flow/ \
+		| $(GO) run ./cmd/presp-benchjson > BENCH_flow.json
+	@cat BENCH_flow.json
 
 # Longer fuzz session for the scheduler property suite.
 fuzz:

@@ -7,6 +7,7 @@
 package presp_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -217,7 +218,7 @@ func BenchmarkAblationStrategyChooser(b *testing.B) {
 				}
 				opt.Strategy = strat
 			}
-			res, err := p.RunFlow(soc, opt)
+			res, err := p.RunFlow(context.Background(), soc, opt)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -298,14 +299,14 @@ func BenchmarkAblationLPTGrouping(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := p.RunFlow(soc, presp.FlowOptions{Strategy: strat, SkipBitstreams: true})
+		res, err := p.RunFlow(context.Background(), soc, presp.FlowOptions{Strategy: strat, SkipBitstreams: true})
 		if err != nil {
 			b.Fatal(err)
 		}
 		lpt = float64(res.PRWall)
 
 		strat.Groups = presp.RoundRobinGroups(soc, 2)
-		res, err = p.RunFlow(soc, presp.FlowOptions{Strategy: strat, SkipBitstreams: true})
+		res, err = p.RunFlow(context.Background(), soc, presp.FlowOptions{Strategy: strat, SkipBitstreams: true})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -25,9 +25,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
-	"sort"
 	"syscall"
 	"time"
 
@@ -36,6 +36,7 @@ import (
 	"presp/internal/faultinject"
 	"presp/internal/flow"
 	"presp/internal/fpga"
+	"presp/internal/obs"
 	"presp/internal/report"
 	"presp/internal/socgen"
 	"presp/internal/vivado"
@@ -57,6 +58,9 @@ type cliOptions struct {
 	faultPlan   *faultinject.Plan
 	journalPath string
 	resumePath  string
+	tracePath   string
+	metricsPath string
+	pprofAddr   string
 }
 
 // parseCLI parses and validates argv (without the program name). It is
@@ -79,6 +83,9 @@ func parseCLI(args []string) (*cliOptions, error) {
 	fs.StringVar(&faults, "faults", "", "inject seeded CAD faults, e.g. 'seed=7,synth@rt_1:count=1,impl=0.3'")
 	fs.StringVar(&o.journalPath, "journal", "", "record completed jobs to this JSON-lines file (resumable with -resume)")
 	fs.StringVar(&o.resumePath, "resume", "", "resume from a journal written by an interrupted run")
+	fs.StringVar(&o.tracePath, "trace", "", "write a Chrome trace-event file of the run (open in Perfetto)")
+	fs.StringVar(&o.metricsPath, "metrics", "", "write the metrics registry as flat JSON to this file")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -142,6 +149,18 @@ func run(ctx context.Context, o *cliOptions) error {
 	if err != nil {
 		return err
 	}
+	if o.pprofAddr != "" {
+		addr, stop, err := obs.StartPprof(o.pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Printf("pprof: serving on http://%s/debug/pprof/\n", addr)
+	}
+	var observer *obs.Observer
+	if o.tracePath != "" || o.metricsPath != "" {
+		observer = obs.New()
+	}
 	cache := vivado.NewCheckpointCache()
 	opt := flow.Options{
 		Compress:      o.compress,
@@ -151,6 +170,7 @@ func run(ctx context.Context, o *cliOptions) error {
 		MaxJobRetries: o.retries,
 		ErrorPolicy:   o.errorPolicy,
 		FaultPlan:     o.faultPlan,
+		Observer:      observer,
 	}
 	if o.strategy != "" {
 		kind, err := parseStrategy(o.strategy)
@@ -185,7 +205,7 @@ func run(ctx context.Context, o *cliOptions) error {
 		opt.Journal = flow.NewJournal(f)
 	}
 
-	res, err := flow.RunPRESPContext(ctx, d, opt)
+	res, err := flow.RunPRESP(ctx, d, opt)
 	if err != nil {
 		return err
 	}
@@ -194,23 +214,60 @@ func run(ctx context.Context, o *cliOptions) error {
 		printScripts(res.Scripts)
 	}
 
+	// Baselines run unobserved: the exported trace describes exactly
+	// the main flow, so its span count matches res.Jobs.
 	baseOpt := opt
-	baseOpt.Journal, baseOpt.Resume = nil, nil
+	baseOpt.Journal, baseOpt.Resume, baseOpt.Observer = nil, nil, nil
 	switch o.baseline {
 	case "":
 	case "mono":
-		return printBaseline(ctx, "monolithic", flow.RunMonolithicContext, d, baseOpt, res)
+		err = printBaseline(ctx, "monolithic", flow.RunMonolithic, d, baseOpt, res)
 	case "dfx":
-		return printBaseline(ctx, "standard DFX", flow.RunStandardDFXContext, d, baseOpt, res)
+		err = printBaseline(ctx, "standard DFX", flow.RunStandardDFX, d, baseOpt, res)
 	case "both":
-		if err := printBaseline(ctx, "monolithic", flow.RunMonolithicContext, d, baseOpt, res); err != nil {
+		if err = printBaseline(ctx, "monolithic", flow.RunMonolithic, d, baseOpt, res); err == nil {
+			err = printBaseline(ctx, "standard DFX", flow.RunStandardDFX, d, baseOpt, res)
+		}
+	default:
+		err = fmt.Errorf("unknown baseline %q (want mono, dfx or both)", o.baseline)
+	}
+	if err != nil {
+		return err
+	}
+	return writeObservations(observer, o)
+}
+
+// writeObservations exports the run's trace and metrics files.
+func writeObservations(observer *obs.Observer, o *cliOptions) error {
+	if observer == nil {
+		return nil
+	}
+	if o.tracePath != "" {
+		if err := writeTo(o.tracePath, observer.Tracer().WriteJSON); err != nil {
 			return err
 		}
-		return printBaseline(ctx, "standard DFX", flow.RunStandardDFXContext, d, baseOpt, res)
-	default:
-		return fmt.Errorf("unknown baseline %q (want mono, dfx or both)", o.baseline)
+		fmt.Printf("trace: %d events written to %s (open at https://ui.perfetto.dev)\n",
+			observer.Tracer().Len(), o.tracePath)
+	}
+	if o.metricsPath != "" {
+		if err := writeTo(o.metricsPath, observer.Metrics().WriteJSON); err != nil {
+			return err
+		}
+		fmt.Printf("metrics: written to %s\n", o.metricsPath)
 	}
 	return nil
+}
+
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadConfig(preset, configPath string) (*socgen.Config, error) {
@@ -290,13 +347,8 @@ func printResult(res *flow.Result, cache *vivado.CheckpointCache) {
 	}
 
 	if res.Plan != nil {
-		names := make([]string, 0, len(res.Plan.Pblocks))
-		for n := range res.Plan.Pblocks {
-			names = append(names, n)
-		}
-		sort.Strings(names)
 		fmt.Println("floorplan:")
-		for _, n := range names {
+		for _, n := range report.SortedKeys(res.Plan.Pblocks) {
 			pb := res.Plan.Pblocks[n]
 			fmt.Printf("  %s (%d kLUT area)\n", pb, pb.ResourcesOn(d.Dev)[fpga.LUT]/1000)
 		}
@@ -333,21 +385,11 @@ func printBaseline(ctx context.Context, label string, f flowFunc, d *socgen.Desi
 
 func printScripts(s *flow.Scripts) {
 	fmt.Println("\n=== auto-generated scripts ===")
-	names := make([]string, 0, len(s.Synthesis))
-	for n := range s.Synthesis {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
+	for _, n := range report.SortedKeys(s.Synthesis) {
 		fmt.Printf("--- synth_%s.tcl ---\n%s\n", n, s.Synthesis[n])
 	}
 	fmt.Printf("--- floorplan.xdc ---\n%s\n", s.FloorplanXDC)
-	names = names[:0]
-	for n := range s.Implementation {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
+	for _, n := range report.SortedKeys(s.Implementation) {
 		fmt.Printf("--- impl_%s.tcl ---\n%s\n", n, s.Implementation[n])
 	}
 	fmt.Printf("--- Makefile ---\n%s\n", s.Makefile)

@@ -2,14 +2,18 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
+	"os"
 	"strings"
 	"testing"
 	"time"
 
+	"presp/internal/experiments"
 	"presp/internal/faultinject"
 	"presp/internal/flow"
+	"presp/internal/obs"
 )
 
 func TestParseCLIDefaults(t *testing.T) {
@@ -149,5 +153,62 @@ func TestRunCollectFaults(t *testing.T) {
 	}
 	if err := run(context.Background(), o); err != nil {
 		t.Fatalf("collect run failed: %v", err)
+	}
+}
+
+// TestRunWritesTraceAndMetrics: -trace and -metrics produce a valid
+// Chrome trace (correctly nesting, one span per executed job) and a
+// flat metrics JSON whose job counter agrees.
+func TestRunWritesTraceAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	tracePath, metricsPath := dir+"/run.json", dir+"/metrics.json"
+	o, err := parseCLI([]string{"-preset", "SOC_1", "-trace", tracePath, "-metrics", metricsPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), o); err != nil {
+		t.Fatalf("traced run failed: %v", err)
+	}
+
+	// An identical unobserved run tells us how many jobs the trace
+	// must contain (the flow is deterministic).
+	cfg, err := experiments.PresetConfig("SOC_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := experiments.ElaborateConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := flow.RunPRESP(context.Background(), d, flow.Options{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := obs.ParseTrace(data)
+	if err != nil {
+		t.Fatalf("trace is not valid Chrome trace JSON: %v", err)
+	}
+	if got, want := obs.CountSpans(tf.TraceEvents, "job"), ref.Jobs.Executed(); got != want {
+		t.Fatalf("trace has %d job spans, want %d (= executed jobs)", got, want)
+	}
+	if err := obs.CheckNesting(tf.TraceEvents); err != nil {
+		t.Fatalf("trace events do not nest: %v", err)
+	}
+
+	var metrics map[string]any
+	mdata, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(mdata, &metrics); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	if got, want := metrics["flow_jobs_total"], float64(ref.Jobs.Executed()); got != want {
+		t.Fatalf("flow_jobs_total = %v, want %v", got, want)
 	}
 }

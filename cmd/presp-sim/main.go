@@ -8,9 +8,16 @@
 //	presp-sim -soc SoC_Y -frames 10 -edge 128
 //	presp-sim -soc SoC_Z -no-compress     # compression ablation
 //	presp-sim -faults 'seed=7,icap=0.2,crc=0.1'   # seeded fault storm
+//	presp-sim -soc SoC_Z -trace run.json  # Chrome trace of the runtime
+//
+// With -trace, the run records every partial reconfiguration (with its
+// DMA-fetch and ICAP sub-spans), retries, dead-tile declarations and
+// power-rail levels as a Chrome trace-event file in virtual time —
+// open it at https://ui.perfetto.dev.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,29 +29,72 @@ import (
 	"presp/internal/faultinject"
 	"presp/internal/flow"
 	"presp/internal/noc"
+	"presp/internal/obs"
 	"presp/internal/reconfig"
 	"presp/internal/report"
 	"presp/internal/sim"
 	"presp/internal/wami"
 )
 
-func main() {
-	soc := flag.String("soc", "SoC_Y", "runtime SoC: SoC_X, SoC_Y or SoC_Z")
-	frames := flag.Int("frames", 6, "frame count (first frame is warm-up)")
-	edge := flag.Int("edge", 128, "frame edge length in pixels")
-	iters := flag.Int("lk-iters", 1, "Lucas-Kanade iterations per frame")
-	noCompress := flag.Bool("no-compress", false, "disable bitstream compression")
-	faults := flag.String("faults", "", "fault plan, e.g. 'seed=7,icap=0.2,crc@rt_2=0.1,transfer@dma:after=3:count=1' (see internal/faultinject)")
-	flag.Parse()
+// cliOptions is the parsed, validated command line.
+type cliOptions struct {
+	soc       string
+	frames    int
+	edge      int
+	iters     int
+	compress  bool
+	faultPlan *faultinject.Plan
+	tracePath string
+}
 
-	if err := run(*soc, *frames, *edge, *iters, !*noCompress, *faults); err != nil {
+// parseCLI parses and validates argv (without the program name). It is
+// side-effect free so tests can drive it directly.
+func parseCLI(args []string) (*cliOptions, error) {
+	fs := flag.NewFlagSet("presp-sim", flag.ContinueOnError)
+	o := &cliOptions{}
+	var noCompress bool
+	var faults string
+	fs.StringVar(&o.soc, "soc", "SoC_Y", "runtime SoC: SoC_X, SoC_Y or SoC_Z")
+	fs.IntVar(&o.frames, "frames", 6, "frame count (first frame is warm-up)")
+	fs.IntVar(&o.edge, "edge", 128, "frame edge length in pixels")
+	fs.IntVar(&o.iters, "lk-iters", 1, "Lucas-Kanade iterations per frame")
+	fs.BoolVar(&noCompress, "no-compress", false, "disable bitstream compression")
+	fs.StringVar(&faults, "faults", "", "fault plan, e.g. 'seed=7,icap=0.2,crc@rt_2=0.1,transfer@dma:after=3:count=1' (see internal/faultinject)")
+	fs.StringVar(&o.tracePath, "trace", "", "write a Chrome trace-event file of the runtime (virtual time; open in Perfetto)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	o.compress = !noCompress
+	if o.frames < 1 {
+		return nil, fmt.Errorf("-frames must be >= 1, got %d", o.frames)
+	}
+	if faults != "" {
+		plan, err := faultinject.ParsePlan(faults)
+		if err != nil {
+			return nil, err
+		}
+		o.faultPlan = plan
+	}
+	return o, nil
+}
+
+func main() {
+	o, err := parseCLI(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "presp-sim:", err)
+		os.Exit(2)
+	}
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "presp-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(socName string, frames, edge, iters int, compress bool, faults string) error {
-	cfg, alloc, err := wami.RuntimeSoC(socName)
+func run(o *cliOptions) error {
+	cfg, alloc, err := wami.RuntimeSoC(o.soc)
 	if err != nil {
 		return err
 	}
@@ -61,12 +111,14 @@ func run(socName string, frames, edge, iters int, compress bool, faults string) 
 		return err
 	}
 	rcfg := reconfig.DefaultConfig()
-	if faults != "" {
-		fp, err := faultinject.ParsePlan(faults)
-		if err != nil {
-			return err
-		}
-		rcfg.FaultPlan = fp
+	rcfg.FaultPlan = o.faultPlan
+	// The observer traces the runtime only: runtime spans carry virtual
+	// timestamps, which must not share a tracer with the wall-clock
+	// flow that generates the bitstreams below.
+	var observer *obs.Observer
+	if o.tracePath != "" {
+		observer = obs.New()
+		rcfg.Observer = observer
 	}
 	eng := sim.NewEngine()
 	rt, err := reconfig.New(eng, d, reg, plan, rcfg)
@@ -79,36 +131,39 @@ func run(socName string, frames, edge, iters int, compress bool, faults string) 
 			am[tileName] = append(am[tileName], wami.Names[idx])
 		}
 	}
-	bss, err := flow.GenerateRuntimeBitstreams(d, plan, am, reg, compress)
+	bss, err := flow.GenerateRuntimeBitstreams(context.Background(), d, plan, am, reg, o.compress, 0)
 	if err != nil {
 		return err
 	}
+	// Stage in sorted order: the float sum must not depend on map
+	// iteration order.
 	var stagedKB float64
-	for tileName, m := range bss {
-		for acc, bs := range m {
-			if err := rt.RegisterBitstream(tileName, acc, bs); err != nil {
+	for _, tileName := range report.SortedKeys(bss) {
+		m := bss[tileName]
+		for _, acc := range report.SortedKeys(m) {
+			if err := rt.RegisterBitstream(tileName, acc, m[acc]); err != nil {
 				return err
 			}
-			stagedKB += bs.SizeKB()
+			stagedKB += m[acc].SizeKB()
 		}
 	}
 	pcfg := wami.DefaultPipelineConfig()
-	pcfg.LKIterations = iters
+	pcfg.LKIterations = o.iters
 	runner, err := wami.NewRunner(rt, alloc, pcfg)
 	if err != nil {
 		return err
 	}
-	src, err := wami.NewFrameSource(edge, 0.7, -0.4, 3)
+	src, err := wami.NewFrameSource(o.edge, 0.7, -0.4, 3)
 	if err != nil {
 		return err
 	}
-	rep, err := runner.ProcessFrames(src, frames)
+	rep, err := runner.ProcessFrames(src, o.frames)
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("%s: %d reconfigurable tiles, %d staged bitstreams (%.0f KB, compress=%v)\n",
-		socName, len(alloc), countBitstreams(bss), stagedKB, compress)
+		o.soc, len(alloc), countBitstreams(bss), stagedKB, o.compress)
 	missing := wami.MissingKernels(alloc)
 	if len(missing) > 0 {
 		fmt.Printf("kernels on CPU fallback: %v\n", missing)
@@ -122,7 +177,7 @@ func run(socName string, frames, edge, iters int, compress bool, faults string) 
 	fmt.Printf("steady state: %.4f s/frame, %.3f J/frame; %d reconfigurations (%.3f s total), %d CPU kernels\n",
 		rep.TimePerFrame(), rep.EnergyPerFrame(),
 		rep.Stats.Reconfigurations, rep.Stats.ReconfigTime.Seconds(), rep.Stats.CPUFallbacks)
-	if faults != "" {
+	if o.faultPlan != nil {
 		st := rt.Stats()
 		fmt.Printf("fault injection: %d injected; %d failed reconfigurations, %d retries, %d prefetch errors, %d dead tiles\n",
 			rt.FaultsInjected(), st.FailedReconfigs, st.Retries, st.PrefetchErrors, st.DeadTiles)
@@ -159,6 +214,21 @@ func run(socName string, frames, edge, iters int, compress bool, faults string) 
 			fmt.Printf("  %-8v %-5s <- %-16s %4d KB in %v%s\n",
 				ev.Start.Truncate(time.Microsecond), ev.Tile, ev.Accel, ev.Bytes/1024, ev.End-ev.Start, status)
 		}
+	}
+	if observer != nil {
+		f, err := os.Create(o.tracePath)
+		if err != nil {
+			return err
+		}
+		if err := observer.Tracer().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events written to %s (virtual time; open at https://ui.perfetto.dev)\n",
+			observer.Tracer().Len(), o.tracePath)
 	}
 	return nil
 }

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"testing"
+
+	"presp/internal/faultinject"
+	"presp/internal/obs"
+)
+
+func TestParseCLIDefaults(t *testing.T) {
+	o, err := parseCLI(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.soc != "SoC_Y" || o.frames != 6 || o.edge != 128 || o.iters != 1 ||
+		!o.compress || o.faultPlan != nil || o.tracePath != "" {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+}
+
+func TestParseCLIFlags(t *testing.T) {
+	o, err := parseCLI([]string{
+		"-soc", "SoC_Z",
+		"-frames", "3",
+		"-edge", "64",
+		"-lk-iters", "2",
+		"-no-compress",
+		"-trace", "out.json",
+		"-faults", "seed=7,icap=0.2,crc@rt_2=0.1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.soc != "SoC_Z" || o.frames != 3 || o.edge != 64 || o.iters != 2 ||
+		o.compress || o.tracePath != "out.json" {
+		t.Fatalf("parsed: %+v", o)
+	}
+	if o.faultPlan == nil || o.faultPlan.Seed != 7 || len(o.faultPlan.Rules) != 2 {
+		t.Fatalf("fault plan = %+v", o.faultPlan)
+	}
+	if o.faultPlan.Rules[0].Op != faultinject.OpICAP {
+		t.Fatalf("rule 0 = %+v", o.faultPlan.Rules[0])
+	}
+}
+
+func TestParseCLIRejects(t *testing.T) {
+	cases := [][]string{
+		{"-faults", "frobnicate@x:count=1"},
+		{"-faults", "icap:count=notanumber"},
+		{"-frames", "0"},
+		{"-frames", "x"},
+		{"-soc", "SoC_Y", "stray-arg"},
+		{"-no-such-flag"},
+	}
+	for _, args := range cases {
+		if _, err := parseCLI(args); err == nil {
+			t.Errorf("parseCLI(%q) accepted", args)
+		}
+	}
+	if _, err := parseCLI([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+}
+
+// TestRunUnknownSoC: run() surfaces a bad -soc selection as an error.
+func TestRunUnknownSoC(t *testing.T) {
+	o, err := parseCLI([]string{"-soc", "SoC_Q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o); err == nil {
+		t.Fatal("unknown SoC accepted")
+	}
+}
+
+// TestRunWritesValidTrace drives the binary logic end to end with
+// -trace and checks the emitted file is a well-formed Chrome trace:
+// parseable, with at least one reconfiguration span, and with
+// correctly nesting spans on every lane.
+func TestRunWritesValidTrace(t *testing.T) {
+	path := t.TempDir() + "/sim.json"
+	o, err := parseCLI([]string{"-soc", "SoC_Z", "-frames", "2", "-edge", "32", "-trace", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o); err != nil {
+		t.Fatalf("traced run failed: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := obs.ParseTrace(data)
+	if err != nil {
+		t.Fatalf("trace is not valid Chrome trace JSON: %v", err)
+	}
+	if n := obs.CountSpans(tf.TraceEvents, "reconfig"); n == 0 {
+		t.Fatal("traced run recorded no reconfiguration spans")
+	}
+	if err := obs.CheckNesting(tf.TraceEvents); err != nil {
+		t.Fatalf("trace events do not nest: %v", err)
+	}
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,7 +46,7 @@ func main() {
 		log.Fatal(err)
 	}
 	accs := []string{"fft", "gemm", "sort", "mac"}
-	if _, err := p.StageBitstreams(rt, map[string][]string{"rt_1": accs}, true); err != nil {
+	if _, err := p.StageBitstreams(context.Background(), rt, map[string][]string{"rt_1": accs}, true); err != nil {
 		log.Fatal(err)
 	}
 	bm, err := rt.Baremetal()

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -55,7 +56,7 @@ func main() {
 
 	// One call runs the whole flow: parallel out-of-context synthesis,
 	// floorplanning, strategy choice, orchestrated P&R, bitstreams.
-	res, err := p.RunFlow(soc, presp.FlowOptions{Compress: true})
+	res, err := p.RunFlow(context.Background(), soc, presp.FlowOptions{Compress: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func main() {
 	}
 
 	// Compare against the monolithic baseline.
-	mono, err := p.RunMonolithicFlow(soc, presp.FlowOptions{SkipBitstreams: true})
+	mono, err := p.RunMonolithicFlow(context.Background(), soc, presp.FlowOptions{SkipBitstreams: true})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -41,7 +42,7 @@ func main() {
 
 	// Stage one partial bitstream per accelerator the tile will host
 	// (mmapped in user space, copied to kernel memory by the manager).
-	bss, err := p.StageBitstreams(rt, map[string][]string{
+	bss, err := p.StageBitstreams(context.Background(), rt, map[string][]string{
 		"rt_1": {"fft", "gemm", "sort"},
 	}, true)
 	if err != nil {
@@ -133,7 +134,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := p.StageBitstreams(frt, map[string][]string{
+	if _, err := p.StageBitstreams(context.Background(), frt, map[string][]string{
 		"rt_1": {"fft", "gemm", "sort"},
 	}, true); err != nil {
 		log.Fatal(err)

@@ -128,7 +128,7 @@ func runWith(ctx context.Context, p *presp.Platform, soc *presp.SoC, kind presp.
 	if err != nil {
 		return 0, false, nil
 	}
-	res, err := p.RunFlowContext(ctx, soc, presp.FlowOptions{
+	res, err := p.RunFlow(ctx, soc, presp.FlowOptions{
 		Strategy:       strat,
 		SkipBitstreams: true,
 		Timeout:        time.Minute, // safety net per run; modelled time is unaffected

@@ -1,0 +1,22 @@
+package experiments
+
+import "presp/internal/core"
+
+// bestStrategy returns the fastest strategy of a measured times map.
+// Candidates are scanned in their fixed declaration order, never in
+// map iteration order: an exact tie always resolves to the same
+// winner, and a map without an entry for Serial cannot win on the
+// zero value.
+func bestStrategy(times map[core.StrategyKind]float64) core.StrategyKind {
+	best, have := core.Serial, false
+	for _, kind := range []core.StrategyKind{core.Serial, core.SemiParallel, core.FullyParallel} {
+		tm, ok := times[kind]
+		if !ok {
+			continue
+		}
+		if !have || tm < times[best] {
+			best, have = kind, true
+		}
+	}
+	return best
+}

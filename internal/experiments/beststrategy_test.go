@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"presp/internal/core"
+)
+
+// TestBestStrategyDeterministic: the winner of the exhaustive search
+// must not depend on map iteration order — exact ties resolve in
+// declaration order, and absent strategies never win on the zero value.
+func TestBestStrategyDeterministic(t *testing.T) {
+	tie := map[core.StrategyKind]float64{
+		core.Serial:        10,
+		core.SemiParallel:  10,
+		core.FullyParallel: 10,
+	}
+	for i := 0; i < 50; i++ {
+		if got := bestStrategy(tie); got != core.Serial {
+			t.Fatalf("three-way tie resolved to %v, want Serial", got)
+		}
+	}
+	partialTie := map[core.StrategyKind]float64{
+		core.SemiParallel:  7,
+		core.FullyParallel: 7,
+	}
+	for i := 0; i < 50; i++ {
+		if got := bestStrategy(partialTie); got != core.SemiParallel {
+			t.Fatalf("two-way tie resolved to %v, want SemiParallel", got)
+		}
+	}
+	noSerial := map[core.StrategyKind]float64{
+		core.SemiParallel:  9,
+		core.FullyParallel: 4,
+	}
+	if got := bestStrategy(noSerial); got != core.FullyParallel {
+		t.Fatalf("got %v, want FullyParallel (Serial is absent and must not win on its zero value)", got)
+	}
+	if got := bestStrategy(map[core.StrategyKind]float64{core.FullyParallel: 3, core.Serial: 5}); got != core.FullyParallel {
+		t.Fatalf("got %v, want the fastest strategy FullyParallel", got)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"presp/internal/flow"
@@ -106,7 +107,7 @@ func runFig4SoC(name string, opt Fig4Options) (*Fig4SoC, error) {
 			am[tileName] = append(am[tileName], wami.Names[idx])
 		}
 	}
-	bss, err := flow.GenerateRuntimeBitstreams(d, plan, am, reg, opt.Compress)
+	bss, err := flow.GenerateRuntimeBitstreams(context.Background(), d, plan, am, reg, opt.Compress, 0)
 	if err != nil {
 		return nil, err
 	}

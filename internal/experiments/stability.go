@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"presp/internal/core"
@@ -75,18 +76,13 @@ func Stability(seeds int, jitterFrac float64) (*StabilityResult, error) {
 				if err != nil {
 					continue
 				}
-				r, err := flow.RunPRESP(d, flow.Options{Model: model, Strategy: strat, SkipBitstreams: true})
+				r, err := flow.RunPRESP(context.Background(), d, flow.Options{Model: model, Strategy: strat, SkipBitstreams: true})
 				if err != nil {
 					return nil, fmt.Errorf("experiments: stability %s seed %d: %w", name, seed, err)
 				}
 				times[kind] = float64(r.PRWall)
 			}
-			best := core.Serial
-			for kind, tm := range times {
-				if tm < times[best] {
-					best = kind
-				}
-			}
+			best := bestStrategy(times)
 			if best == paperWinners[name] {
 				stable++
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"presp/internal/core"
@@ -136,19 +137,13 @@ func StrategyMap() (*StrategyMapResult, error) {
 				if err != nil {
 					continue // strategy not applicable (e.g. semi with N<3)
 				}
-				r, err := flow.RunPRESP(d, flow.Options{Strategy: strat, SkipBitstreams: true})
+				r, err := flow.RunPRESP(context.Background(), d, flow.Options{Strategy: strat, SkipBitstreams: true})
 				if err != nil {
 					return nil, fmt.Errorf("experiments: %s %s: %w", label, kind, err)
 				}
 				pt.Times[kind] = float64(r.PRWall)
 			}
-			best := core.Serial
-			for kind, tm := range pt.Times {
-				if tm < pt.Times[best] {
-					best = kind
-				}
-			}
-			pt.Best = best
+			pt.Best = bestStrategy(pt.Times)
 			res.Points = append(res.Points, pt)
 		}
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -93,7 +94,7 @@ func characterize(cfg *socgen.Config, taus []int) (*Table3SoC, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := flow.RunPRESP(d, flow.Options{Strategy: strat, SkipBitstreams: true})
+		r, err := flow.RunPRESP(context.Background(), d, flow.Options{Strategy: strat, SkipBitstreams: true})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s τ=%d: %w", cfg.Name, tau, err)
 		}

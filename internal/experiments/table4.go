@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"presp/internal/core"
@@ -82,7 +83,7 @@ func Table4() (*Table4Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := flow.RunPRESP(d, flow.Options{Strategy: strat, SkipBitstreams: true})
+		r, err := flow.RunPRESP(context.Background(), d, flow.Options{Strategy: strat, SkipBitstreams: true})
 		if err != nil {
 			return nil, err
 		}
@@ -94,7 +95,7 @@ func Table4() (*Table4Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err = flow.RunPRESP(d, flow.Options{Strategy: strat, SkipBitstreams: true})
+		r, err = flow.RunPRESP(context.Background(), d, flow.Options{Strategy: strat, SkipBitstreams: true})
 		if err != nil {
 			return nil, err
 		}
@@ -105,7 +106,7 @@ func Table4() (*Table4Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err = flow.RunPRESP(d, flow.Options{Strategy: strat, SkipBitstreams: true})
+		r, err = flow.RunPRESP(context.Background(), d, flow.Options{Strategy: strat, SkipBitstreams: true})
 		if err != nil {
 			return nil, err
 		}

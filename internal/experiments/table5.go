@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"presp/internal/core"
@@ -53,11 +54,11 @@ func Table5() (*Table5Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		pr, err := flow.RunPRESP(d, flow.Options{SkipBitstreams: true})
+		pr, err := flow.RunPRESP(context.Background(), d, flow.Options{SkipBitstreams: true})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: PR-ESP flow on %s: %w", name, err)
 		}
-		mono, err := flow.RunMonolithic(d, flow.Options{SkipBitstreams: true})
+		mono, err := flow.RunMonolithic(context.Background(), d, flow.Options{SkipBitstreams: true})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: monolithic flow on %s: %w", name, err)
 		}

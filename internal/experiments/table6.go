@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -72,7 +73,7 @@ func Table6() (*Table6Result, error) {
 				am[tileName] = append(am[tileName], wami.Names[idx])
 			}
 		}
-		bss, err := flow.GenerateRuntimeBitstreams(d, plan, am, reg, true)
+		bss, err := flow.GenerateRuntimeBitstreams(context.Background(), d, plan, am, reg, true, 0)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: bitstreams for %s: %w", name, err)
 		}

@@ -3,10 +3,12 @@
 package flow
 
 import (
+	"context"
 	"testing"
 
 	"presp/internal/accel"
 	"presp/internal/core"
+	"presp/internal/obs"
 	"presp/internal/socgen"
 )
 
@@ -59,7 +61,7 @@ func TestEvaluatorCacheCutsSynthesisJobs(t *testing.T) {
 
 	// The per-run accounting surfaces on flow.Result too: a warm run
 	// reports all-hit synthesis.
-	res, err := RunPRESP(d, Options{Strategy: strategies[0], SkipBitstreams: true, Cache: eval.Cache()})
+	res, err := RunPRESP(context.Background(), d, Options{Strategy: strategies[0], SkipBitstreams: true, Cache: eval.Cache()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,6 +113,38 @@ func BenchmarkEvaluateStrategyWarm(b *testing.B) {
 			if _, err := eval.EvaluateStrategy(d, s); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// BenchmarkRunPRESPNilObserver measures the full flow with observation
+// disabled — the instrumented hot paths resolve to nil instruments, so
+// this must stay within noise of the pre-observability flow (the
+// bench-smoke gate compares it against BenchmarkRunPRESPObserved).
+func BenchmarkRunPRESPNilObserver(b *testing.B) {
+	d, err := socgen.Elaborate(socgen.SOC2(), accel.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunPRESP(context.Background(), d, Options{Compress: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunPRESPObserved measures the same flow with a live metrics
+// registry and tracer attached.
+func BenchmarkRunPRESPObserved(b *testing.B) {
+	d, err := socgen.Elaborate(socgen.SOC2(), accel.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunPRESP(context.Background(), d, Options{Compress: true, Observer: obs.New()}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

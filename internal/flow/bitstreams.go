@@ -23,24 +23,12 @@ import (
 // the tile's largest module. Tiles and accelerators are validated in
 // sorted order — error selection and bitstream naming never depend on
 // map iteration order — and the generation jobs fan out on the shared
-// worker-pool scheduler.
-func GenerateRuntimeBitstreams(d *socgen.Design, plan *floorplan.Plan, alloc map[string][]string, reg *accel.Registry, compress bool) (map[string]map[string]*bitstream.Bitstream, error) {
-	return GenerateRuntimeBitstreamsContext(context.Background(), d, plan, alloc, reg, compress, 0)
-}
-
-// GenerateRuntimeBitstreamsWorkers is GenerateRuntimeBitstreams with an
-// explicit worker-pool bound (<= 0 selects NumCPU). The outputs are
-// identical for every worker count — the fault-injection determinism
-// suite runs the same seeded plan against bitstream sets generated at
-// different widths to prove it.
-func GenerateRuntimeBitstreamsWorkers(d *socgen.Design, plan *floorplan.Plan, alloc map[string][]string, reg *accel.Registry, compress bool, workers int) (map[string]map[string]*bitstream.Bitstream, error) {
-	return GenerateRuntimeBitstreamsContext(context.Background(), d, plan, alloc, reg, compress, workers)
-}
-
-// GenerateRuntimeBitstreamsContext is GenerateRuntimeBitstreamsWorkers
-// bounded by ctx: cancellation stops generation at the next job
-// boundary and drains the pool.
-func GenerateRuntimeBitstreamsContext(ctx context.Context, d *socgen.Design, plan *floorplan.Plan, alloc map[string][]string, reg *accel.Registry, compress bool, workers int) (map[string]map[string]*bitstream.Bitstream, error) {
+// worker-pool scheduler, bounded by workers (<= 0 selects NumCPU) and
+// by ctx: cancellation stops generation at the next job boundary and
+// drains the pool. The outputs are identical for every worker count —
+// the fault-injection determinism suite runs the same seeded plan
+// against bitstream sets generated at different widths to prove it.
+func GenerateRuntimeBitstreams(ctx context.Context, d *socgen.Design, plan *floorplan.Plan, alloc map[string][]string, reg *accel.Registry, compress bool, workers int) (map[string]map[string]*bitstream.Bitstream, error) {
 	tool, err := vivado.New(d.Dev, nil)
 	if err != nil {
 		return nil, err
@@ -117,4 +105,20 @@ func GenerateRuntimeBitstreamsContext(ctx context.Context, d *socgen.Design, pla
 		perTile[tk.acc] = generated[i]
 	}
 	return out, nil
+}
+
+// GenerateRuntimeBitstreamsWorkers generates the runtime bitstream set.
+//
+// Deprecated: GenerateRuntimeBitstreams now takes the context and
+// worker count directly.
+func GenerateRuntimeBitstreamsWorkers(d *socgen.Design, plan *floorplan.Plan, alloc map[string][]string, reg *accel.Registry, compress bool, workers int) (map[string]map[string]*bitstream.Bitstream, error) {
+	return GenerateRuntimeBitstreams(context.Background(), d, plan, alloc, reg, compress, workers)
+}
+
+// GenerateRuntimeBitstreamsContext generates the runtime bitstream set.
+//
+// Deprecated: GenerateRuntimeBitstreams now takes the context and
+// worker count directly.
+func GenerateRuntimeBitstreamsContext(ctx context.Context, d *socgen.Design, plan *floorplan.Plan, alloc map[string][]string, reg *accel.Registry, compress bool, workers int) (map[string]map[string]*bitstream.Bitstream, error) {
+	return GenerateRuntimeBitstreams(ctx, d, plan, alloc, reg, compress, workers)
 }

@@ -85,7 +85,7 @@ func TestFlowKillAndResume(t *testing.T) {
 	cfg := socgen.SOC1()
 	base := Options{Compress: true, Workers: 4}
 
-	ref, err := RunPRESP(elaborate(t, cfg), base)
+	ref, err := RunPRESP(context.Background(), elaborate(t, cfg), base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestFlowKillAndResume(t *testing.T) {
 // result.
 func TestFlowCancelLeavesCacheConsistent(t *testing.T) {
 	cfg := socgen.SOC2()
-	ref, err := RunPRESP(elaborate(t, cfg), Options{Compress: true})
+	ref, err := RunPRESP(context.Background(), elaborate(t, cfg), Options{Compress: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestFlowCancelLeavesCacheConsistent(t *testing.T) {
 		if runErr == nil {
 			continue
 		}
-		res, err := RunPRESP(elaborate(t, cfg), Options{Compress: true, Cache: cache})
+		res, err := RunPRESP(context.Background(), elaborate(t, cfg), Options{Compress: true, Cache: cache})
 		if err != nil {
 			t.Fatalf("k=%d: clean run after cancellation failed: %v", k, err)
 		}
@@ -176,14 +176,14 @@ func TestFlowCancelLeavesCacheConsistent(t *testing.T) {
 func TestFlowTimeout(t *testing.T) {
 	runs := []struct {
 		name string
-		run  func(d *socgen.Design, opt Options) (*Result, error)
+		run  func(ctx context.Context, d *socgen.Design, opt Options) (*Result, error)
 	}{
 		{"presp", RunPRESP},
 		{"standard-dfx", RunStandardDFX},
 		{"monolithic", RunMonolithic},
 	}
 	for _, r := range runs {
-		_, err := r.run(elaborate(t, socgen.SOC1()), Options{Timeout: 1})
+		_, err := r.run(context.Background(), elaborate(t, socgen.SOC1()), Options{Timeout: 1})
 		if err == nil {
 			t.Fatalf("%s: 1ns timeout did not abort the flow", r.name)
 		}
@@ -211,18 +211,18 @@ func TestResumeRejectsWrongDesign(t *testing.T) {
 	var buf bytes.Buffer
 	j := NewJournal(&buf)
 	opt := Options{Journal: j, Compress: true}
-	if _, err := RunPRESP(elaborate(t, socgen.SOC1()), opt); err != nil {
+	if _, err := RunPRESP(context.Background(), elaborate(t, socgen.SOC1()), opt); err != nil {
 		t.Fatal(err)
 	}
 	journal, err := LoadJournal(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunPRESP(elaborate(t, socgen.SOC2()), Options{Resume: journal}); err == nil {
+	if _, err := RunPRESP(context.Background(), elaborate(t, socgen.SOC2()), Options{Resume: journal}); err == nil {
 		t.Fatal("journal for SOC_1 accepted by a SOC_2 run")
 	}
 	// Same design, wrong flow.
-	if _, err := RunStandardDFX(elaborate(t, socgen.SOC1()), Options{Resume: journal}); err == nil {
+	if _, err := RunStandardDFX(context.Background(), elaborate(t, socgen.SOC1()), Options{Resume: journal}); err == nil {
 		t.Fatal("presp journal accepted by the standard-DFX flow")
 	}
 }
@@ -261,7 +261,7 @@ func TestNormalizeWorkers(t *testing.T) {
 	if err != nil || n != 7 {
 		t.Fatalf("NormalizeWorkers(7) = %d, %v", n, err)
 	}
-	if _, err := RunPRESP(elaborate(t, socgen.SOC1()), Options{Workers: -3}); err == nil {
+	if _, err := RunPRESP(context.Background(), elaborate(t, socgen.SOC1()), Options{Workers: -3}); err == nil {
 		t.Fatal("flow accepted a negative worker count")
 	}
 }

@@ -5,6 +5,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"hash/crc32"
 	"reflect"
@@ -15,6 +16,8 @@ import (
 
 	"presp/internal/accel"
 	"presp/internal/core"
+	"presp/internal/faultinject"
+	"presp/internal/obs"
 	"presp/internal/socgen"
 	"presp/internal/vivado"
 )
@@ -106,7 +109,7 @@ func TestRunPRESPWorkerCountInvariance(t *testing.T) {
 			}
 			var baseline string
 			for _, workers := range workerCounts {
-				res, err := RunPRESP(elaborate(t, cfg), Options{
+				res, err := RunPRESP(context.Background(), elaborate(t, cfg), Options{
 					Strategy: strat,
 					Compress: true,
 					Workers:  workers,
@@ -136,11 +139,11 @@ func TestRunPRESPWorkerCountInvariance(t *testing.T) {
 func TestBaselineFlowsWorkerCountInvariance(t *testing.T) {
 	var baseline string
 	for _, workers := range []int{1, 4, runtime.NumCPU()} {
-		dfx, err := RunStandardDFX(elaborate(t, socgen.SOC2()), Options{Compress: true, Workers: workers})
+		dfx, err := RunStandardDFX(context.Background(), elaborate(t, socgen.SOC2()), Options{Compress: true, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
-		mono, err := RunMonolithic(elaborate(t, socgen.SOC2()), Options{Compress: true, Workers: workers})
+		mono, err := RunMonolithic(context.Background(), elaborate(t, socgen.SOC2()), Options{Compress: true, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -160,11 +163,11 @@ func TestBaselineFlowsWorkerCountInvariance(t *testing.T) {
 // observationally identical to a cold run.
 func TestWarmCacheEquivalence(t *testing.T) {
 	cache := vivado.NewCheckpointCache()
-	cold, err := RunPRESP(elaborate(t, socgen.SOC2()), Options{Compress: true, Cache: cache})
+	cold, err := RunPRESP(context.Background(), elaborate(t, socgen.SOC2()), Options{Compress: true, Cache: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := RunPRESP(elaborate(t, socgen.SOC2()), Options{Compress: true, Cache: cache})
+	warm, err := RunPRESP(context.Background(), elaborate(t, socgen.SOC2()), Options{Compress: true, Cache: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +199,7 @@ func TestRuntimeBitstreamsDeterministic(t *testing.T) {
 		"rt_2": {"fft", "gemm"},
 	}
 	sigOf := func() string {
-		bss, err := GenerateRuntimeBitstreams(d, plan, alloc, reg, true)
+		bss, err := GenerateRuntimeBitstreams(context.Background(), d, plan, alloc, reg, true, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -233,7 +236,7 @@ func TestRuntimeBitstreamsDeterministic(t *testing.T) {
 		"aaa_ghost": {"sort"},
 	}
 	for i := 0; i < 10; i++ {
-		_, err := GenerateRuntimeBitstreams(d, plan, bad, reg, true)
+		_, err := GenerateRuntimeBitstreams(context.Background(), d, plan, bad, reg, true, 0)
 		if err == nil {
 			t.Fatal("unknown tiles accepted")
 		}
@@ -251,7 +254,7 @@ func TestErrorDeterminismUnderConcurrency(t *testing.T) {
 	for _, workers := range []int{1, 4, runtime.NumCPU()} {
 		d := elaborate(t, socgen.SOC2())
 		d.RPs[1].Content = nil // partition with nothing to synthesize
-		_, err := RunPRESP(d, Options{SkipBitstreams: true, Workers: workers})
+		_, err := RunPRESP(context.Background(), d, Options{SkipBitstreams: true, Workers: workers})
 		if err == nil {
 			t.Fatal("flow accepted a partition without content")
 		}
@@ -280,6 +283,91 @@ func TestResultSignatureCoversResult(t *testing.T) {
 	for i := 0; i < rt.NumField(); i++ {
 		if !covered[rt.Field(i).Name] {
 			t.Fatalf("Result gained field %s: extend resultSignature and the determinism suite", rt.Field(i).Name)
+		}
+	}
+}
+
+// TestObservedRunIsByteIdentical: attaching an Observer must not
+// change results at any worker count — observation is strictly
+// one-way. The traced runs also have to produce exactly one "job"
+// span per executed job, with correctly nesting events, at every
+// width.
+func TestObservedRunIsByteIdentical(t *testing.T) {
+	ref, err := RunPRESP(context.Background(), elaborate(t, socgen.SOC2()), Options{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSig := resultSignature(ref)
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		observer := obs.New()
+		res, err := RunPRESP(context.Background(), elaborate(t, socgen.SOC2()), Options{
+			Compress: true, Workers: workers, Observer: observer,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if sig := resultSignature(res); sig != refSig {
+			t.Fatalf("workers=%d: observed run diverged from unobserved run:\n--- observed ---\n%s--- reference ---\n%s",
+				workers, sig, refSig)
+		}
+		events := observer.Tracer().Events()
+		if got, want := obs.CountSpans(events, "job"), res.Jobs.Executed(); got != want {
+			t.Fatalf("workers=%d: %d job spans, want %d (= executed jobs)", workers, got, want)
+		}
+		if err := obs.CheckNesting(events); err != nil {
+			t.Fatalf("workers=%d: trace events do not nest: %v", workers, err)
+		}
+		snap := observer.Metrics().Snapshot()
+		if got, want := snap.Counters["flow_jobs_total"], int64(res.Jobs.Executed()); got != want {
+			t.Fatalf("workers=%d: flow_jobs_total=%d, want %d", workers, got, want)
+		}
+		if busy := snap.Gauges["flow_workers_busy"]; busy != 0 {
+			t.Fatalf("workers=%d: flow_workers_busy=%v after the run, want 0", workers, busy)
+		}
+	}
+}
+
+// TestObservedFaultyRunIsByteIdentical: observation changes nothing on
+// the failure paths either — retries, fault injection and the collect
+// policy all produce the same Result with or without an Observer.
+func TestObservedFaultyRunIsByteIdentical(t *testing.T) {
+	plan, err := faultinject.ParsePlan("seed=11,synth@rt_1:count=1,impl=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{
+		Compress:      true,
+		MaxJobRetries: 2,
+		ErrorPolicy:   Collect,
+		FaultPlan:     plan,
+	}
+	ref, err := RunPRESP(context.Background(), elaborate(t, socgen.SOC2()), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := opt
+	observed.Observer = obs.New()
+	res, err := RunPRESP(context.Background(), elaborate(t, socgen.SOC2()), observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultSignature(res) != resultSignature(ref) {
+		t.Fatalf("observed faulty run diverged:\n--- observed ---\n%s--- reference ---\n%s",
+			resultSignature(res), resultSignature(ref))
+	}
+	snap := observed.Observer.Metrics().Snapshot()
+	if got, want := snap.Counters["flow_job_retries_total"], int64(res.Jobs.Retries); got != want {
+		t.Fatalf("flow_job_retries_total=%d, want %d", got, want)
+	}
+	if res.Jobs.Retries > 0 {
+		retryInstants := 0
+		for _, ev := range observed.Observer.Tracer().Events() {
+			if ev.Phase == "i" && ev.Cat == "retry" {
+				retryInstants++
+			}
+		}
+		if retryInstants != res.Jobs.Retries {
+			t.Fatalf("%d retry instants traced, want %d", retryInstants, res.Jobs.Retries)
 		}
 	}
 }

@@ -5,6 +5,7 @@
 package flow
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"testing"
@@ -39,7 +40,7 @@ func TestFlowFaultDeterminism(t *testing.T) {
 		var baseline string
 		for _, workers := range []int{1, 4, runtime.NumCPU()} {
 			for repeat := 0; repeat < 2; repeat++ {
-				res, err := RunPRESP(elaborate(t, socgen.SOC2()), Options{
+				res, err := RunPRESP(context.Background(), elaborate(t, socgen.SOC2()), Options{
 					Compress:      true,
 					Workers:       workers,
 					FaultPlan:     parsePlan(t, planStr),
@@ -69,11 +70,11 @@ func TestFlowFaultDeterminism(t *testing.T) {
 // published cost-model times are identical to a fault-free run (virtual
 // backoff lands in SimMinutes, never in the wall times).
 func TestFlowRetryRecoversTransientFault(t *testing.T) {
-	ref, err := RunPRESP(elaborate(t, socgen.SOC1()), Options{Compress: true})
+	ref, err := RunPRESP(context.Background(), elaborate(t, socgen.SOC1()), Options{Compress: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunPRESP(elaborate(t, socgen.SOC1()), Options{
+	res, err := RunPRESP(context.Background(), elaborate(t, socgen.SOC1()), Options{
 		Compress:      true,
 		FaultPlan:     parsePlan(t, "synth:count=1,impl:count=1"),
 		MaxJobRetries: 1,
@@ -96,7 +97,7 @@ func TestFlowRetryRecoversTransientFault(t *testing.T) {
 // TestFlowFailFastSurfacesInjectedFault: the default policy returns the
 // injected fault (recognizable via faultinject.As) and no result.
 func TestFlowFailFastSurfacesInjectedFault(t *testing.T) {
-	res, err := RunPRESP(elaborate(t, socgen.SOC2()), Options{
+	res, err := RunPRESP(context.Background(), elaborate(t, socgen.SOC2()), Options{
 		Compress:  true,
 		FaultPlan: parsePlan(t, "synth@rt_1_rp:count=-1"),
 	})
@@ -129,7 +130,7 @@ func TestFlowCollectKeepsIndependentPartitions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunPRESP(d, Options{
+	res, err := RunPRESP(context.Background(), d, Options{
 		Compress:    true,
 		Strategy:    strat,
 		FaultPlan:   parsePlan(t, "synth@"+victim+":count=-1"),
@@ -177,7 +178,7 @@ func TestFlowCollectKeepsIndependentPartitions(t *testing.T) {
 func TestFlowJobDeadline(t *testing.T) {
 	var baseline string
 	for _, workers := range []int{1, runtime.NumCPU()} {
-		res, err := RunPRESP(elaborate(t, socgen.SOC2()), Options{
+		res, err := RunPRESP(context.Background(), elaborate(t, socgen.SOC2()), Options{
 			Compress:      true,
 			Workers:       workers,
 			JobDeadline:   1, // one modelled minute: every synth/impl job overruns
@@ -211,7 +212,7 @@ func TestFlowJobDeadline(t *testing.T) {
 // discipline — its single synthesis is a fault site like any other.
 func TestMonolithicFaults(t *testing.T) {
 	d := elaborate(t, socgen.SOC1())
-	_, err := RunMonolithic(d, Options{
+	_, err := RunMonolithic(context.Background(), d, Options{
 		FaultPlan: parsePlan(t, "synth@full:count=-1"),
 	})
 	if err == nil {
@@ -220,7 +221,7 @@ func TestMonolithicFaults(t *testing.T) {
 	if _, ok := faultinject.As(err); !ok {
 		t.Fatalf("error does not unwrap to the injected fault: %v", err)
 	}
-	res, err := RunMonolithic(elaborate(t, socgen.SOC1()), Options{
+	res, err := RunMonolithic(context.Background(), elaborate(t, socgen.SOC1()), Options{
 		FaultPlan:     parsePlan(t, "synth@full:count=1,bitgen:count=1"),
 		MaxJobRetries: 1,
 	})

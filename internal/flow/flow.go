@@ -35,6 +35,8 @@ import (
 	"presp/internal/faultinject"
 	"presp/internal/floorplan"
 	"presp/internal/fpga"
+	"presp/internal/obs"
+	"presp/internal/report"
 	"presp/internal/rtl"
 	"presp/internal/socgen"
 	"presp/internal/vivado"
@@ -120,6 +122,13 @@ type Options struct {
 	// synthesis checkpoints are preloaded into the cache, so completed
 	// work is skipped. The journal must match the design and flow.
 	Resume *Journal
+	// Observer records metrics and trace spans for the run: scheduler
+	// job lifecycle, worker occupancy, per-stage runtime histograms,
+	// cost-model op timings and checkpoint-cache traffic. Nil (the
+	// default) disables all observation at no cost, and observation
+	// never feeds back into results — traced runs stay byte-identical
+	// to untraced ones at any worker count.
+	Observer *obs.Observer
 }
 
 // GroupRun records one in-context P&R run (one Ω of the paper's model).
@@ -194,36 +203,40 @@ func (m flowMode) name() string {
 	return "presp"
 }
 
-// RunPRESP executes the PR-ESP flow on design d with background
-// context. Designs without reconfigurable tiles (plain ESP SoCs with
-// native accelerator tiles) fall through to the monolithic
-// implementation — the flow degrades gracefully to the base ESP
-// behaviour.
-func RunPRESP(d *socgen.Design, opt Options) (*Result, error) {
-	return RunPRESPContext(context.Background(), d, opt)
-}
-
-// RunPRESPContext is RunPRESP bounded by ctx (and Options.Timeout):
-// cancellation stops the run at the next job boundary, drains the
-// worker pool and leaves the checkpoint cache and journal consistent
-// for a later resume.
-func RunPRESPContext(ctx context.Context, d *socgen.Design, opt Options) (*Result, error) {
+// RunPRESP executes the PR-ESP flow on design d, bounded by ctx (and
+// Options.Timeout): cancellation stops the run at the next job
+// boundary, drains the worker pool and leaves the checkpoint cache and
+// journal consistent for a later resume. Designs without
+// reconfigurable tiles (plain ESP SoCs with native accelerator tiles)
+// fall through to the monolithic implementation — the flow degrades
+// gracefully to the base ESP behaviour.
+func RunPRESP(ctx context.Context, d *socgen.Design, opt Options) (*Result, error) {
 	if len(d.RPs) == 0 {
-		return RunMonolithicContext(ctx, d, opt)
+		return RunMonolithic(ctx, d, opt)
 	}
 	return runPartitioned(ctx, d, opt, modePRESP)
 }
 
-// RunStandardDFX executes the baseline: the vendor DFX flow in a single
-// tool instance — sequential synthesis of the static part and every
-// reconfigurable module, then a serial whole-design implementation.
-func RunStandardDFX(d *socgen.Design, opt Options) (*Result, error) {
-	return RunStandardDFXContext(context.Background(), d, opt)
+// RunPRESPContext runs the PR-ESP flow.
+//
+// Deprecated: RunPRESP now takes the context directly.
+func RunPRESPContext(ctx context.Context, d *socgen.Design, opt Options) (*Result, error) {
+	return RunPRESP(ctx, d, opt)
 }
 
-// RunStandardDFXContext is RunStandardDFX bounded by ctx.
-func RunStandardDFXContext(ctx context.Context, d *socgen.Design, opt Options) (*Result, error) {
+// RunStandardDFX executes the baseline, bounded by ctx: the vendor DFX
+// flow in a single tool instance — sequential synthesis of the static
+// part and every reconfigurable module, then a serial whole-design
+// implementation.
+func RunStandardDFX(ctx context.Context, d *socgen.Design, opt Options) (*Result, error) {
 	return runPartitioned(ctx, d, opt, modeStandardDFX)
+}
+
+// RunStandardDFXContext runs the standard-DFX baseline flow.
+//
+// Deprecated: RunStandardDFX now takes the context directly.
+func RunStandardDFXContext(ctx context.Context, d *socgen.Design, opt Options) (*Result, error) {
+	return RunStandardDFX(ctx, d, opt)
 }
 
 // chooseStrategy resolves the implementation strategy up front (it
@@ -283,6 +296,7 @@ func setupRun(d *socgen.Design, opt Options, flowName string) (*vivado.Tool, err
 		cache = vivado.NewCheckpointCache()
 	}
 	tool.SetCache(cache)
+	tool.SetObserver(opt.Observer)
 	digest := DesignDigest(d)
 	if opt.Resume != nil {
 		if err := opt.Resume.CheckDesign(digest, flowName); err != nil {
@@ -293,6 +307,10 @@ func setupRun(d *socgen.Design, opt Options, flowName string) (*vivado.Tool, err
 	opt.Journal.Begin(digest, flowName)
 	return tool, nil
 }
+
+// coordinatorTID is the trace lane for coordinator-side events
+// (journal writes), kept clear of the worker lanes 0..workers-1.
+const coordinatorTID = 1 << 20
 
 // journalBook captures each synthesis job's cache key and checkpoint so
 // the completion journal can embed them for resume. Synthesis jobs
@@ -336,19 +354,33 @@ func execGraph(ctx context.Context, g *Graph, tool *vivado.Tool, opt Options, re
 		Backoff:     opt.RetryBackoff,
 		JobDeadline: opt.JobDeadline,
 		FailFast:    opt.ErrorPolicy == FailFast,
+		Observer:    opt.Observer,
 	}
+	reg := opt.Observer.Metrics()
 	if opt.Journal != nil {
+		journalWrites := reg.Counter("flow_journal_writes_total")
+		tr := opt.Observer.Tracer()
+		if tr != nil {
+			tr.SetThreadName(coordinatorTID, "coordinator")
+		}
 		execOpt.OnJobDone = func(j *Job, out JobOutcome) {
 			if out.Err != nil {
 				return
 			}
 			p := book.get(j.ID)
 			opt.Journal.Completed(j.ID, j.Stage, out.Minutes, out.Attempts, p.key, p.ck)
+			journalWrites.Inc()
+			if tr != nil {
+				tr.Instant("journal", "journal/"+j.ID, coordinatorTID, nil)
+			}
 		}
 	}
 	stats, jobErrs, execErr := g.ExecuteCtx(ctx, execOpt)
 	res.Jobs = stats
 	res.Jobs.CacheHits, res.Jobs.CacheMisses = cacheCounts(tool)
+	if c := tool.Cache(); c != nil {
+		reg.Gauge("vivado_cache_evictions").Set(float64(c.Evictions()))
+	}
 	if execErr != nil {
 		return execErr
 	}
@@ -609,12 +641,7 @@ func runPartitioned(ctx context.Context, d *socgen.Design, opt Options, mode flo
 	case modeStandardDFX:
 		// Sequential synthesis in one instance: times add up (in sorted
 		// run order, so the float sum is reproducible).
-		names := make([]string, 0, len(res.SynthRuns))
-		for n := range res.SynthRuns {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
+		for _, n := range report.SortedKeys(res.SynthRuns) {
 			res.SynthWall += res.SynthRuns[n]
 		}
 	}

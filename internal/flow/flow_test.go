@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -25,7 +26,7 @@ func soc2Design(t *testing.T) *socgen.Design {
 
 func TestRunPRESPFullyParallel(t *testing.T) {
 	d := soc2Design(t)
-	res, err := RunPRESP(d, Options{Compress: true})
+	res, err := RunPRESP(context.Background(), d, Options{Compress: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestRunPRESPSerialOnSOC1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunPRESP(d, Options{SkipBitstreams: true})
+	res, err := RunPRESP(context.Background(), d, Options{SkipBitstreams: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestRunPRESPForcedStrategy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunPRESP(d, Options{Strategy: strat, SkipBitstreams: true})
+	res, err := RunPRESP(context.Background(), d, Options{Strategy: strat, SkipBitstreams: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestStrategyOrderingOnSOC2(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := RunPRESP(d, Options{Strategy: strat, SkipBitstreams: true})
+		res, err := RunPRESP(context.Background(), d, Options{Strategy: strat, SkipBitstreams: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,7 +124,7 @@ func TestStrategyOrderingOnSOC2(t *testing.T) {
 
 func TestRunMonolithic(t *testing.T) {
 	d := soc2Design(t)
-	mono, err := RunMonolithic(d, Options{SkipBitstreams: true})
+	mono, err := RunMonolithic(context.Background(), d, Options{SkipBitstreams: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestRunMonolithic(t *testing.T) {
 	if mono.TStatic != 0 || len(mono.Groups) != 0 {
 		t.Fatal("monolithic flow has no DFX stages")
 	}
-	presp, err := RunPRESP(d, Options{SkipBitstreams: true})
+	presp, err := RunPRESP(context.Background(), d, Options{SkipBitstreams: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestRunMonolithic(t *testing.T) {
 
 func TestRunStandardDFX(t *testing.T) {
 	d := soc2Design(t)
-	dfx, err := RunStandardDFX(d, Options{SkipBitstreams: true})
+	dfx, err := RunStandardDFX(context.Background(), d, Options{SkipBitstreams: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestRunStandardDFX(t *testing.T) {
 	if diff := float64(dfx.SynthWall) - sum; diff > 1e-6 || diff < -1e-6 {
 		t.Fatalf("standard DFX synthesis should be sequential: %v vs %v", dfx.SynthWall, sum)
 	}
-	presp, err := RunPRESP(d, Options{SkipBitstreams: true})
+	presp, err := RunPRESP(context.Background(), d, Options{SkipBitstreams: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestGenerateRuntimeBitstreams(t *testing.T) {
 	}
 	// rt_1 hosts conv2d initially; stage sort and gemm too.
 	alloc := map[string][]string{"rt_1": {"conv2d", "sort", "gemm"}}
-	bss, err := GenerateRuntimeBitstreams(d, plan, alloc, reg, true)
+	bss, err := GenerateRuntimeBitstreams(context.Background(), d, plan, alloc, reg, true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,14 +210,14 @@ func TestGenerateRuntimeBitstreams(t *testing.T) {
 	// An accelerator that does not fit the partition must be rejected:
 	// rt_4 hosts sort (20468 LUTs → small pblock); conv2d (36741) will
 	// not fit.
-	if _, err := GenerateRuntimeBitstreams(d, plan, map[string][]string{"rt_4": {"conv2d"}}, reg, true); err == nil {
+	if _, err := GenerateRuntimeBitstreams(context.Background(), d, plan, map[string][]string{"rt_4": {"conv2d"}}, reg, true, 0); err == nil {
 		t.Fatal("oversized accelerator staged")
 	}
 	// Unknown tile and unknown accelerator.
-	if _, err := GenerateRuntimeBitstreams(d, plan, map[string][]string{"ghost": {"sort"}}, reg, true); err == nil {
+	if _, err := GenerateRuntimeBitstreams(context.Background(), d, plan, map[string][]string{"ghost": {"sort"}}, reg, true, 0); err == nil {
 		t.Fatal("unknown tile accepted")
 	}
-	if _, err := GenerateRuntimeBitstreams(d, plan, map[string][]string{"rt_1": {"warp-drive"}}, reg, true); err == nil {
+	if _, err := GenerateRuntimeBitstreams(context.Background(), d, plan, map[string][]string{"rt_1": {"warp-drive"}}, reg, true, 0); err == nil {
 		t.Fatal("unknown accelerator accepted")
 	}
 }
@@ -238,7 +239,7 @@ func TestFlowRejectsDFXViolations(t *testing.T) {
 	// Sabotage one partition with the native (non-compliant) tile
 	// content: clock-modifying DVFS logic inside the partition.
 	d.RPs[0].Content = tile.NativeAccelModule("bad", fpga.NewResources(20000, 20000, 0, 0))
-	_, err := RunPRESP(d, Options{SkipBitstreams: true})
+	_, err := RunPRESP(context.Background(), d, Options{SkipBitstreams: true})
 	if err == nil {
 		t.Fatal("flow accepted a DFX-violating partition")
 	}
@@ -261,12 +262,12 @@ func TestFlowOnUltraScaleBoards(t *testing.T) {
 		}
 		return d
 	}
-	small, err := RunPRESP(mk("VC707"), Options{SkipBitstreams: true})
+	small, err := RunPRESP(context.Background(), mk("VC707"), Options{SkipBitstreams: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, board := range []string{"VCU118", "VCU128"} {
-		res, err := RunPRESP(mk(board), Options{SkipBitstreams: true})
+		res, err := RunPRESP(context.Background(), mk(board), Options{SkipBitstreams: true})
 		if err != nil {
 			t.Fatalf("%s: %v", board, err)
 		}
@@ -306,7 +307,7 @@ func TestMonolithicESPSoC(t *testing.T) {
 	if len(d.StaticModules) != 6 {
 		t.Fatalf("static modules: %d", len(d.StaticModules))
 	}
-	res, err := RunPRESP(d, Options{})
+	res, err := RunPRESP(context.Background(), d, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,7 +381,7 @@ func TestThirdPartyNVDLAFlows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunPRESP(d, Options{Compress: true})
+	res, err := RunPRESP(context.Background(), d, Options{Compress: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,15 +19,10 @@ import (
 //
 // The run goes through the same job scheduler as the partitioned flows
 // — a three-job chain (synth → impl → bitgen), so Result.Jobs accounts
-// for it uniformly.
-func RunMonolithic(d *socgen.Design, opt Options) (*Result, error) {
-	return RunMonolithicContext(context.Background(), d, opt)
-}
-
-// RunMonolithicContext is RunMonolithic bounded by ctx (and
-// Options.Timeout), with the same retry, fault-injection, journal and
-// error-policy semantics as the partitioned flows.
-func RunMonolithicContext(ctx context.Context, d *socgen.Design, opt Options) (*Result, error) {
+// for it uniformly. It is bounded by ctx (and Options.Timeout), with
+// the same retry, fault-injection, journal and error-policy semantics
+// as the partitioned flows.
+func RunMonolithic(ctx context.Context, d *socgen.Design, opt Options) (*Result, error) {
 	ctx, cancel := flowCtx(ctx, opt)
 	defer cancel()
 	tool, err := setupRun(d, opt, "monolithic")
@@ -80,4 +75,11 @@ func RunMonolithicContext(ctx context.Context, d *socgen.Design, opt Options) (*
 	}
 	res.Total = res.SynthWall + res.PRWall
 	return res, nil
+}
+
+// RunMonolithicContext runs the monolithic baseline flow.
+//
+// Deprecated: RunMonolithic now takes the context directly.
+func RunMonolithicContext(ctx context.Context, d *socgen.Design, opt Options) (*Result, error) {
+	return RunMonolithic(ctx, d, opt)
 }

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"sync"
 
+	"presp/internal/obs"
 	"presp/internal/vivado"
 )
 
@@ -257,6 +258,12 @@ type ExecOptions struct {
 	// final failure) from the coordinator goroutine, in completion
 	// order. The flow journals completed jobs through it.
 	OnJobDone func(j *Job, out JobOutcome)
+	// Observer, when set, records job spans, retry instants, worker
+	// occupancy and per-stage runtime histograms. Nil disables all
+	// observation at no cost; recorded spans carry wall timestamps but
+	// nothing observed feeds back into scheduling, so results stay
+	// byte-identical with or without it.
+	Observer *obs.Observer
 }
 
 // jobDone carries one completion from a worker to the coordinator.
@@ -338,6 +345,27 @@ func (g *Graph) ExecuteCtx(ctx context.Context, opt ExecOptions) (JobStats, []Jo
 		}
 	}
 
+	// Resolved once: with a nil Observer every instrument below is nil
+	// and each probe costs one nil check.
+	reg := opt.Observer.Metrics()
+	tr := opt.Observer.Tracer()
+	busy := reg.Gauge("flow_workers_busy")
+	jobsTotal := reg.Counter("flow_jobs_total")
+	jobsFailed := reg.Counter("flow_jobs_failed_total")
+	jobsCancelled := reg.Counter("flow_jobs_cancelled_total")
+	jobRetries := reg.Counter("flow_job_retries_total")
+	stageMinutes := map[Stage]*obs.Histogram{
+		StageSynth:  reg.Histogram("flow_stage_minutes_synth"),
+		StagePlan:   reg.Histogram("flow_stage_minutes_plan"),
+		StageImpl:   reg.Histogram("flow_stage_minutes_impl"),
+		StageBitgen: reg.Histogram("flow_stage_minutes_bitgen"),
+	}
+	if tr != nil {
+		for w := 0; w < workers; w++ {
+			tr.SetThreadName(w, fmt.Sprintf("worker-%d", w))
+		}
+	}
+
 	// Buffers sized to the job count: dispatch and completion never
 	// block, so the coordinator cannot deadlock against the pool and a
 	// cancelled coordinator can always drain in-flight results.
@@ -346,12 +374,27 @@ func (g *Graph) ExecuteCtx(ctx context.Context, opt ExecOptions) (JobStats, []Jo
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(tid int) {
 			defer wg.Done()
 			for j := range work {
-				results <- runWithRetry(ctx, j, opt)
+				busy.Add(1)
+				start := tr.Now()
+				d := runWithRetry(ctx, j, opt, tr, tid)
+				if tr != nil {
+					args := map[string]any{
+						"stage":       j.Stage.String(),
+						"sim_minutes": float64(d.runtime),
+						"attempts":    d.attempts,
+					}
+					if d.err != nil {
+						args["error"] = d.err.Error()
+					}
+					tr.Complete("job", j.ID, tid, start, tr.Now()-start, args)
+				}
+				busy.Add(-1)
+				results <- d
 			}
-		}()
+		}(w)
 	}
 
 	cancelled := make(map[string]bool)
@@ -374,6 +417,7 @@ func (g *Graph) ExecuteCtx(ctx context.Context, opt ExecOptions) (JobStats, []Jo
 		}
 		cancelled[j.ID] = true
 		stats.Cancelled++
+		jobsCancelled.Inc()
 		pending--
 		for _, dep := range dependents[j.ID] {
 			cancelJob(dep)
@@ -384,8 +428,12 @@ func (g *Graph) ExecuteCtx(ctx context.Context, opt ExecOptions) (JobStats, []Jo
 		stats.count(d.job.Stage)
 		stats.SimMinutes += d.runtime
 		stats.Retries += d.attempts - 1
+		jobsTotal.Inc()
+		jobRetries.Add(int64(d.attempts - 1))
+		stageMinutes[d.job.Stage].Observe(float64(d.runtime))
 		if d.err != nil {
 			stats.FailedJobs++
+			jobsFailed.Inc()
 		}
 		if opt.OnJobDone != nil {
 			opt.OnJobDone(d.job, JobOutcome{Minutes: d.runtime, Attempts: d.attempts, Err: d.err})
@@ -469,6 +517,7 @@ func (g *Graph) ExecuteCtx(ctx context.Context, opt ExecOptions) (JobStats, []Jo
 			if !completed[j.ID] && !cancelled[j.ID] {
 				cancelled[j.ID] = true
 				stats.Cancelled++
+				jobsCancelled.Inc()
 			}
 		}
 	}
@@ -481,8 +530,9 @@ func (g *Graph) ExecuteCtx(ctx context.Context, opt ExecOptions) (JobStats, []Jo
 // runWithRetry executes one job up to 1+MaxRetries times, charging the
 // doubling virtual backoff to each retry. Context errors and deadline
 // overruns stop the attempt loop immediately: retrying a cancelled
-// flow is pointless and a deadline overrun is deterministic.
-func runWithRetry(ctx context.Context, j *Job, opt ExecOptions) jobDone {
+// flow is pointless and a deadline overrun is deterministic. Each
+// retry emits a trace instant on the worker's lane (tr may be nil).
+func runWithRetry(ctx context.Context, j *Job, opt ExecOptions, tr *obs.Tracer, tid int) jobDone {
 	var total vivado.Minutes
 	backoff := opt.Backoff
 	attempts := 0
@@ -499,6 +549,13 @@ func runWithRetry(ctx context.Context, j *Job, opt ExecOptions) jobDone {
 		}
 		if attempts > opt.MaxRetries || !retryable(err) || ctx.Err() != nil {
 			return jobDone{job: j, runtime: total, attempts: attempts, err: err}
+		}
+		if tr != nil {
+			tr.Instant("retry", j.ID, tid, map[string]any{
+				"attempt":         attempts,
+				"backoff_minutes": float64(backoff),
+				"error":           err.Error(),
+			})
 		}
 		total += backoff
 		if backoff *= 2; backoff > opt.BackoffCap {

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func TestScriptsFullyParallel(t *testing.T) {
 	d := soc2Design(t)
-	res, err := RunPRESP(d, Options{SkipBitstreams: true})
+	res, err := RunPRESP(context.Background(), d, Options{SkipBitstreams: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestScriptsSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunPRESP(d, Options{Strategy: strat, SkipBitstreams: true})
+	res, err := RunPRESP(context.Background(), d, Options{Strategy: strat, SkipBitstreams: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,7 +12,9 @@ package noc
 
 import (
 	"fmt"
+	"strings"
 
+	"presp/internal/obs"
 	"presp/internal/sim"
 )
 
@@ -116,6 +118,30 @@ type Network struct {
 	gated   map[Coord]bool
 	faults  FaultHook
 	packets int64
+
+	// Per-plane observability counters, resolved once by SetObserver
+	// (nil slices without an observer — Transfer guards on that).
+	mTransfers []*obs.Counter
+	mFlits     []*obs.Counter
+}
+
+// SetObserver attaches an observability handle: every successful
+// Transfer counts one packet and its flits on per-plane counters
+// (noc_transfers_total_<plane>, noc_flits_total_<plane>). A nil
+// observer detaches at no cost; observation never changes timing.
+func (n *Network) SetObserver(o *obs.Observer) {
+	reg := o.Metrics()
+	if reg == nil {
+		n.mTransfers, n.mFlits = nil, nil
+		return
+	}
+	n.mTransfers = make([]*obs.Counter, n.cfg.Planes)
+	n.mFlits = make([]*obs.Counter, n.cfg.Planes)
+	for p := 0; p < n.cfg.Planes; p++ {
+		name := strings.ReplaceAll(Plane(p).String(), "-", "_")
+		n.mTransfers[p] = reg.Counter("noc_transfers_total_" + name)
+		n.mFlits[p] = reg.Counter("noc_flits_total_" + name)
+	}
 }
 
 // New builds a mesh network bound to engine eng.
@@ -304,6 +330,10 @@ func (n *Network) Transfer(p Plane, src, dst Coord, bytes int) (sim.Time, error)
 		lk.flits += flits
 	}
 	n.packets++
+	if n.mTransfers != nil {
+		n.mTransfers[p].Inc()
+		n.mFlits[p].Add(flits)
+	}
 	done := start + sim.Time(len(path)-1)*hopLat + serial
 	if len(path) == 1 { // local delivery still pays serialization
 		done = start + serial

@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64. The zero value is ready
+// to use; all methods are safe for concurrent use and no-ops on a nil
+// receiver.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down (worker occupancy, cache
+// sizes). The zero value is ready; methods are concurrency-safe and
+// no-ops on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta to the gauge.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (zero for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefaultMinuteBuckets is the histogram bucketing used for modelled
+// CAD runtimes: the paper's per-stage times span a few minutes (partial
+// bitstreams) to several hours (serial whole-design P&R).
+var DefaultMinuteBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+
+// Histogram is a fixed-bucket histogram: observations are counted into
+// the first bucket whose upper bound is >= the value, with an implicit
+// +Inf overflow bucket. Bounds are fixed at creation; observation is
+// lock-free. All methods no-op on a nil receiver.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    Gauge
+}
+
+// NewHistogram builds a histogram with the given ascending upper
+// bounds (empty selects DefaultMinuteBuckets).
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultMinuteBuckets
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := len(h.bounds) // +Inf bucket
+	for b, ub := range h.bounds {
+		if v <= ub {
+			i = b
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// HistogramSnapshot is a stable copy of a histogram's state.
+type HistogramSnapshot struct {
+	// Count and Sum aggregate every observation.
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	// Bounds are the bucket upper bounds; Counts has one entry per
+	// bound plus a final +Inf overflow bucket.
+	Bounds []float64 `json:"le"`
+	Counts []int64   `json:"counts"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:  h.count.Load(),
+		Sum:    h.sum.Value(),
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Registry hands out named instruments. Names are a single flat
+// namespace shared by all three kinds (the JSON export is one object),
+// so a name must not be reused across kinds. Get-or-create semantics:
+// asking twice for the same name returns the same instrument. A nil
+// *Registry hands out nil instruments, whose methods no-op — resolve
+// instruments once at setup and call them unconditionally.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use (empty bounds select DefaultMinuteBuckets; the
+// bounds of an existing histogram are never changed).
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds...)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a stable, point-in-time copy of every instrument.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot copies the registry's current state. The maps are owned by
+// the caller.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+	for n, c := range counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range hists {
+		s.Histograms[n] = h.Snapshot()
+	}
+	return s
+}
+
+// WriteJSON renders the registry expvar-style: one flat JSON object
+// mapping every instrument name to its value (counters and gauges as
+// numbers, histograms as {count, sum, le, counts} objects), with keys
+// sorted for stable output.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	s := r.Snapshot()
+	flat := make(map[string]any, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n, v := range s.Counters {
+		flat[n] = v
+	}
+	for n, v := range s.Gauges {
+		flat[n] = v
+	}
+	for n, v := range s.Histograms {
+		flat[n] = v
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(flat)
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every layer of the nil chain must be callable without panicking:
+	// nil Observer -> nil Registry/Tracer -> nil instruments.
+	var o *Observer
+	reg := o.Metrics()
+	if reg != nil {
+		t.Fatal("nil observer returned non-nil registry")
+	}
+	tr := o.Tracer()
+	if tr != nil {
+		t.Fatal("nil observer returned non-nil tracer")
+	}
+
+	c := reg.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has value")
+	}
+	g := reg.Gauge("y")
+	g.Set(1)
+	g.Add(2)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has value")
+	}
+	h := reg.Histogram("z")
+	h.Observe(3)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram observed")
+	}
+
+	s := reg.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil registry WriteJSON: %v", err)
+	}
+
+	if tr.Now() != 0 {
+		t.Fatal("nil tracer clock ticked")
+	}
+	tr.Complete("c", "n", 0, 0, 1, nil)
+	tr.Instant("c", "n", 0, nil)
+	tr.InstantAt("c", "n", 0, 5, nil)
+	tr.CounterSampleAt("n", 0, map[string]float64{"v": 1})
+	tr.SetProcessName("p")
+	tr.SetThreadName(0, "t")
+	if tr.Events() != nil || tr.Len() != 0 {
+		t.Fatal("nil tracer recorded events")
+	}
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil tracer WriteJSON: %v", err)
+	}
+}
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("jobs")
+	g := reg.Gauge("busy")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %v, want 0", got)
+	}
+	if same := reg.Counter("jobs"); same != c {
+		t.Fatal("Counter not get-or-create")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 5, 10)
+	for _, v := range []float64{0.5, 1, 2, 5, 7, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 8 {
+		t.Fatalf("count = %d, want 8", s.Count)
+	}
+	wantSum := 0.5 + 1 + 2 + 5 + 7 + 10 + 11 + 1000
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %v, want %v", s.Sum, wantSum)
+	}
+	// Buckets: <=1 gets {0.5, 1}; <=5 gets {2, 5}; <=10 gets {7, 10};
+	// +Inf overflow gets {11, 1000}.
+	want := []int64{2, 2, 2, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("minutes")
+	s := h.Snapshot()
+	if len(s.Bounds) != len(DefaultMinuteBuckets) {
+		t.Fatalf("bounds = %v, want default minute buckets", s.Bounds)
+	}
+	if same := reg.Histogram("minutes", 1, 2); same != h {
+		t.Fatal("Histogram not get-or-create")
+	}
+}
+
+func TestRegistryWriteJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("flow_jobs_total").Add(3)
+	reg.Gauge("flow_workers_busy").Set(1.5)
+	reg.Histogram("flow_stage_minutes_synth", 10, 100).Observe(42)
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var flat map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &flat); err != nil {
+		t.Fatalf("export not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(flat) != 3 {
+		t.Fatalf("export has %d keys, want 3: %s", len(flat), buf.String())
+	}
+	var jobs int64
+	if err := json.Unmarshal(flat["flow_jobs_total"], &jobs); err != nil || jobs != 3 {
+		t.Fatalf("flow_jobs_total = %s (err %v), want 3", flat["flow_jobs_total"], err)
+	}
+	var hist HistogramSnapshot
+	if err := json.Unmarshal(flat["flow_stage_minutes_synth"], &hist); err != nil {
+		t.Fatalf("histogram export: %v", err)
+	}
+	if hist.Count != 1 || hist.Sum != 42 {
+		t.Fatalf("histogram export = %+v", hist)
+	}
+}

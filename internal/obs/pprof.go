@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	netpprof "net/http/pprof"
+	"os"
+	runpprof "runtime/pprof"
+)
+
+// StartPprof serves the standard pprof endpoints (/debug/pprof/...) on
+// addr using a dedicated mux, so long-running CLIs can opt in without
+// touching http.DefaultServeMux. It returns the bound address (useful
+// with ":0") and a shutdown func that closes the listener.
+func StartPprof(addr string) (string, func() error, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns when the listener closes.
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// StartCPUProfile writes a CPU profile to path until the returned stop
+// func runs — the file-based alternative for batch CLI runs that exit
+// before anyone could scrape an HTTP endpoint.
+func StartCPUProfile(path string) (func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := runpprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	return func() error {
+		runpprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestTracerRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	tr.SetProcessName("presp-flow")
+	tr.SetThreadName(0, "worker-0")
+	tr.Complete("job", "synth_leaf", 0, 0, 100, map[string]any{"sim_minutes": 12.5})
+	tr.Complete("job", "impl_leaf", 0, 100, 50, nil)
+	tr.InstantAt("retry", "impl_leaf#1", 0, 120, nil)
+	tr.CounterSampleAt("flow_workers_busy", 10, map[string]float64{"busy": 2})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	f, err := ParseTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	if len(f.TraceEvents) != 6 {
+		t.Fatalf("round-tripped %d events, want 6", len(f.TraceEvents))
+	}
+	if got := CountSpans(f.TraceEvents, "job"); got != 2 {
+		t.Fatalf("CountSpans(job) = %d, want 2", got)
+	}
+	for _, ev := range f.TraceEvents {
+		if ev.PID != tracePID {
+			t.Fatalf("event %q pid = %d, want %d", ev.Name, ev.PID, tracePID)
+		}
+	}
+	if err := CheckNesting(f.TraceEvents); err != nil {
+		t.Fatalf("nesting: %v", err)
+	}
+}
+
+func TestTracerEmptyWriteJSON(t *testing.T) {
+	tr := NewTracer()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.TraceEvents) != 0 {
+		t.Fatalf("empty tracer exported %d events", len(f.TraceEvents))
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ts := tr.Now()
+				tr.Complete("job", "j", tid, ts, 1, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 400 {
+		t.Fatalf("recorded %d events, want 400", tr.Len())
+	}
+}
+
+func TestCheckNesting(t *testing.T) {
+	ok := []Event{
+		{Name: "outer", Phase: "X", TS: 0, Dur: 100, PID: 1, TID: 1},
+		{Name: "inner", Phase: "X", TS: 10, Dur: 20, PID: 1, TID: 1},
+		{Name: "inner2", Phase: "X", TS: 40, Dur: 60, PID: 1, TID: 1},
+		{Name: "after", Phase: "X", TS: 100, Dur: 5, PID: 1, TID: 1},
+		// Overlap on a different lane is fine.
+		{Name: "other", Phase: "X", TS: 5, Dur: 500, PID: 1, TID: 2},
+	}
+	if err := CheckNesting(ok); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+
+	bad := []Event{
+		{Name: "a", Phase: "X", TS: 0, Dur: 100, PID: 1, TID: 1},
+		{Name: "b", Phase: "X", TS: 50, Dur: 100, PID: 1, TID: 1},
+	}
+	if err := CheckNesting(bad); err == nil {
+		t.Fatal("overlapping spans accepted")
+	}
+
+	// Non-"X" phases are ignored.
+	mixed := []Event{
+		{Name: "i", Phase: "i", TS: 0, PID: 1, TID: 1},
+		{Name: "a", Phase: "X", TS: 0, Dur: 10, PID: 1, TID: 1},
+	}
+	if err := CheckNesting(mixed); err != nil {
+		t.Fatalf("instants should not affect nesting: %v", err)
+	}
+}
+
+func TestObserverAccessors(t *testing.T) {
+	o := New()
+	if o.Metrics() == nil || o.Tracer() == nil {
+		t.Fatal("New() observer missing registry or tracer")
+	}
+	o.Metrics().Counter("c").Inc()
+	if o.Metrics().Counter("c").Value() != 1 {
+		t.Fatal("observer registry not shared across Metrics() calls")
+	}
+}

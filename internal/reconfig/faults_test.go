@@ -1,6 +1,7 @@
 package reconfig
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -44,7 +45,7 @@ func newFaultTestbed(t *testing.T, cfg Config, workers int) *testbed {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bss, err := flow.GenerateRuntimeBitstreamsWorkers(d, plan, map[string][]string{
+	bss, err := flow.GenerateRuntimeBitstreams(context.Background(), d, plan, map[string][]string{
 		"rt_1": {"fft", "gemm", "sort"},
 	}, reg, true, workers)
 	if err != nil {
@@ -444,7 +445,7 @@ func TestLeakageFoldIsOrderIndependent(t *testing.T) {
 func TestRegisterBitstreamRejectsCorrupted(t *testing.T) {
 	tb := newTestbed(t)
 	reg := accel.Default()
-	bss, err := flow.GenerateRuntimeBitstreams(tb.rt.design, tb.plan, map[string][]string{"rt_1": {"gemm"}}, reg, true)
+	bss, err := flow.GenerateRuntimeBitstreams(context.Background(), tb.rt.design, tb.plan, map[string][]string{"rt_1": {"gemm"}}, reg, true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

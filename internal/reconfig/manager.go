@@ -116,6 +116,35 @@ func (r *Runtime) pumpWorkqueue() {
 	r.executeReconfig(req)
 }
 
+// vusec converts a virtual timestamp to trace microseconds. Runtime
+// trace events carry sim.Time, not wall time: the trace is a picture
+// of the simulated schedule, identical across runs and host speeds.
+func vusec(t sim.Time) int64 { return t.Microseconds() }
+
+// traceReconfigSpan records one completed (or finally-failed)
+// reconfiguration on the tile's trace lane, plus its fetch/ICAP
+// sub-spans recorded separately by attemptReconfig.
+func (r *Runtime) traceReconfigSpan(ts *tileState, req *request, start sim.Time, attempt int, bytes int, failErr error) {
+	if r.tr == nil {
+		return
+	}
+	args := map[string]any{
+		"accelerator": req.accName,
+		"attempts":    attempt,
+	}
+	if bytes > 0 {
+		args["bytes"] = bytes
+	}
+	if failErr != nil {
+		args["error"] = failErr.Error()
+	}
+	// Durations are differences of floored endpoints (not floored
+	// differences) so nested sub-spans can never extend past this span
+	// by a truncated microsecond.
+	r.tr.Complete("reconfig", req.tileName+"<-"+req.accName, r.tileTID[req.tileName],
+		vusec(start), vusec(r.eng.Now())-vusec(start), args)
+}
+
 // executeReconfig performs the hardware sequence of one partial
 // reconfiguration:
 //
@@ -164,10 +193,16 @@ func (r *Runtime) attemptReconfig(req *request, start sim.Time, attempt int) {
 		if r.cfg.SharedDMAPlane {
 			plane = noc.PlaneMemRsp
 		}
+		fetchStart := r.eng.Now()
 		arrive, err := r.net.Transfer(plane, r.memPos, r.auxPos, bs.Size())
 		if err != nil {
 			fail(err)
 			return
+		}
+		if r.tr != nil {
+			r.tr.Complete("reconfig", "fetch", r.tileTID[req.tileName],
+				vusec(fetchStart), vusec(arrive)-vusec(fetchStart),
+				map[string]any{"bytes": bs.Size(), "plane": plane.String()})
 		}
 		// The fetched image is CRC-checked on arrival, before the ICAP
 		// consumes it. An injected fetch fault delivers a corrupted
@@ -187,6 +222,11 @@ func (r *Runtime) attemptReconfig(req *request, start sim.Time, attempt int) {
 		icap := r.icapTime(bs.Size())
 		finish := arrive + icap
 		if err := r.eng.At(finish, func() {
+			if r.tr != nil {
+				r.tr.Complete("reconfig", "icap", r.tileTID[req.tileName],
+					vusec(arrive), vusec(finish)-vusec(arrive),
+					map[string]any{"bytes": bs.Size()})
+			}
 			if ferr := r.faultCheck(faultinject.OpICAP, req.tileName, req.accName); ferr != nil {
 				fail(ferr)
 				return
@@ -216,6 +256,9 @@ func (r *Runtime) attemptReconfig(req *request, start sim.Time, attempt int) {
 				r.stats.Reconfigurations++
 				r.stats.ReconfigTime += r.eng.Now() - start
 				r.stats.BytesConfigured += int64(bs.Size())
+				r.mReconfigs.Inc()
+				r.mBytes.Add(int64(bs.Size()))
+				r.traceReconfigSpan(ts, req, start, attempt, bs.Size(), nil)
 				r.timeline = append(r.timeline, TimelineEvent{
 					Start: start, End: r.eng.Now(),
 					Tile: ts.t.Name, Accel: req.accName,
@@ -270,6 +313,11 @@ func (r *Runtime) failReconfig(req *request, ts *tileState, start sim.Time, atte
 		// stays busy, so queued requests cannot interleave with the
 		// retry.
 		r.stats.Retries++
+		r.mRetries.Inc()
+		if r.tr != nil {
+			r.tr.InstantAt("reconfig", "retry "+req.tileName, r.tileTID[req.tileName],
+				vusec(r.eng.Now()), map[string]any{"attempt": attempt, "error": err.Error()})
+		}
 		backoff := r.cfg.RetryBackoff * sim.Time(attempt)
 		if serr := r.eng.Schedule(backoff, func() { r.attemptReconfig(req, start, attempt+1) }); serr == nil {
 			return
@@ -277,11 +325,18 @@ func (r *Runtime) failReconfig(req *request, ts *tileState, start sim.Time, atte
 		// Could not schedule the retry; fall through to a hard failure.
 	}
 	r.stats.FailedReconfigs++
+	r.mFailures.Inc()
 	ts.failures++
 	if r.cfg.TileDeadThreshold > 0 && ts.failures >= r.cfg.TileDeadThreshold && !ts.dead {
 		ts.dead = true
 		r.stats.DeadTiles++
+		r.mDeadTiles.Inc()
+		if r.tr != nil {
+			r.tr.InstantAt("reconfig", "tile dead "+req.tileName, r.tileTID[req.tileName],
+				vusec(r.eng.Now()), map[string]any{"failures": ts.failures})
+		}
 	}
+	r.traceReconfigSpan(ts, req, start, attempt, 0, err)
 	r.timeline = append(r.timeline, TimelineEvent{
 		Start: start, End: r.eng.Now(),
 		Tile: ts.t.Name, Accel: req.accName,
@@ -367,6 +422,11 @@ func (r *Runtime) setTileIdlePower(ts *tileState) {
 func (r *Runtime) mustSetPower(name string, w float64) {
 	if err := r.meter.SetPower(name, w); err != nil {
 		panic(fmt.Sprintf("reconfig: power bookkeeping: %v", err))
+	}
+	// Each power rail becomes a Chrome-trace counter track sampled at
+	// every level change, in virtual time.
+	if r.tr != nil {
+		r.tr.CounterSampleAt("power "+name, vusec(r.eng.Now()), map[string]float64{"watts": w})
 	}
 }
 

@@ -1,6 +1,7 @@
 package reconfig
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -48,9 +49,9 @@ func newTestbed(t *testing.T) *testbed {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bss, err := flow.GenerateRuntimeBitstreams(d, plan, map[string][]string{
+	bss, err := flow.GenerateRuntimeBitstreams(context.Background(), d, plan, map[string][]string{
 		"rt_1": {"fft", "gemm", "sort"},
-	}, reg, true)
+	}, reg, true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +361,7 @@ func TestCompressionSpeedsReconfiguration(t *testing.T) {
 		// Re-stage with the requested compression.
 		reg := accel.Default()
 		d := tb.rt.design
-		bss, err := flow.GenerateRuntimeBitstreams(d, tb.plan, map[string][]string{"rt_1": {"gemm"}}, reg, compress)
+		bss, err := flow.GenerateRuntimeBitstreams(context.Background(), d, tb.plan, map[string][]string{"rt_1": {"gemm"}}, reg, compress, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -509,7 +510,7 @@ func TestDrainBeforeSwapAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bss, err := flow.GenerateRuntimeBitstreams(d, plan, map[string][]string{"rt_1": {"fft", "gemm"}}, reg, true)
+	bss, err := flow.GenerateRuntimeBitstreams(context.Background(), d, plan, map[string][]string{"rt_1": {"fft", "gemm"}}, reg, true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -563,7 +564,7 @@ func TestSharedDMAPlaneSlowsReconfig(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		bss, err := flow.GenerateRuntimeBitstreams(d, plan, map[string][]string{"rt_1": {"fft", "gemm"}}, reg, true)
+		bss, err := flow.GenerateRuntimeBitstreams(context.Background(), d, plan, map[string][]string{"rt_1": {"fft", "gemm"}}, reg, true, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -22,6 +22,7 @@ import (
 	"presp/internal/floorplan"
 	"presp/internal/fpga"
 	"presp/internal/noc"
+	"presp/internal/obs"
 	"presp/internal/sim"
 	"presp/internal/socgen"
 	"presp/internal/tile"
@@ -117,6 +118,16 @@ type Config struct {
 	// and accelerator names) and kernel execution (sites: accelerator
 	// and tile names).
 	FaultPlan *faultinject.Plan
+	// Observer, when non-nil, attaches the observability layer: the
+	// runtime records every reconfiguration as a Chrome-trace span in
+	// virtual time (one lane per tile, with nested fetch/ICAP
+	// sub-spans), retry and dead-tile instants, power-rail counter
+	// samples and per-plane NoC traffic counters. A nil Observer
+	// disables all observation at no cost, and observation never
+	// changes simulation results. Trace timestamps are virtual sim.Time
+	// microseconds — do not share one tracer with a wall-clock flow
+	// run, the time bases differ.
+	Observer *obs.Observer
 }
 
 // DefaultConfig returns the evaluation configuration.
@@ -233,6 +244,19 @@ type Runtime struct {
 	activeAccels int
 	stats        Stats
 	timeline     []TimelineEvent
+
+	// Observability, resolved once in New. All fields are nil-safe, so
+	// without an observer every record call is a no-op; arg-map
+	// allocations are additionally guarded on tr != nil.
+	tr         *obs.Tracer
+	mReconfigs *obs.Counter
+	mRetries   *obs.Counter
+	mFailures  *obs.Counter
+	mDeadTiles *obs.Counter
+	mBytes     *obs.Counter
+	// tileTID maps tile names to trace lanes (manager events go to
+	// lane 0, tiles to 1..n in sorted-name order).
+	tileTID map[string]int
 }
 
 type request struct {
@@ -318,6 +342,25 @@ func New(eng *sim.Engine, d *socgen.Design, reg *accel.Registry, plan *floorplan
 		r.tileNames = append(r.tileNames, n)
 	}
 	sort.Strings(r.tileNames)
+	// Resolve the observability instruments before the first power
+	// write below, so even boot-time power samples land in the trace.
+	mreg := cfg.Observer.Metrics()
+	r.tr = cfg.Observer.Tracer()
+	r.mReconfigs = mreg.Counter("reconfig_reconfigurations_total")
+	r.mRetries = mreg.Counter("reconfig_retries_total")
+	r.mFailures = mreg.Counter("reconfig_failures_total")
+	r.mDeadTiles = mreg.Counter("reconfig_dead_tiles_total")
+	r.mBytes = mreg.Counter("reconfig_bytes_total")
+	net.SetObserver(cfg.Observer)
+	if r.tr != nil {
+		r.tr.SetProcessName("presp runtime (virtual time)")
+		r.tr.SetThreadName(0, "manager")
+		r.tileTID = make(map[string]int, len(r.tileNames))
+		for i, n := range r.tileNames {
+			r.tileTID[n] = i + 1
+			r.tr.SetThreadName(i+1, "tile "+n)
+		}
+	}
 	if err := r.meter.SetPower("static", cfg.StaticPowerW); err != nil {
 		return nil, err
 	}

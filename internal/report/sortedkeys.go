@@ -1,0 +1,20 @@
+package report
+
+import (
+	"cmp"
+	"slices"
+)
+
+// SortedKeys returns m's keys in ascending order. Go's map iteration
+// order is deliberately randomized, so any loop that feeds map entries
+// into float accumulation or rendered output must iterate this instead
+// — the repo-wide rule that keeps tables, float sums and best-pick
+// scans byte-identical across runs.
+func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

@@ -1,0 +1,23 @@
+package report
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]float64{"tile2": 1, "tile0": 2, "tile1": 3}
+	want := []string{"tile0", "tile1", "tile2"}
+	// Run repeatedly: a map-order bug would only fail sometimes.
+	for i := 0; i < 50; i++ {
+		if got := SortedKeys(m); !reflect.DeepEqual(got, want) {
+			t.Fatalf("SortedKeys = %v, want %v", got, want)
+		}
+	}
+	if got := SortedKeys(map[int]struct{}{3: {}, 1: {}, 2: {}}); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("int keys = %v", got)
+	}
+	if got := SortedKeys(map[string]int(nil)); len(got) != 0 {
+		t.Fatalf("nil map keys = %v", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"presp/internal/bitstream"
 	"presp/internal/faultinject"
 	"presp/internal/fpga"
+	"presp/internal/obs"
 	"presp/internal/rtl"
 )
 
@@ -36,6 +37,15 @@ type Tool struct {
 	cacheMisses atomic.Int64
 
 	fault FaultHook
+
+	// Instruments pre-resolved by SetObserver; all nil without an
+	// observer, and every method of a nil instrument no-ops.
+	mCacheHits   *obs.Counter
+	mCacheMisses *obs.Counter
+	mSynth       *obs.Histogram
+	mPreroute    *obs.Histogram
+	mImpl        *obs.Histogram
+	mBitgen      *obs.Histogram
 }
 
 // FaultHook intercepts one CAD operation before it runs. A non-nil
@@ -71,9 +81,27 @@ func (t *Tool) Model() *CostModel { return t.model }
 // synthesis cost and populate it on misses.
 func (t *Tool) SetCache(c *CheckpointCache) { t.cache = c }
 
+// Cache returns the attached synthesis-checkpoint cache (nil when none
+// is attached).
+func (t *Tool) Cache() *CheckpointCache { return t.cache }
+
 // SetFaultHook attaches a CAD fault-injection hook (nil detaches). Set
 // it before sharing the tool across goroutines.
 func (t *Tool) SetFaultHook(h FaultHook) { t.fault = h }
+
+// SetObserver attaches an observability handle: per-op cost-model
+// runtime histograms and checkpoint-cache traffic counters (nil
+// detaches). Like the fault hook, set it before sharing the tool
+// across goroutines; nothing observed influences modelled results.
+func (t *Tool) SetObserver(o *obs.Observer) {
+	reg := o.Metrics()
+	t.mCacheHits = reg.Counter("vivado_cache_hits_total")
+	t.mCacheMisses = reg.Counter("vivado_cache_misses_total")
+	t.mSynth = reg.Histogram("vivado_synth_minutes")
+	t.mPreroute = reg.Histogram("vivado_preroute_minutes")
+	t.mImpl = reg.Histogram("vivado_impl_minutes")
+	t.mBitgen = reg.Histogram("vivado_bitgen_minutes")
+}
 
 // CheckFault is the gate every entry point passes through: it fails
 // fast when ctx is cancelled or past its deadline, then gives the fault
@@ -140,9 +168,11 @@ func (t *Tool) Synthesize(ctx context.Context, m *rtl.Module, ooc bool, sites ..
 		key = checkpointKey(t.dev, t.model, m, ooc)
 		if ck, ok := t.cache.lookup(key); ok {
 			t.cacheHits.Add(1)
+			t.mCacheHits.Inc()
 			return ck, nil
 		}
 		t.cacheMisses.Add(1)
+		t.mCacheMisses.Inc()
 	}
 	ck := &SynthCheckpoint{Name: m.Name, OoC: ooc}
 	m.Walk(func(path string, mod *rtl.Module) {
@@ -159,6 +189,7 @@ func (t *Tool) Synthesize(ctx context.Context, m *rtl.Module, ooc bool, sites ..
 			m.Name, ck.Resources[fpga.LUT], t.dev.Name, t.dev.Total[fpga.LUT])
 	}
 	ck.Runtime = t.model.SynthTime(kluts(ck.Resources), ooc)
+	t.mSynth.Observe(float64(ck.Runtime))
 	if t.cache != nil {
 		t.cache.store(key, ck)
 	}
@@ -271,6 +302,7 @@ func (t *Tool) PreRouteStatic(ctx context.Context, designName string, static *Sy
 			designName, staticK, rpFrac*100, t.dev.Name)
 	}
 	rs.Runtime = t.model.StaticPreRouteTime(staticK, rpFrac, len(pblocks))
+	t.mPreroute.Observe(float64(rs.Runtime))
 	return rs, nil
 }
 
@@ -293,10 +325,12 @@ func (t *Tool) ImplementSerial(ctx context.Context, designName string, totalRes 
 		return nil, fmt.Errorf("vivado: design %s needs %d LUTs, device %s has %d",
 			designName, totalRes[fpga.LUT], t.dev.Name, t.dev.Total[fpga.LUT])
 	}
-	return &SerialResult{
+	sr := &SerialResult{
 		DesignName: designName,
 		Runtime:    t.model.SerialImplTime(kluts(totalRes), nRP, rpFrac),
-	}, nil
+	}
+	t.mImpl.Observe(float64(sr.Runtime))
+	return sr, nil
 }
 
 // ContextResult is the product of one in-context P&R run implementing a
@@ -336,10 +370,12 @@ func (t *Tool) ImplementInContext(ctx context.Context, rs *RoutedStatic, group [
 		}
 		groupK += kluts(ck.Resources)
 	}
-	return &ContextResult{
+	cr := &ContextResult{
 		Group:   append([]string(nil), group...),
 		Runtime: t.model.InContextImplTime(groupK, kluts(rs.StaticResources), kluts(rs.ReconfContent)),
-	}, nil
+	}
+	t.mImpl.Observe(float64(cr.Runtime))
+	return cr, nil
 }
 
 // WritePartialBitstream generates the compressed partial bitstream for
@@ -353,7 +389,9 @@ func (t *Tool) WritePartialBitstream(ctx context.Context, name string, pb fpga.P
 		return nil, 0, err
 	}
 	areaK := float64(pb.ResourcesOn(t.dev)[fpga.LUT]) / 1000.0
-	return bs, t.model.BitgenTime(areaK), nil
+	mins := t.model.BitgenTime(areaK)
+	t.mBitgen.Observe(float64(mins))
+	return bs, mins, nil
 }
 
 // WriteFullBitstream generates the full-device bitstream.
@@ -365,7 +403,9 @@ func (t *Tool) WriteFullBitstream(ctx context.Context, name string, used fpga.Re
 	if err != nil {
 		return nil, 0, err
 	}
-	return bs, t.model.BitgenTime(kluts(t.dev.Total)), nil
+	mins := t.model.BitgenTime(kluts(t.dev.Total))
+	t.mBitgen.Observe(float64(mins))
+	return bs, mins, nil
 }
 
 // kluts converts a resource vector's LUT count to kLUT.

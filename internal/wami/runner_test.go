@@ -1,6 +1,7 @@
 package wami
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -42,7 +43,7 @@ func bootRunner(t *testing.T, socName string, iters int) (*Runner, *reconfig.Run
 			am[tileName] = append(am[tileName], Names[idx])
 		}
 	}
-	bss, err := flow.GenerateRuntimeBitstreams(d, plan, am, reg, true)
+	bss, err := flow.GenerateRuntimeBitstreams(context.Background(), d, plan, am, reg, true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +319,7 @@ func runPipelineCase(t *testing.T, cfg *socgen.Config, alloc Allocation, rcfg re
 			am[tileName] = append(am[tileName], Names[idx])
 		}
 	}
-	bss, err := flow.GenerateRuntimeBitstreams(d, plan, am, reg, true)
+	bss, err := flow.GenerateRuntimeBitstreams(context.Background(), d, plan, am, reg, true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,7 +16,7 @@
 //
 //	p, err := presp.NewPlatform("VC707")
 //	soc, err := p.BuildSoC(cfg)            // elaborate a tile grid
-//	res, err := p.RunFlow(soc, presp.FlowOptions{Compress: true})
+//	res, err := p.RunFlow(ctx, soc, presp.FlowOptions{Compress: true})
 //	rt, err := p.NewRuntime(soc)           // simulated Linux runtime
 //
 // RunExperiment regenerates every table and figure of the paper's
@@ -26,16 +26,15 @@ package presp
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"presp/internal/accel"
 	"presp/internal/bitstream"
 	"presp/internal/core"
-	"presp/internal/faultinject"
 	"presp/internal/floorplan"
 	"presp/internal/flow"
 	"presp/internal/fpga"
 	"presp/internal/reconfig"
+	"presp/internal/report"
 	"presp/internal/sim"
 	"presp/internal/socgen"
 	"presp/internal/vivado"
@@ -135,66 +134,24 @@ func (p *Platform) BuildSoC(cfg *socgen.Config) (*SoC, error) {
 	return &SoC{Design: d}, nil
 }
 
-// FlowOptions tunes a flow run (see flow.Options).
-type FlowOptions struct {
-	// Strategy forces serial / semi-parallel / fully-parallel instead of
-	// the size-driven choice; nil lets the chooser decide.
-	Strategy *core.Strategy
-	// SemiTau overrides τ for semi-parallel (0 = 2, the paper default).
-	SemiTau int
-	// Compress enables bitstream compression.
-	Compress bool
-	// SkipBitstreams stops after P&R.
-	SkipBitstreams bool
-	// Workers bounds the flow scheduler's worker-goroutine pool (0 =
-	// NumCPU). Only real CPU time changes; reported wall times and
-	// bitstreams are identical for every value.
-	Workers int
-	// Timeout bounds the whole run in real wall-clock time (0 = none).
-	Timeout time.Duration
-	// JobDeadline fails any single job whose modelled runtime exceeds
-	// it, in cost-model minutes (0 = none).
-	JobDeadline float64
-	// MaxJobRetries re-runs failed jobs with capped virtual-time
-	// backoff (0 = no retries).
-	MaxJobRetries int
-	// CollectErrors keeps independent partitions running past a
-	// failure; the Result reports Partial plus per-job errors. The
-	// default is fail-fast.
-	CollectErrors bool
-	// FaultPlan injects seeded CAD faults (synth, floorplan, impl,
-	// bitgen, drc; see ParseFaultPlan).
-	FaultPlan *faultinject.Plan
-	// Journal records every completed job so an interrupted run can be
-	// resumed.
-	Journal *flow.Journal
-	// Resume replays a journal from an interrupted run: journaled
-	// synthesis results are served from the cache instead of re-run.
-	Resume *flow.Journal
-}
+// FlowOptions tunes a flow run. It is the flow engine's option struct
+// verbatim — one definition, so every engine knob (Observer, FaultPlan,
+// Journal, ErrorPolicy, ...) is available here without facade
+// mirroring. The platform fills Model and Cache with its own when the
+// caller leaves them nil.
+type FlowOptions = flow.Options
 
-// flowOptions maps the facade options onto the flow package's.
+// flowOptions fills the platform-owned knobs (cost model, shared
+// synthesis-checkpoint cache) the caller left unset — the single
+// conversion point between the facade and the flow engine.
 func (p *Platform) flowOptions(opt FlowOptions) flow.Options {
-	policy := flow.FailFast
-	if opt.CollectErrors {
-		policy = flow.Collect
+	if opt.Model == nil {
+		opt.Model = p.model
 	}
-	return flow.Options{
-		Model:          p.model,
-		Strategy:       opt.Strategy,
-		SemiTau:        opt.SemiTau,
-		Compress:       opt.Compress,
-		SkipBitstreams: opt.SkipBitstreams,
-		Workers:        opt.Workers,
-		Cache:          p.cache,
-		Timeout:        opt.Timeout,
-		JobDeadline:    vivado.Minutes(opt.JobDeadline),
-		MaxJobRetries:  opt.MaxJobRetries,
-		ErrorPolicy:    policy,
-		FaultPlan:      opt.FaultPlan,
-		Journal:        opt.Journal,
-		Resume:         opt.Resume,
+	if opt.Cache == nil {
+		opt.Cache = p.cache
 	}
+	return opt
 }
 
 // FlowResult is the product of a flow run (see flow.Result).
@@ -203,39 +160,45 @@ type FlowResult = flow.Result
 // RunFlow executes the PR-ESP FPGA flow (Fig 1 of the paper): parallel
 // out-of-context synthesis, FLORA-style floorplanning, the size-driven
 // strategy choice, orchestrated P&R and bitstream generation.
-func (p *Platform) RunFlow(s *SoC, opt FlowOptions) (*FlowResult, error) {
-	return p.RunFlowContext(context.Background(), s, opt)
+// Cancelling ctx (or FlowOptions.Timeout) stops the run at the next
+// job boundary, drains the worker pool and leaves the checkpoint cache
+// and journal consistent for a later resume.
+func (p *Platform) RunFlow(ctx context.Context, s *SoC, opt FlowOptions) (*FlowResult, error) {
+	return flow.RunPRESP(ctx, s.Design, p.flowOptions(opt))
 }
 
-// RunFlowContext is RunFlow under a context: cancellation (or
-// FlowOptions.Timeout) stops the run at the next job boundary, drains
-// the worker pool and leaves the checkpoint cache and journal
-// consistent for a later resume.
+// RunFlowContext runs the PR-ESP flow.
+//
+// Deprecated: RunFlow now takes the context directly.
 func (p *Platform) RunFlowContext(ctx context.Context, s *SoC, opt FlowOptions) (*FlowResult, error) {
-	return flow.RunPRESPContext(ctx, s.Design, p.flowOptions(opt))
+	return p.RunFlow(ctx, s, opt)
 }
 
 // RunMonolithicFlow executes the monolithic (flat, single-instance)
-// baseline the paper compares compile times against.
-func (p *Platform) RunMonolithicFlow(s *SoC, opt FlowOptions) (*FlowResult, error) {
-	return p.RunMonolithicFlowContext(context.Background(), s, opt)
+// baseline the paper compares compile times against, bounded by ctx.
+func (p *Platform) RunMonolithicFlow(ctx context.Context, s *SoC, opt FlowOptions) (*FlowResult, error) {
+	return flow.RunMonolithic(ctx, s.Design, p.flowOptions(opt))
 }
 
-// RunMonolithicFlowContext is RunMonolithicFlow under a context.
+// RunMonolithicFlowContext runs the monolithic baseline flow.
+//
+// Deprecated: RunMonolithicFlow now takes the context directly.
 func (p *Platform) RunMonolithicFlowContext(ctx context.Context, s *SoC, opt FlowOptions) (*FlowResult, error) {
-	return flow.RunMonolithicContext(ctx, s.Design, p.flowOptions(opt))
+	return p.RunMonolithicFlow(ctx, s, opt)
 }
 
-// RunStandardDFXFlow executes the vendor DFX flow baseline: same
-// partitioned outputs as PR-ESP but synthesized and implemented
-// sequentially in one tool instance.
-func (p *Platform) RunStandardDFXFlow(s *SoC, opt FlowOptions) (*FlowResult, error) {
-	return p.RunStandardDFXFlowContext(context.Background(), s, opt)
+// RunStandardDFXFlow executes the vendor DFX flow baseline, bounded by
+// ctx: same partitioned outputs as PR-ESP but synthesized and
+// implemented sequentially in one tool instance.
+func (p *Platform) RunStandardDFXFlow(ctx context.Context, s *SoC, opt FlowOptions) (*FlowResult, error) {
+	return flow.RunStandardDFX(ctx, s.Design, p.flowOptions(opt))
 }
 
-// RunStandardDFXFlowContext is RunStandardDFXFlow under a context.
+// RunStandardDFXFlowContext runs the standard-DFX baseline flow.
+//
+// Deprecated: RunStandardDFXFlow now takes the context directly.
 func (p *Platform) RunStandardDFXFlowContext(ctx context.Context, s *SoC, opt FlowOptions) (*FlowResult, error) {
-	return flow.RunStandardDFXContext(ctx, s.Design, p.flowOptions(opt))
+	return p.RunStandardDFXFlow(ctx, s, opt)
 }
 
 // ChooseStrategy runs only the size-driven decision (metrics,
@@ -308,27 +271,32 @@ func (p *Platform) NewRuntimeWithConfig(s *SoC, cfg reconfig.Config) (*Runtime, 
 }
 
 // StageBitstreams generates and registers compressed partial bitstreams
-// for every (tile, accelerator) pair of the allocation.
-func (p *Platform) StageBitstreams(rt *Runtime, alloc map[string][]string, compress bool) (map[string]map[string]*bitstream.Bitstream, error) {
-	return p.StageBitstreamsContext(context.Background(), rt, alloc, compress)
-}
-
-// StageBitstreamsContext is StageBitstreams under a context; generation
-// runs on the flow's worker pool and stops at the next bitstream
-// boundary on cancellation.
-func (p *Platform) StageBitstreamsContext(ctx context.Context, rt *Runtime, alloc map[string][]string, compress bool) (map[string]map[string]*bitstream.Bitstream, error) {
-	bss, err := flow.GenerateRuntimeBitstreamsContext(ctx, rt.soc.Design, rt.Plan, alloc, p.reg, compress, 0)
+// for every (tile, accelerator) pair of the allocation; generation runs
+// on the flow's worker pool and stops at the next bitstream boundary
+// when ctx is cancelled.
+func (p *Platform) StageBitstreams(ctx context.Context, rt *Runtime, alloc map[string][]string, compress bool) (map[string]map[string]*bitstream.Bitstream, error) {
+	bss, err := flow.GenerateRuntimeBitstreams(ctx, rt.soc.Design, rt.Plan, alloc, p.reg, compress, 0)
 	if err != nil {
 		return nil, err
 	}
-	for tileName, m := range bss {
-		for acc, bs := range m {
-			if err := rt.Manager.RegisterBitstream(tileName, acc, bs); err != nil {
+	// Register in sorted order so a registration failure is always the
+	// same one, whatever the map iteration order.
+	for _, tileName := range report.SortedKeys(bss) {
+		m := bss[tileName]
+		for _, acc := range report.SortedKeys(m) {
+			if err := rt.Manager.RegisterBitstream(tileName, acc, m[acc]); err != nil {
 				return nil, err
 			}
 		}
 	}
 	return bss, nil
+}
+
+// StageBitstreamsContext stages the allocation's bitstreams.
+//
+// Deprecated: StageBitstreams now takes the context directly.
+func (p *Platform) StageBitstreamsContext(ctx context.Context, rt *Runtime, alloc map[string][]string, compress bool) (map[string]map[string]*bitstream.Bitstream, error) {
+	return p.StageBitstreams(ctx, rt, alloc, compress)
 }
 
 // Invoke runs an accelerator on a reconfigurable tile and blocks (in

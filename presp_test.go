@@ -1,6 +1,7 @@
 package presp_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -70,18 +71,18 @@ func TestFlowThroughFacade(t *testing.T) {
 	if m.N != 3 {
 		t.Fatalf("metrics N: %d", m.N)
 	}
-	res, err := p.RunFlow(soc, presp.FlowOptions{Compress: true})
+	res, err := p.RunFlow(context.Background(), soc, presp.FlowOptions{Compress: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.FullBitstream == nil || len(res.PartialBitstreams) != 3 {
 		t.Fatal("bitstreams missing")
 	}
-	mono, err := p.RunMonolithicFlow(soc, presp.FlowOptions{SkipBitstreams: true})
+	mono, err := p.RunMonolithicFlow(context.Background(), soc, presp.FlowOptions{SkipBitstreams: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	dfx, err := p.RunStandardDFXFlow(soc, presp.FlowOptions{SkipBitstreams: true})
+	dfx, err := p.RunStandardDFXFlow(context.Background(), soc, presp.FlowOptions{SkipBitstreams: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestForceStrategyFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := p.RunFlow(soc, presp.FlowOptions{Strategy: strat, SkipBitstreams: true})
+	res, err := p.RunFlow(context.Background(), soc, presp.FlowOptions{Strategy: strat, SkipBitstreams: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestRuntimeInvokeThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.StageBitstreams(rt, map[string][]string{"rt_1": {"fft", "sort"}}, true); err != nil {
+	if _, err := p.StageBitstreams(context.Background(), rt, map[string][]string{"rt_1": {"fft", "sort"}}, true); err != nil {
 		t.Fatal(err)
 	}
 	res, err := rt.Invoke("rt_1", "sort", [][]float64{{9, 1, 5}})
@@ -227,7 +228,7 @@ func TestCustomAccelerator(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.StageBitstreams(rt, map[string][]string{"rt_1": {"doubler"}}, true); err != nil {
+	if _, err := p.StageBitstreams(context.Background(), rt, map[string][]string{"rt_1": {"doubler"}}, true); err != nil {
 		t.Fatal(err)
 	}
 	res, err := rt.Invoke("rt_1", "doubler", [][]float64{{1.5, -2}})
@@ -260,7 +261,7 @@ func TestBaremetalThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.StageBitstreams(rt, map[string][]string{"rt_1": {"fft", "sort"}}, true); err != nil {
+	if _, err := p.StageBitstreams(context.Background(), rt, map[string][]string{"rt_1": {"fft", "sort"}}, true); err != nil {
 		t.Fatal(err)
 	}
 	bm, err := rt.Baremetal()

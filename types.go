@@ -13,6 +13,7 @@ import (
 	"presp/internal/flow"
 	"presp/internal/fpga"
 	"presp/internal/noc"
+	"presp/internal/obs"
 	"presp/internal/reconfig"
 	"presp/internal/socgen"
 	"presp/internal/tile"
@@ -72,6 +73,13 @@ type (
 	// JobError reports one failed flow job (Result.JobErrors, or the
 	// run error under the fail-fast policy).
 	JobError = flow.JobError
+	// ErrorPolicy selects fail-fast or collect semantics for flow job
+	// failures (FlowOptions.ErrorPolicy).
+	ErrorPolicy = flow.ErrorPolicy
+	// Observer bundles a metrics registry and a Chrome-trace tracer;
+	// attach one via FlowOptions.Observer or RuntimeConfig.Observer to
+	// record a run (see NewObserver).
+	Observer = obs.Observer
 )
 
 // NewJournal starts a journal that appends one JSON line per completed
@@ -126,6 +134,23 @@ const (
 	SemiParallel  = core.SemiParallel
 	FullyParallel = core.FullyParallel
 )
+
+// Flow error policies, re-exported.
+const (
+	// FailFast stops dispatching new flow jobs after the first failure.
+	FailFast = flow.FailFast
+	// Collect keeps independent subgraphs running past failures and
+	// reports them all in Result.JobErrors.
+	Collect = flow.Collect
+)
+
+// NewObserver returns an observability handle — a fresh metrics
+// registry plus tracer. Attach it to FlowOptions.Observer and/or
+// RuntimeConfig.Observer, then export with Metrics().WriteJSON
+// (expvar-style flat JSON) and Tracer().WriteJSON (Chrome trace-event
+// JSON, loadable in Perfetto). A nil *Observer disables all
+// observation at no cost, and observation never changes results.
+func NewObserver() *Observer { return obs.New() }
 
 // DefaultRuntimeConfig returns the evaluation runtime configuration.
 func DefaultRuntimeConfig() RuntimeConfig { return reconfig.DefaultConfig() }

@@ -1,6 +1,7 @@
 package presp
 
 import (
+	"context"
 	"fmt"
 
 	"presp/internal/wami"
@@ -87,7 +88,7 @@ func (p *Platform) RunWAMI(socName string, opt WAMIOptions) (*WAMIReport, error)
 			am[tileName] = append(am[tileName], wami.Names[idx])
 		}
 	}
-	if _, err := p.StageBitstreams(rt, am, opt.Compress); err != nil {
+	if _, err := p.StageBitstreams(context.Background(), rt, am, opt.Compress); err != nil {
 		return nil, err
 	}
 	pcfg := wami.DefaultPipelineConfig()
