@@ -11,9 +11,9 @@ GO ?= go
 # must fail the suite, not hang CI.
 TEST_TIMEOUT ?= 5m
 
-.PHONY: ci vet staticcheck build test race bench bench-smoke fuzz fuzz-smoke
+.PHONY: ci vet staticcheck build test race bench bench-smoke fuzz fuzz-smoke serve-smoke
 
-ci: vet staticcheck build test race fuzz-smoke bench-smoke
+ci: vet staticcheck build test race fuzz-smoke bench-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,13 @@ bench-smoke:
 		-benchtime=1x -benchmem -timeout $(TEST_TIMEOUT) ./internal/flow/ \
 		| $(GO) run ./cmd/presp-benchjson > BENCH_flow.json
 	@cat BENCH_flow.json
+
+# Boot check for the flow-as-a-service daemon, part of `make ci`: build
+# presp-served, bind an ephemeral port, push one real job through the
+# HTTP API (submit, poll, /metrics), then drain gracefully. Fails if
+# the daemon cannot boot, serve, finish a job, or shut down cleanly.
+serve-smoke:
+	$(GO) run ./cmd/presp-served -smoke
 
 # Longer fuzz session for the scheduler property suite.
 fuzz:

@@ -1,0 +1,241 @@
+// Command presp-served is the flow-as-a-service daemon: it serves the
+// PR-ESP flow engine as a multi-tenant HTTP job API with bounded
+// admission, per-tenant fair scheduling, single-flight deduplication of
+// identical submissions and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	presp-served -addr :8080                  # serve the job API
+//	presp-served -addr :8080 -workers 4 -queue 128
+//	presp-served -journal-dir /var/lib/presp  # persist per-job journals
+//	presp-served -smoke                       # boot, run one job, drain, exit
+//
+// API (tenant from the X-Tenant header, default "default"):
+//
+//	POST   /v1/jobs        submit a flow spec; 202 job, 429 when full
+//	GET    /v1/jobs        list the tenant's jobs
+//	GET    /v1/jobs/{id}   poll one job
+//	DELETE /v1/jobs/{id}   cancel
+//	GET    /v1/healthz     occupancy and drain state
+//	GET    /metrics        flat-JSON metrics registry
+//	GET    /debug/pprof/   standard pprof handlers
+//
+// SIGINT/SIGTERM drain gracefully: queued jobs are rejected with
+// "server draining", in-flight jobs finish and are journaled, then the
+// process exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"presp/internal/obs"
+	"presp/internal/server"
+)
+
+// cliOptions is the parsed, validated command line.
+type cliOptions struct {
+	addr         string
+	workers      int
+	queue        int
+	jobWorkers   int
+	journalDir   string
+	drainTimeout time.Duration
+	retryAfter   time.Duration
+	smoke        bool
+}
+
+// parseCLI parses and validates argv (without the program name). It is
+// side-effect free so tests can drive it directly.
+func parseCLI(args []string) (*cliOptions, error) {
+	fs := flag.NewFlagSet("presp-served", flag.ContinueOnError)
+	o := &cliOptions{}
+	fs.StringVar(&o.addr, "addr", "localhost:8080", "listen address (host:port; port 0 picks one)")
+	fs.IntVar(&o.workers, "workers", 2, "concurrent flow executions")
+	fs.IntVar(&o.queue, "queue", 64, "admission queue depth (submissions beyond it get 429)")
+	fs.IntVar(&o.jobWorkers, "job-workers", 0, "per-run flow scheduler goroutines (0 = all CPUs)")
+	fs.StringVar(&o.journalDir, "journal-dir", "", "write each job's flow journal to this directory")
+	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+	fs.DurationVar(&o.retryAfter, "retry-after", time.Second, "Retry-After hint on 429 responses")
+	fs.BoolVar(&o.smoke, "smoke", false, "self-test: boot on an ephemeral port, run one job through the API, drain, exit")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if o.workers <= 0 {
+		return nil, fmt.Errorf("-workers must be > 0, got %d", o.workers)
+	}
+	if o.queue <= 0 {
+		return nil, fmt.Errorf("-queue must be > 0, got %d", o.queue)
+	}
+	if o.jobWorkers < 0 {
+		return nil, fmt.Errorf("-job-workers must be >= 0, got %d", o.jobWorkers)
+	}
+	if o.drainTimeout <= 0 {
+		return nil, fmt.Errorf("-drain-timeout must be > 0, got %v", o.drainTimeout)
+	}
+	if o.smoke {
+		o.addr = "127.0.0.1:0" // never bind a real port for the self-test
+	}
+	return o, nil
+}
+
+func main() {
+	o, err := parseCLI(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "presp-served:", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "presp-served:", err)
+		os.Exit(1)
+	}
+}
+
+// run boots the service and blocks until ctx is cancelled (signal) or,
+// in smoke mode, until the self-test finishes.
+func run(ctx context.Context, o *cliOptions, out io.Writer) error {
+	if o.journalDir != "" {
+		if err := os.MkdirAll(o.journalDir, 0o755); err != nil {
+			return err
+		}
+	}
+	srv := server.New(server.Config{
+		Workers:    o.workers,
+		QueueDepth: o.queue,
+		JobWorkers: o.jobWorkers,
+		JournalDir: o.journalDir,
+		RetryAfter: o.retryAfter,
+		Observer:   obs.New(),
+	})
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(out, "presp-served: listening on http://%s (workers=%d queue=%d)\n",
+		ln.Addr(), o.workers, o.queue)
+
+	drain := func() error {
+		fmt.Fprintln(out, "presp-served: draining (in-flight jobs finish, queued jobs rejected)")
+		drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+		defer cancel()
+		derr := srv.Shutdown(drainCtx)
+		herr := httpSrv.Shutdown(drainCtx)
+		if derr != nil {
+			return fmt.Errorf("drain: %w", derr)
+		}
+		return herr
+	}
+
+	if o.smoke {
+		smokeErr := smoke(fmt.Sprintf("http://%s", ln.Addr()), out)
+		if err := drain(); err != nil {
+			return err
+		}
+		if smokeErr != nil {
+			return fmt.Errorf("smoke: %w", smokeErr)
+		}
+		fmt.Fprintln(out, "presp-served: smoke ok")
+		return nil
+	}
+
+	select {
+	case <-ctx.Done():
+		return drain()
+	case err := <-serveErr:
+		return err
+	}
+}
+
+// smoke drives one job through the real HTTP API: submit, poll to
+// completion, check the metrics endpoint — the end-to-end boot check
+// `make serve-smoke` runs in CI.
+func smoke(base string, out io.Writer) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	resp, err := client.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"preset":"SOC_3","compress":true}`))
+	if err != nil {
+		return err
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+		Result *struct {
+			TotalMin float64 `json:"total_min"`
+		} `json:"result"`
+	}
+	if err := decodeInto(resp, http.StatusAccepted, &job); err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	fmt.Fprintf(out, "presp-served: smoke submitted %s\n", job.ID)
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := client.Get(base + "/v1/jobs/" + job.ID)
+		if err != nil {
+			return err
+		}
+		if err := decodeInto(resp, http.StatusOK, &job); err != nil {
+			return fmt.Errorf("poll: %w", err)
+		}
+		if job.State != "queued" && job.State != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s still %s after 60s", job.ID, job.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if job.State != "succeeded" {
+		return fmt.Errorf("job %s finished %s: %s", job.ID, job.State, job.Error)
+	}
+	if job.Result == nil || job.Result.TotalMin <= 0 {
+		return fmt.Errorf("job %s succeeded without a plausible result", job.ID)
+	}
+	fmt.Fprintf(out, "presp-served: smoke job done, modelled total %.1f min\n", job.Result.TotalMin)
+
+	mresp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	var metrics map[string]any
+	if err := decodeInto(mresp, http.StatusOK, &metrics); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if got, ok := metrics["server_jobs_completed_total"].(float64); !ok || got < 1 {
+		return fmt.Errorf("metrics report %v completed jobs, want >= 1", metrics["server_jobs_completed_total"])
+	}
+	return nil
+}
+
+// decodeInto checks the status code and decodes the JSON body.
+func decodeInto(resp *http.Response, wantStatus int, v any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != wantStatus {
+		return fmt.Errorf("status %d (want %d): %s", resp.StatusCode, wantStatus, body)
+	}
+	return json.Unmarshal(body, v)
+}

@@ -1,0 +1,120 @@
+// Flow as a service: boot the multi-tenant flow server in process,
+// drive it over real HTTP — submit, dedup, poll, backpressure — and
+// drain it gracefully. This is the same service cmd/presp-served runs
+// as a standalone daemon.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"presp"
+)
+
+func main() {
+	// The service embeds a platform-style shared checkpoint cache; an
+	// observer gives it server_* metrics and the /metrics endpoint.
+	svc := presp.NewFlowService(presp.FlowServiceConfig{
+		Workers:  2,
+		Observer: presp.NewObserver(),
+	})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	fmt.Println("service up at", ts.URL)
+
+	// Two tenants submit the same SoC build at the same time. The
+	// single-flight layer admits one execution; the second submission
+	// subscribes to it and receives the identical result.
+	first := submit(ts.URL, "team-red", `{"preset":"SOC_3","compress":true}`)
+	second := submit(ts.URL, "team-blue", `{"preset":"SOC_3","compress":true}`)
+	fmt.Printf("team-red  submitted %s\n", first.ID)
+	fmt.Printf("team-blue submitted %s (deduplicated=%v)\n", second.ID, second.Deduplicated)
+
+	red := wait(ts.URL, "team-red", first.ID)
+	blue := wait(ts.URL, "team-blue", second.ID)
+	fmt.Printf("team-red  %s: total %.1f model-min, %d cache misses\n",
+		red.State, red.Result.TotalMin, red.Result.CacheMisses)
+	fmt.Printf("team-blue %s: total %.1f model-min (shared run)\n",
+		blue.State, blue.Result.TotalMin)
+
+	// Tenancy is real: team-blue cannot see team-red's job.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+first.ID, nil)
+	req.Header.Set("X-Tenant", "team-blue")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("team-blue fetching team-red's job: HTTP %d\n", resp.StatusCode)
+
+	// A warm resubmission reuses every synthesis checkpoint.
+	warm := wait(ts.URL, "team-red", submit(ts.URL, "team-red", `{"preset":"SOC_3","compress":true}`).ID)
+	fmt.Printf("warm rerun: %d cache hits, %d misses\n", warm.Result.CacheHits, warm.Result.CacheMisses)
+
+	// Graceful drain: stop admitting, let in-flight work finish.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("service drained cleanly")
+}
+
+func submit(base, tenant, spec string) presp.FlowJob {
+	req, err := http.NewRequest("POST", base+"/v1/jobs", bytes.NewReader([]byte(spec)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var job presp.FlowJob
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("submit for %s: HTTP %d", tenant, resp.StatusCode)
+	}
+	return job
+}
+
+func wait(base, tenant, id string) presp.FlowJob {
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		req, err := http.NewRequest("GET", base+"/v1/jobs/"+id, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var job presp.FlowJob
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch job.State {
+		case "succeeded":
+			return job
+		case "queued", "running":
+			if time.Now().After(deadline) {
+				log.Fatalf("job %s stuck in %s", id, job.State)
+			}
+			time.Sleep(20 * time.Millisecond)
+		default:
+			log.Fatalf("job %s ended %s: %s", id, job.State, job.Error)
+		}
+	}
+}

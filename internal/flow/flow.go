@@ -239,6 +239,29 @@ func RunStandardDFXContext(ctx context.Context, d *socgen.Design, opt Options) (
 	return RunStandardDFX(ctx, d, opt)
 }
 
+// FlowNames lists the runnable flow names RunFlow accepts, in a stable
+// order: the PR-ESP flow, the vendor standard-DFX baseline and the
+// monolithic (plain ESP) baseline.
+func FlowNames() []string {
+	return []string{"presp", "standard-dfx", "monolithic"}
+}
+
+// RunFlow dispatches a flow run by name — the journal/CLI naming shared
+// by presp-flow and the flow service. Unknown names are rejected before
+// any work starts.
+func RunFlow(ctx context.Context, flowName string, d *socgen.Design, opt Options) (*Result, error) {
+	switch flowName {
+	case "", "presp":
+		return RunPRESP(ctx, d, opt)
+	case "standard-dfx":
+		return RunStandardDFX(ctx, d, opt)
+	case "monolithic":
+		return RunMonolithic(ctx, d, opt)
+	default:
+		return nil, fmt.Errorf("flow: unknown flow %q (want one of %v)", flowName, FlowNames())
+	}
+}
+
 // chooseStrategy resolves the implementation strategy up front (it
 // depends only on the elaborated design), so the whole job graph can be
 // built before execution starts.

@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"net/http"
+	netpprof "net/http/pprof"
+)
+
+// MetricsHandler serves the registry as flat JSON — the scrape endpoint
+// a long-running service mounts next to its API. A nil registry serves
+// an empty object, keeping the handler nil-safe like every other
+// instrument in this package.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if reg == nil {
+			w.Write([]byte("{}\n")) //nolint:errcheck // best-effort scrape
+			return
+		}
+		reg.WriteJSON(w) //nolint:errcheck // client hangup mid-scrape is not an error
+	})
+}
+
+// RegisterPprof mounts the standard pprof endpoints under /debug/pprof/
+// on an existing mux — the in-process variant of StartPprof for
+// services that already run an HTTP server and want profiling on the
+// same listener.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+}

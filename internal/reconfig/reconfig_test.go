@@ -667,3 +667,26 @@ func TestCoalescedDuplicateSwaps(t *testing.T) {
 		t.Fatalf("duplicate requests should coalesce into one swap, got %d", got)
 	}
 }
+
+// TestRegisteredBitstreamsSorted pins the listing order. The staging
+// table is a map; the fold used to return raw map iteration order, so
+// the listing shuffled between calls (regression). Repeated calls make
+// the old behavior fail with high probability.
+func TestRegisteredBitstreamsSorted(t *testing.T) {
+	tb := newTestbed(t)
+	want := []string{"fft", "gemm", "sort"}
+	for i := 0; i < 32; i++ {
+		names, err := tb.rt.RegisteredBitstreams("rt_1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) != len(want) {
+			t.Fatalf("call %d: %v, want %v", i, names, want)
+		}
+		for j := range want {
+			if names[j] != want[j] {
+				t.Fatalf("call %d: unsorted listing %v, want %v", i, names, want)
+			}
+		}
+	}
+}

@@ -496,7 +496,9 @@ func (r *Runtime) RegisterBitstream(tileName, accName string, bs *bitstream.Bits
 	return nil
 }
 
-// RegisteredBitstreams lists accelerator names staged for a tile.
+// RegisteredBitstreams lists accelerator names staged for a tile, in
+// sorted order — the staging table is a map, and folding it unsorted
+// would leak map iteration order into status output and tests.
 func (r *Runtime) RegisteredBitstreams(tileName string) ([]string, error) {
 	ts, err := r.tile(tileName)
 	if err != nil {
@@ -506,5 +508,6 @@ func (r *Runtime) RegisteredBitstreams(tileName string) ([]string, error) {
 	for n := range ts.bitstream {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out, nil
 }

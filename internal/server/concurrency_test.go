@@ -1,0 +1,234 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrencyBattery is the headline stress test: 32 goroutine
+// clients across 4 tenants hammer submit/poll/cancel against the real
+// HTTP API running real (model-time) flows, under the race detector.
+// Invariants checked afterwards:
+//
+//   - no job is lost: every accepted submission is retrievable by its
+//     tenant and reaches a terminal state;
+//   - no cross-tenant leakage: every job 404s for other tenants and
+//     List never shows foreign jobs;
+//   - backpressure is clean: 429s carry Retry-After and reject, never
+//     corrupt;
+//   - the queue fully drains: the queue-depth gauge reads 0 at the end.
+func TestConcurrencyBattery(t *testing.T) {
+	const (
+		clients       = 32
+		perClient     = 4
+		tenantCount   = 4
+		pollInterval  = 2 * time.Millisecond
+		drainDeadline = 60 * time.Second
+	)
+	s := newTestServer(t, Config{Workers: 4, QueueDepth: 16})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// The spec pool mixes flows, strategies, cache-friendly duplicates
+	// and deliberately failing runs (seeded faults, fail-fast).
+	specs := []string{
+		`{"preset":"SOC_1"}`,
+		`{"preset":"SOC_2","compress":true}`,
+		`{"preset":"SOC_3","flow":"standard-dfx"}`,
+		`{"preset":"SOC_2","strategy":"serial"}`,
+		`{"preset":"SOC_1","flow":"monolithic"}`,
+		`{"preset":"SOC_2","faults":"seed=7,synth=1.0"}`,
+		`{"preset":"SOC_1","skip_bitstreams":true}`,
+	}
+
+	type submitted struct {
+		tenant string
+		id     string
+	}
+	var (
+		mu       sync.Mutex
+		accepted []submitted
+		rejected int
+	)
+	record := func(tenant, id string) {
+		mu.Lock()
+		accepted = append(accepted, submitted{tenant, id})
+		mu.Unlock()
+	}
+
+	client := ts.Client()
+	do := func(method, path, tenant, body string) (*http.Response, []byte, error) {
+		req, err := http.NewRequest(method, ts.URL+path, bytes.NewReader([]byte(body)))
+		if err != nil {
+			return nil, nil, err
+		}
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			return nil, nil, err
+		}
+		return resp, buf.Bytes(), nil
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			tenant := fmt.Sprintf("tenant-%d", c%tenantCount)
+			for i := 0; i < perClient; i++ {
+				spec := specs[rng.Intn(len(specs))]
+				resp, body, err := do("POST", "/v1/jobs", tenant, spec)
+				if err != nil {
+					t.Errorf("client %d: submit: %v", c, err)
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					var v JobView
+					if err := json.Unmarshal(body, &v); err != nil {
+						t.Errorf("client %d: bad submit body: %v", c, err)
+						return
+					}
+					record(tenant, v.ID)
+					// Cancel a third of our jobs at a random moment.
+					if rng.Intn(3) == 0 {
+						time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+						cresp, _, err := do("DELETE", "/v1/jobs/"+v.ID, tenant, "")
+						if err != nil {
+							t.Errorf("client %d: cancel: %v", c, err)
+							return
+						}
+						if cresp.StatusCode != http.StatusOK {
+							t.Errorf("client %d: cancel %s = %d, want 200", c, v.ID, cresp.StatusCode)
+						}
+					} else {
+						// Poll a few times like a real client would.
+						for p := 0; p < 3; p++ {
+							presp, _, err := do("GET", "/v1/jobs/"+v.ID, tenant, "")
+							if err != nil {
+								t.Errorf("client %d: poll: %v", c, err)
+								return
+							}
+							if presp.StatusCode != http.StatusOK {
+								t.Errorf("client %d: poll %s = %d, want 200", c, v.ID, presp.StatusCode)
+							}
+							time.Sleep(pollInterval)
+						}
+					}
+				case http.StatusTooManyRequests:
+					if ra := resp.Header.Get("Retry-After"); ra == "" {
+						t.Errorf("client %d: 429 without Retry-After", c)
+					}
+					mu.Lock()
+					rejected++
+					mu.Unlock()
+					time.Sleep(time.Duration(1+rng.Intn(4)) * time.Millisecond)
+					i-- // retry the slot like a backoff-respecting client
+				default:
+					t.Errorf("client %d: submit = %d: %s", c, resp.StatusCode, body)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	t.Logf("battery: %d accepted, %d backpressure rejections", len(accepted), rejected)
+	if len(accepted) != clients*perClient {
+		t.Fatalf("accepted %d jobs, want %d (every client retries past 429s)", len(accepted), clients*perClient)
+	}
+
+	// No job lost: each reaches a terminal state, visible to its tenant.
+	deadline := time.Now().Add(drainDeadline)
+	for _, sub := range accepted {
+		for {
+			v, err := s.Get(sub.tenant, sub.id)
+			if err != nil {
+				t.Fatalf("job %s vanished for %s: %v", sub.id, sub.tenant, err)
+			}
+			if v.State.terminal() {
+				if v.State == StateRejected {
+					t.Errorf("job %s rejected outside a drain", sub.id)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %s", sub.id, v.State)
+			}
+			time.Sleep(pollInterval)
+		}
+	}
+
+	// No cross-tenant leakage, through the real HTTP surface.
+	for _, sub := range accepted {
+		other := "tenant-x"
+		resp, _, err := do("GET", "/v1/jobs/"+sub.id, other, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("job %s leaked to %s: status %d", sub.id, other, resp.StatusCode)
+		}
+	}
+	perTenant := map[string]int{}
+	for _, sub := range accepted {
+		perTenant[sub.tenant]++
+	}
+	for tenant, want := range perTenant {
+		resp, body, err := do("GET", "/v1/jobs", tenant, "")
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("list %s: %v status %d", tenant, err, resp.StatusCode)
+		}
+		var listing struct {
+			Jobs []JobView `json:"jobs"`
+		}
+		if err := json.Unmarshal(body, &listing); err != nil {
+			t.Fatal(err)
+		}
+		if len(listing.Jobs) != want {
+			t.Errorf("tenant %s lists %d jobs, want %d", tenant, len(listing.Jobs), want)
+		}
+		for _, j := range listing.Jobs {
+			if j.Tenant != tenant {
+				t.Errorf("tenant %s's listing contains %s's job %s", tenant, j.Tenant, j.ID)
+			}
+		}
+	}
+
+	// Everything drained: occupancy is zero and the queue-depth gauge
+	// (scraped through the real /metrics endpoint) reads 0.
+	if st := s.Snapshot(); st.Queued != 0 || st.Running != 0 {
+		t.Fatalf("server not idle after battery: %+v", st)
+	}
+	resp, body, err := do("GET", "/metrics", "tenant-0", "")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %v status %d", err, resp.StatusCode)
+	}
+	var metrics map[string]any
+	if err := json.Unmarshal(body, &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if depth, ok := metrics["server_queue_depth"].(float64); !ok || depth != 0 {
+		t.Errorf("server_queue_depth = %v after drain, want 0", metrics["server_queue_depth"])
+	}
+	submittedN, _ := metrics["server_jobs_submitted_total"].(float64)
+	if int(submittedN) != len(accepted) {
+		t.Errorf("server_jobs_submitted_total = %v, want %d", submittedN, len(accepted))
+	}
+}

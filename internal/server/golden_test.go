@@ -1,0 +1,157 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenCompare checks body against testdata/<name>.golden, rewriting
+// the file under -update. The JSON API is a compatibility surface;
+// any drift in these bodies is a breaking change and must be deliberate.
+func goldenCompare(t *testing.T, name string, body []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, body, want)
+	}
+}
+
+// goldenServer is a server with a pinned clock and a deterministic stub
+// flow, so every byte of the API responses is reproducible.
+func goldenServer(t *testing.T, st *stubRunner, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.Now = func() time.Time {
+		return time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	}
+	s := newTestServer(t, cfg)
+	s.runFlow = st.run
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func doJSON(t *testing.T, method, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestGoldenJobLifecycle(t *testing.T) {
+	st := &stubRunner{}
+	s, ts := goldenServer(t, st, Config{Workers: 1})
+
+	resp, body := doJSON(t, "POST", ts.URL+"/v1/jobs", `{"preset":"SOC_3","compress":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	goldenCompare(t, "job_accepted", body)
+
+	waitState(t, s, "default", "j000001", StateSucceeded)
+	resp, body = doJSON(t, "GET", ts.URL+"/v1/jobs/j000001", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get status = %d: %s", resp.StatusCode, body)
+	}
+	goldenCompare(t, "job_succeeded", body)
+}
+
+func TestGoldenErrorEnvelopes(t *testing.T) {
+	st := &stubRunner{started: make(chan int, 1), gate: make(chan struct{})}
+	s, ts := goldenServer(t, st, Config{Workers: 1, QueueDepth: 1})
+
+	t.Run("bad spec", func(t *testing.T) {
+		resp, body := doJSON(t, "POST", ts.URL+"/v1/jobs", `{"preset":"SOC_99"}`)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400: %s", resp.StatusCode, body)
+		}
+		goldenCompare(t, "error_bad_spec", body)
+	})
+
+	t.Run("unknown field", func(t *testing.T) {
+		resp, body := doJSON(t, "POST", ts.URL+"/v1/jobs", `{"preset":"SOC_1","power":9001}`)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400: %s", resp.StatusCode, body)
+		}
+		goldenCompare(t, "error_unknown_field", body)
+	})
+
+	t.Run("not found", func(t *testing.T) {
+		resp, body := doJSON(t, "GET", ts.URL+"/v1/jobs/j999999", "")
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("status = %d, want 404: %s", resp.StatusCode, body)
+		}
+		goldenCompare(t, "error_not_found", body)
+	})
+
+	t.Run("queue full", func(t *testing.T) {
+		// Pin the worker, fill the single queue slot, then overflow.
+		for tau := 1; tau <= 2; tau++ {
+			resp, body := doJSON(t, "POST", ts.URL+"/v1/jobs",
+				fmt.Sprintf(`{"preset":"SOC_1","tau":%d}`, tau))
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("setup submit tau=%d: %d %s", tau, resp.StatusCode, body)
+			}
+			if tau == 1 {
+				<-st.started
+			}
+		}
+		resp, body := doJSON(t, "POST", ts.URL+"/v1/jobs", `{"preset":"SOC_1","tau":3}`)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("status = %d, want 429: %s", resp.StatusCode, body)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "1" {
+			t.Errorf("Retry-After = %q, want \"1\"", ra)
+		}
+		goldenCompare(t, "error_queue_full", body)
+		close(st.gate)
+	})
+
+	t.Run("draining", func(t *testing.T) {
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+		resp, body := doJSON(t, "POST", ts.URL+"/v1/jobs", `{"preset":"SOC_1"}`)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d, want 503: %s", resp.StatusCode, body)
+		}
+		goldenCompare(t, "error_draining", body)
+	})
+}

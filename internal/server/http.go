@@ -1,0 +1,133 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"presp/internal/obs"
+)
+
+// errorEnvelope is the wire form of every API error: a stable machine
+// code plus a human message, pinned by the golden-file tests.
+type errorEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// tenantOf resolves the calling tenant from the X-Tenant header.
+// Absent means the shared "default" tenant — fine for a single-team
+// deployment, while multi-tenant deployments put an authenticating
+// proxy in front that stamps the header.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// Handler returns the service mux: the job API under /v1, the metrics
+// scrape endpoint and the pprof handlers — one listener serves all
+// three, so operating the daemon needs exactly one port.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.Handle("GET /metrics", obs.MetricsHandler(s.cfg.Observer.Metrics()))
+	obs.RegisterPprof(mux)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decoding job spec: %v", err))
+		return
+	}
+	job, err := s.Submit(tenantOf(r), spec)
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+// writeSubmitError maps the typed admission errors to status codes:
+// backpressure is 429 with a Retry-After hint, draining is 503, an
+// invalid spec is 400.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	var qf *QueueFullError
+	var bad *BadSpecError
+	switch {
+	case errors.As(err, &qf):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+		writeError(w, http.StatusTooManyRequests, "queue_full", qf.Error())
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "draining", ErrDraining.Error())
+	case errors.As(err, &bad):
+		writeError(w, http.StatusBadRequest, "bad_spec", bad.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Get(tenantOf(r), r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", ErrNotFound.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.List(tenantOf(r))
+	writeJSON(w, http.StatusOK, map[string][]JobView{"jobs": jobs})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Cancel(tenantOf(r), r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", ErrNotFound.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.Snapshot()
+	status := "ok"
+	if st.Draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  status,
+		"queued":  st.Queued,
+		"running": st.Running,
+		"jobs":    st.Jobs,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client hangup mid-write is not a server error
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	var env errorEnvelope
+	env.Error.Code = code
+	env.Error.Message = msg
+	writeJSON(w, status, env)
+}

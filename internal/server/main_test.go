@@ -1,0 +1,11 @@
+package server
+
+import (
+	"testing"
+
+	"presp/internal/leakcheck"
+)
+
+// TestMain fails the whole package if any test leaves a goroutine
+// behind — every server the tests create must drain completely.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

@@ -1,0 +1,568 @@
+// Package server exposes the flow engine as a long-running,
+// multi-tenant job service: clients submit PR-ESP / standard-DFX /
+// monolithic flow runs over HTTP, poll their status, fetch results and
+// cancel — all on the ctx-first flow.Run* entry points.
+//
+// The service layer adds what a shared deployment needs and the engine
+// deliberately does not have:
+//
+//   - a bounded admission queue with backpressure: when the queue is
+//     full, submissions are rejected with 429 and a Retry-After hint
+//     instead of growing memory without limit;
+//   - per-tenant fair scheduling: each tenant has its own FIFO and a
+//     round-robin dispatcher picks across them, so one heavy client
+//     cannot starve the rest;
+//   - single-flight deduplication keyed on the checkpoint-cache content
+//     address: N concurrent submissions of identical work admit one
+//     flight group, run the flow once, and share the result — a failing
+//     leader propagates its error to every follower;
+//   - graceful drain: shutdown stops admitting, rejects
+//     queued-but-unadmitted jobs with a clean "server draining" error,
+//     lets in-flight runs finish (journaled, via the engine's
+//     drain-on-cancel semantics) and only then returns.
+//
+// Everything is wired into internal/obs: server_* counters, gauges and
+// histograms, per-job trace spans, and the /metrics + /debug/pprof
+// endpoints mounted on the same mux. See DESIGN.md §13.
+package server
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"presp/internal/flow"
+	"presp/internal/obs"
+	"presp/internal/report"
+	"presp/internal/vivado"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers bounds concurrent flow executions (default 2).
+	Workers int
+	// QueueDepth bounds queued-but-not-running flight groups across all
+	// tenants (default 64). Beyond it, submissions get 429.
+	QueueDepth int
+	// JobWorkers is the per-run flow scheduler pool width passed to
+	// flow.Options.Workers (0 = GOMAXPROCS).
+	JobWorkers int
+	// Cache is the shared synthesis-checkpoint cache (nil = a fresh
+	// one). Sharing it across jobs is what makes warm submissions cheap
+	// and is the second half of the dedup story: even non-identical
+	// jobs reuse each other's synthesis checkpoints.
+	Cache *vivado.CheckpointCache
+	// Observer records server_* metrics and per-job trace spans, and
+	// backs the /metrics endpoint (nil = no observation).
+	Observer *obs.Observer
+	// JournalDir, when set, writes each job's flow journal to
+	// <dir>/<job-id>.jsonl; in-flight jobs that complete during a drain
+	// are journaled there.
+	JournalDir string
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// Now overrides the clock (tests pin it for golden files).
+	Now func() time.Time
+}
+
+// group is one single-flight execution: every job whose spec key
+// matches an in-flight group subscribes to it instead of running again.
+// The group owns the run's context; it is cancelled only when the last
+// subscriber goes away.
+type group struct {
+	key      string
+	tenant   string // admitting tenant, used for fair scheduling
+	cs       *compiledSpec
+	jobs     []*Job // live subscribers
+	ctx      context.Context
+	cancel   context.CancelFunc
+	running  bool
+	started  time.Time
+	enqueued time.Time
+
+	journalFile *os.File // non-nil when Config.JournalDir is set
+}
+
+// Server is the flow service. Create with New, serve via Handler, stop
+// with Shutdown.
+type Server struct {
+	cfg   Config
+	now   func() time.Time
+	cache *vivado.CheckpointCache
+
+	// runFlow is the execution seam; tests substitute it to control
+	// run timing without touching the scheduling machinery.
+	runFlow func(ctx context.Context, cs *compiledSpec, opt flow.Options) (*flow.Result, error)
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*Job
+	flights  map[string]*group   // queued + running groups by spec key
+	queues   map[string][]*group // per-tenant admission FIFOs
+	rr       []string            // round-robin ring of tenants with queued work
+	queued   int                 // total queued groups
+	running  int                 // groups currently executing
+	draining bool
+	seq      int
+	wg       sync.WaitGroup
+
+	// Instruments, resolved once; nil-safe when no Observer is set.
+	mSubmitted    *obs.Counter
+	mDeduped      *obs.Counter
+	mCompleted    *obs.Counter
+	mFailed       *obs.Counter
+	mCancelled    *obs.Counter
+	mRejected     *obs.Counter // queued jobs rejected by drain
+	mQueueRejects *obs.Counter // 429s
+	mDrainRejects *obs.Counter // 503s
+	gQueueDepth   *obs.Gauge
+	gRunning      *obs.Gauge
+	hQueueSec     *obs.Histogram
+	hRunSec       *obs.Histogram
+}
+
+// serverTIDBase is the trace lane block for server worker slots, kept
+// clear of the flow scheduler's worker lanes and coordinator lane.
+const serverTIDBase = 1 << 21
+
+// New builds and starts a server: worker goroutines spin up immediately
+// and wait for submissions. Callers must Shutdown to stop them.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	s := &Server{
+		cfg:     cfg,
+		now:     cfg.Now,
+		cache:   cfg.Cache,
+		jobs:    make(map[string]*Job),
+		flights: make(map[string]*group),
+		queues:  make(map[string][]*group),
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	if s.cache == nil {
+		s.cache = vivado.NewCheckpointCache()
+	}
+	s.runFlow = func(ctx context.Context, cs *compiledSpec, opt flow.Options) (*flow.Result, error) {
+		return flow.RunFlow(ctx, cs.spec.Flow, cs.design, opt)
+	}
+	s.cond = sync.NewCond(&s.mu)
+
+	reg := cfg.Observer.Metrics()
+	s.mSubmitted = reg.Counter("server_jobs_submitted_total")
+	s.mDeduped = reg.Counter("server_dedup_hits_total")
+	s.mCompleted = reg.Counter("server_jobs_completed_total")
+	s.mFailed = reg.Counter("server_jobs_failed_total")
+	s.mCancelled = reg.Counter("server_jobs_cancelled_total")
+	s.mRejected = reg.Counter("server_jobs_drain_rejected_total")
+	s.mQueueRejects = reg.Counter("server_admission_rejects_total")
+	s.mDrainRejects = reg.Counter("server_drain_rejects_total")
+	s.gQueueDepth = reg.Gauge("server_queue_depth")
+	s.gRunning = reg.Gauge("server_jobs_running")
+	s.hQueueSec = reg.Histogram("server_job_queue_seconds")
+	s.hRunSec = reg.Histogram("server_job_run_seconds")
+	if tr := cfg.Observer.Tracer(); tr != nil {
+		for i := 0; i < cfg.Workers; i++ {
+			tr.SetThreadName(serverTIDBase+i, fmt.Sprintf("server-worker-%d", i))
+		}
+	}
+
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker(i)
+	}
+	return s
+}
+
+// Submit validates and admits one job for tenant. It returns the
+// created job, or ErrDraining, a *QueueFullError or a *BadSpecError.
+func (s *Server) Submit(tenant string, spec Spec) (JobView, error) {
+	cs, err := compile(spec)
+	if err != nil {
+		return JobView{}, &BadSpecError{Reason: err}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.mDrainRejects.Inc()
+		return JobView{}, ErrDraining
+	}
+	// Single-flight: identical work joins the in-flight group — queued
+	// or running — instead of consuming a queue slot.
+	if g, ok := s.flights[cs.key]; ok {
+		j := s.newJobLocked(tenant, cs.spec, true)
+		j.group = g
+		g.jobs = append(g.jobs, j)
+		if g.running {
+			j.State = StateRunning
+			j.Started = g.started
+		}
+		s.mDeduped.Inc()
+		return j.viewLocked(), nil
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		s.mQueueRejects.Inc()
+		return JobView{}, &QueueFullError{Depth: s.cfg.QueueDepth}
+	}
+	j := s.newJobLocked(tenant, cs.spec, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	g := &group{
+		key:      cs.key,
+		tenant:   tenant,
+		cs:       cs,
+		jobs:     []*Job{j},
+		ctx:      ctx,
+		cancel:   cancel,
+		enqueued: j.Submitted,
+	}
+	j.group = g
+	s.flights[cs.key] = g
+	s.enqueueLocked(g)
+	s.cond.Signal()
+	return j.viewLocked(), nil
+}
+
+// newJobLocked allocates a job record. Callers hold s.mu.
+func (s *Server) newJobLocked(tenant string, spec Spec, dedup bool) *Job {
+	s.seq++
+	j := &Job{
+		ID:        fmt.Sprintf("j%06d", s.seq),
+		Tenant:    tenant,
+		Spec:      spec,
+		State:     StateQueued,
+		Dedup:     dedup,
+		Submitted: s.now(),
+	}
+	s.jobs[j.ID] = j
+	s.mSubmitted.Inc()
+	s.cfg.Observer.Metrics().Counter("server_tenant_jobs_total." + tenant).Inc()
+	return j
+}
+
+// enqueueLocked appends g to its tenant FIFO and registers the tenant
+// in the round-robin ring. Callers hold s.mu.
+func (s *Server) enqueueLocked(g *group) {
+	if len(s.queues[g.tenant]) == 0 {
+		s.rr = append(s.rr, g.tenant)
+	}
+	s.queues[g.tenant] = append(s.queues[g.tenant], g)
+	s.queued++
+	s.gQueueDepth.Set(float64(s.queued))
+}
+
+// dequeueLocked pops the next group in tenant round-robin order.
+// Callers hold s.mu and have checked s.queued > 0.
+func (s *Server) dequeueLocked() *group {
+	tenant := s.rr[0]
+	s.rr = s.rr[1:]
+	q := s.queues[tenant]
+	g := q[0]
+	q = q[1:]
+	if len(q) > 0 {
+		s.queues[tenant] = q
+		s.rr = append(s.rr, tenant) // rotate: next tenant gets the next slot
+	} else {
+		delete(s.queues, tenant)
+	}
+	s.queued--
+	s.gQueueDepth.Set(float64(s.queued))
+	return g
+}
+
+// removeQueuedLocked unlinks a queued group (last subscriber
+// cancelled). Callers hold s.mu.
+func (s *Server) removeQueuedLocked(g *group) {
+	q := s.queues[g.tenant]
+	for i, qg := range q {
+		if qg == g {
+			q = append(q[:i:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(q) > 0 {
+		s.queues[g.tenant] = q
+	} else {
+		delete(s.queues, g.tenant)
+		for i, t := range s.rr {
+			if t == g.tenant {
+				s.rr = append(s.rr[:i:i], s.rr[i+1:]...)
+				break
+			}
+		}
+	}
+	delete(s.flights, g.key)
+	s.queued--
+	s.gQueueDepth.Set(float64(s.queued))
+}
+
+// worker is one execution slot: it pulls flight groups off the tenant
+// queues in round-robin order and runs them until the server drains.
+func (s *Server) worker(slot int) {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.queued == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if s.queued == 0 {
+			s.mu.Unlock()
+			return // draining and nothing left to admit
+		}
+		g := s.dequeueLocked()
+		g.running = true
+		g.started = s.now()
+		for _, j := range g.jobs {
+			j.State = StateRunning
+			j.Started = g.started
+		}
+		s.running++
+		s.gRunning.Set(float64(s.running))
+		s.hQueueSec.Observe(g.started.Sub(g.enqueued).Seconds())
+		s.mu.Unlock()
+		s.execute(slot, g)
+	}
+}
+
+// execute runs one flight group to completion and publishes the
+// outcome to every surviving subscriber.
+func (s *Server) execute(slot int, g *group) {
+	journal, journalErr := s.openJournal(g)
+	opt := flow.Options{
+		Strategy:       g.cs.strategy,
+		SemiTau:        g.cs.spec.Tau,
+		Compress:       g.cs.spec.Compress,
+		SkipBitstreams: g.cs.spec.SkipBitstreams,
+		Workers:        s.cfg.JobWorkers,
+		Cache:          s.cache,
+		MaxJobRetries:  g.cs.spec.Retries,
+		FaultPlan:      g.cs.faults,
+		Journal:        journal,
+		Observer:       s.cfg.Observer,
+	}
+	if g.cs.spec.ErrorPolicy == "collect" {
+		opt.ErrorPolicy = flow.Collect
+	}
+
+	tr := s.cfg.Observer.Tracer()
+	spanStart := tr.Now()
+
+	var res *flow.Result
+	err := journalErr
+	if err == nil {
+		res, err = s.runFlow(g.ctx, g.cs, opt)
+	}
+	if g.journalFile != nil {
+		g.journalFile.Close() //nolint:errcheck // line-buffered writes already flushed per entry
+	}
+
+	s.mu.Lock()
+	delete(s.flights, g.key)
+	s.running--
+	s.gRunning.Set(float64(s.running))
+	end := s.now()
+	s.hRunSec.Observe(end.Sub(g.started).Seconds())
+	var rv *ResultView
+	if err == nil {
+		rv = summarizeResult(g.cs.spec, res, len(journal.Entries()))
+	}
+	for _, j := range g.jobs {
+		if j.State.terminal() {
+			continue // cancelled subscribers keep their state
+		}
+		j.Finished = end
+		if err != nil {
+			j.State = StateFailed
+			j.Err = err.Error()
+			s.mFailed.Inc()
+		} else {
+			j.State = StateSucceeded
+			j.Result = rv
+			s.mCompleted.Inc()
+		}
+	}
+	nJobs := len(g.jobs)
+	g.jobs = nil
+	s.mu.Unlock()
+	g.cancel() // release the group context
+
+	if tr != nil {
+		args := map[string]any{"key": g.key, "tenant": g.tenant, "subscribers": nJobs}
+		if err != nil {
+			args["error"] = err.Error()
+		}
+		tr.Complete("server", "flight/"+g.cs.spec.Preset, serverTIDBase+slot, spanStart, tr.Now()-spanStart, args)
+	}
+}
+
+// openJournal creates the group's journal: in-memory always, backed by
+// a <JournalDir>/<leader-job>.jsonl file when configured.
+func (s *Server) openJournal(g *group) (*flow.Journal, error) {
+	if s.cfg.JournalDir == "" {
+		return flow.NewJournal(nil), nil
+	}
+	s.mu.Lock()
+	leader := ""
+	if len(g.jobs) > 0 {
+		leader = g.jobs[0].ID
+	}
+	s.mu.Unlock()
+	f, err := os.Create(filepath.Join(s.cfg.JournalDir, leader+".jsonl"))
+	if err != nil {
+		return nil, fmt.Errorf("server: journal: %w", err)
+	}
+	g.journalFile = f // closed by execute after the run's entries are final
+	return flow.NewJournal(f), nil
+}
+
+// Get returns tenant's job by ID. A job owned by another tenant is
+// ErrNotFound — existence is not leaked across tenants.
+func (s *Server) Get(tenant, id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil || j.Tenant != tenant {
+		return JobView{}, ErrNotFound
+	}
+	return j.viewLocked(), nil
+}
+
+// List returns all of tenant's jobs in submission order.
+func (s *Server) List(tenant string) []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, 8)
+	for _, id := range report.SortedKeys(s.jobs) {
+		if j := s.jobs[id]; j.Tenant == tenant {
+			out = append(out, j.viewLocked())
+		}
+	}
+	return out
+}
+
+// Cancel marks tenant's job cancelled. Cancelling a queued job frees
+// its queue slot when it was the group's last subscriber; cancelling a
+// running job detaches the subscription and stops the underlying run
+// only when nobody else is waiting on it. Cancelling a terminal job is
+// a no-op returning the job as-is, so poll/cancel races are harmless.
+func (s *Server) Cancel(tenant, id string) (JobView, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	if j == nil || j.Tenant != tenant {
+		s.mu.Unlock()
+		return JobView{}, ErrNotFound
+	}
+	if j.State.terminal() {
+		v := j.viewLocked()
+		s.mu.Unlock()
+		return v, nil
+	}
+	j.State = StateCancelled
+	j.Finished = s.now()
+	s.mCancelled.Inc()
+	g := j.group
+	var cancelRun bool
+	if g != nil {
+		for i, gj := range g.jobs {
+			if gj == j {
+				g.jobs = append(g.jobs[:i:i], g.jobs[i+1:]...)
+				break
+			}
+		}
+		if len(g.jobs) == 0 {
+			if !g.running {
+				s.removeQueuedLocked(g)
+			}
+			cancelRun = true // nobody wants the result anymore
+		}
+	}
+	v := j.viewLocked()
+	s.mu.Unlock()
+	if cancelRun {
+		g.cancel()
+	}
+	return v, nil
+}
+
+// Stats is a point-in-time snapshot of the server's occupancy.
+type Stats struct {
+	Queued   int  `json:"queued"`
+	Running  int  `json:"running"`
+	Jobs     int  `json:"jobs"`
+	Draining bool `json:"draining"`
+}
+
+// Snapshot returns current occupancy.
+func (s *Server) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Queued: s.queued, Running: s.running, Jobs: len(s.jobs), Draining: s.draining}
+}
+
+// Shutdown drains the server: admission stops (submissions get
+// ErrDraining), every queued-but-unadmitted job is rejected with a
+// clean "server draining" error, and in-flight runs are left to finish
+// and journal through the engine's drain-on-cancel semantics. If ctx
+// expires first, the remaining runs are cancelled at the next job
+// boundary and Shutdown still waits for the workers to exit before
+// returning ctx's error. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		// Reject everything still waiting for admission, in sorted
+		// tenant order so the rejection sequence is deterministic.
+		for _, tenant := range report.SortedKeys(s.queues) {
+			for _, g := range s.queues[tenant] {
+				for _, j := range g.jobs {
+					if j.State.terminal() {
+						continue
+					}
+					j.State = StateRejected
+					j.Err = ErrDraining.Error()
+					j.Finished = s.now()
+					s.mRejected.Inc()
+				}
+				g.jobs = nil
+				delete(s.flights, g.key)
+				g.cancel()
+			}
+		}
+		s.queues = make(map[string][]*group)
+		s.rr = nil
+		s.queued = 0
+		s.gQueueDepth.Set(0)
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Grace period over: stop in-flight runs at the next job
+		// boundary and wait for the workers to wind down.
+		s.mu.Lock()
+		for _, g := range s.flights {
+			g.cancel()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"presp/internal/flow"
+	"presp/internal/vivado"
+)
+
+// TestSingleFlightDedup hammers one spec with K concurrent submissions
+// while the leader is held mid-run: exactly one flow executes and every
+// subscriber receives the identical result.
+func TestSingleFlightDedup(t *testing.T) {
+	const k = 16
+	st := &stubRunner{started: make(chan int, 1), gate: make(chan struct{})}
+	s := newTestServer(t, Config{Workers: 2})
+	s.runFlow = st.run
+
+	leader, err := s.Submit("t0", Spec{Preset: "SOC_3", Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-st.started // flight is in the worker, not the queue
+
+	ids := make([]string, 0, k)
+	tenants := make([]string, 0, k)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < k-1; i++ {
+		wg.Add(1)
+		tenant := string(rune('a' + i%4))
+		go func(tenant string) {
+			defer wg.Done()
+			v, err := s.Submit(tenant, Spec{Preset: "SOC_3", Compress: true})
+			if err != nil {
+				t.Errorf("dedup submit: %v", err)
+				return
+			}
+			if !v.Deduplicated {
+				t.Errorf("submission %s was not deduplicated", v.ID)
+			}
+			mu.Lock()
+			ids = append(ids, v.ID)
+			tenants = append(tenants, tenant)
+			mu.Unlock()
+		}(tenant)
+	}
+	wg.Wait()
+	close(st.gate)
+
+	want := waitState(t, s, "t0", leader.ID, StateSucceeded)
+	for i, id := range ids {
+		got := waitState(t, s, tenants[i], id, StateSucceeded)
+		if !reflect.DeepEqual(got.Result, want.Result) {
+			t.Fatalf("job %s result diverged:\n got %+v\nwant %+v", id, got.Result, want.Result)
+		}
+	}
+	if got := st.count(); got != 1 {
+		t.Errorf("runs = %d, want exactly 1 for %d identical submissions", got, k)
+	}
+	if got := s.mDeduped.Value(); got != k-1 {
+		t.Errorf("dedup counter = %d, want %d", got, k-1)
+	}
+	seen := map[string]bool{leader.ID: true}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate job ID %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestSingleFlightLeaderErrorPropagates: a failing leader fails every
+// follower with the same error, and the flight key is released so the
+// next submission runs fresh instead of wedging.
+func TestSingleFlightLeaderErrorPropagates(t *testing.T) {
+	const k = 8
+	boom := errors.New("synthesis exploded")
+	st := &stubRunner{started: make(chan int, 1), gate: make(chan struct{}), err: boom}
+	s := newTestServer(t, Config{Workers: 1})
+	s.runFlow = st.run
+
+	leader, err := s.Submit("acme", Spec{Preset: "SOC_2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-st.started
+	var followers []string
+	for i := 0; i < k; i++ {
+		v, err := s.Submit("acme", Spec{Preset: "SOC_2"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		followers = append(followers, v.ID)
+	}
+	close(st.gate)
+
+	want := waitState(t, s, "acme", leader.ID, StateFailed)
+	if want.Error != boom.Error() {
+		t.Fatalf("leader error = %q, want %q", want.Error, boom)
+	}
+	for _, id := range followers {
+		got := waitState(t, s, "acme", id, StateFailed)
+		if got.Error != boom.Error() {
+			t.Errorf("follower %s error = %q, want leader's %q", id, got.Error, boom)
+		}
+		if got.Result != nil {
+			t.Errorf("failed follower %s has a result", id)
+		}
+	}
+	if got := s.mFailed.Value(); got != k+1 {
+		t.Errorf("failed counter = %d, want %d", got, k+1)
+	}
+
+	// Not wedged: the key is free again and a fresh submission runs.
+	st.err = nil
+	st.gate = nil
+	retry, err := s.Submit("acme", Spec{Preset: "SOC_2"})
+	if err != nil {
+		t.Fatalf("resubmit after failed flight: %v", err)
+	}
+	<-st.started
+	if v := waitState(t, s, "acme", retry.ID, StateSucceeded); v.Result == nil {
+		t.Fatal("retry after failed flight lost its result")
+	}
+	if got := st.count(); got != 2 {
+		t.Errorf("runs = %d, want 2 (failed + retry)", got)
+	}
+}
+
+// TestSingleFlightRealFlow runs the actual engine behind the seam: K
+// byte-identical SOC_3 submissions collapse to one flight whose cold
+// run takes every checkpoint-cache miss; a later identical submission
+// is a pure cache hit.
+func TestSingleFlightRealFlow(t *testing.T) {
+	const k = 8
+	cache := vivado.NewCheckpointCache()
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	var realRuns atomic.Int64
+	s := newTestServer(t, Config{Workers: 2, Cache: cache})
+	s.runFlow = func(ctx context.Context, cs *compiledSpec, opt flow.Options) (*flow.Result, error) {
+		started <- struct{}{}
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		realRuns.Add(1)
+		return flow.RunFlow(ctx, cs.spec.Flow, cs.design, opt)
+	}
+
+	spec := Spec{Preset: "SOC_3"}
+	leader, err := s.Submit("acme", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	var followers []string
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 0; i < k-1; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := s.Submit("acme", spec)
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			mu.Lock()
+			followers = append(followers, v.ID)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	close(gate)
+
+	want := waitState(t, s, "acme", leader.ID, StateSucceeded)
+	for _, id := range followers {
+		got := waitState(t, s, "acme", id, StateSucceeded)
+		if !reflect.DeepEqual(got.Result, want.Result) {
+			t.Fatalf("follower %s result diverged from leader", id)
+		}
+	}
+	if got := realRuns.Load(); got != 1 {
+		t.Fatalf("real flow ran %d times for %d identical submissions, want 1", got, k)
+	}
+	hits, misses := cache.Stats()
+	if hits != 0 {
+		t.Errorf("cold single flight recorded %d cache hits, want 0", hits)
+	}
+	if int(misses) != want.Result.CacheMisses || misses == 0 {
+		t.Errorf("cache misses = %d, want the run's %d (one per unique module)", misses, want.Result.CacheMisses)
+	}
+
+	// The content address outlives the flight: an identical submission
+	// after completion is a new run but a full cache hit.
+	warm, err := s.Submit("acme", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	wv := waitState(t, s, "acme", warm.ID, StateSucceeded)
+	if wv.Result.CacheMisses != 0 {
+		t.Errorf("warm run took %d cache misses, want 0", wv.Result.CacheMisses)
+	}
+	if wv.Result.CacheHits == 0 {
+		t.Error("warm run recorded no cache hits")
+	}
+	if wv.Result.TotalMin != want.Result.TotalMin {
+		t.Errorf("warm TotalMin %v != cold %v (model must be deterministic)", wv.Result.TotalMin, want.Result.TotalMin)
+	}
+}

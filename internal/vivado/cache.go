@@ -27,15 +27,44 @@ import (
 // The cache is safe for concurrent use by the flow's worker pool.
 // Checkpoints are deep-copied on both store and load, so callers can
 // never mutate a cached entry through an aliased pointer.
+//
+// Concurrent misses on the same key are single-flighted (materialize):
+// the first caller becomes the leader and pays the synthesis, every
+// later caller waits on the flight and shares the leader's checkpoint —
+// or its error. N flow runs racing on identical content therefore cost
+// exactly one miss, which is what lets a shared flow service collapse
+// duplicate submissions to one synthesis.
 type CheckpointCache struct {
 	mu        sync.Mutex
 	max       int
 	entries   map[string]*list.Element
 	lru       *list.List // front = most recently used
+	inflight  map[string]*flight
 	hits      int64
 	misses    int64
 	evictions int64
 }
+
+// flight is one in-progress materialization: the leader computes, the
+// followers wait on done and read ck/err.
+type flight struct {
+	done chan struct{}
+	ck   *SynthCheckpoint
+	err  error
+}
+
+// flightRole reports how a materialize call was served.
+type flightRole int
+
+const (
+	// roleHit: the checkpoint was already cached.
+	roleHit flightRole = iota
+	// roleLeader: this caller ran compute (a true miss).
+	roleLeader
+	// roleFollower: another caller was already computing the same key;
+	// this one shared its outcome.
+	roleFollower
+)
 
 // lruEntry is the list payload: the key rides along so eviction can
 // delete the map entry from the list element alone.
@@ -47,8 +76,9 @@ type lruEntry struct {
 // NewCheckpointCache returns an empty, unbounded cache.
 func NewCheckpointCache() *CheckpointCache {
 	return &CheckpointCache{
-		entries: make(map[string]*list.Element),
-		lru:     list.New(),
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[string]*flight),
 	}
 }
 
@@ -131,6 +161,11 @@ func (c *CheckpointCache) lookup(key string) (*SynthCheckpoint, bool) {
 func (c *CheckpointCache) store(key string, ck *SynthCheckpoint) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.storeLocked(key, ck)
+}
+
+// storeLocked is store for callers already holding c.mu.
+func (c *CheckpointCache) storeLocked(key string, ck *SynthCheckpoint) {
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*lruEntry).ck = ck.clone()
 		c.lru.MoveToFront(el)
@@ -138,6 +173,59 @@ func (c *CheckpointCache) store(key string, ck *SynthCheckpoint) {
 	}
 	c.entries[key] = c.lru.PushFront(&lruEntry{key: key, ck: ck.clone()})
 	c.evict()
+}
+
+// materialize returns the checkpoint under key, computing it at most
+// once across concurrent callers. A cached entry is returned
+// immediately (roleHit). Otherwise the first caller becomes the leader
+// (roleLeader): it counts the miss, runs compute outside the lock, and
+// publishes the result — stored on success, discarded on error. Callers
+// that arrive while the flight is open (roleFollower) wait and share
+// the leader's outcome: a successful flight counts as a hit for each
+// follower, a failed one propagates the leader's error to all of them
+// without wedging the key — the next caller after a failure starts a
+// fresh flight.
+func (c *CheckpointCache) materialize(key string, compute func() (*SynthCheckpoint, error)) (*SynthCheckpoint, flightRole, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		ck := el.Value.(*lruEntry).ck.clone()
+		c.mu.Unlock()
+		return ck, roleHit, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, roleFollower, fl.err
+		}
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return fl.ck.clone(), roleFollower, nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.misses++
+	c.mu.Unlock()
+
+	ck, err := compute()
+
+	c.mu.Lock()
+	if err == nil {
+		c.storeLocked(key, ck)
+		fl.ck = ck.clone()
+	} else {
+		fl.err = err
+	}
+	delete(c.inflight, key)
+	close(fl.done)
+	c.mu.Unlock()
+	if err != nil {
+		return nil, roleLeader, err
+	}
+	return ck, roleLeader, nil
 }
 
 // evict drops least-recently-used entries until the bound is met.

@@ -163,17 +163,32 @@ func (t *Tool) Synthesize(ctx context.Context, m *rtl.Module, ooc bool, sites ..
 	if err := t.CheckFault(ctx, faultinject.OpCADSynth, append(append([]string(nil), sites...), m.Name)...); err != nil {
 		return nil, err
 	}
-	key := ""
-	if t.cache != nil {
-		key = checkpointKey(t.dev, t.model, m, ooc)
-		if ck, ok := t.cache.lookup(key); ok {
-			t.cacheHits.Add(1)
-			t.mCacheHits.Inc()
-			return ck, nil
-		}
+	if t.cache == nil {
+		return t.synthesize(m, ooc)
+	}
+	// Single-flight through the cache: concurrent misses on the same
+	// content collapse to one leader synthesis; followers share the
+	// leader's checkpoint (or its error) and count as hits.
+	key := checkpointKey(t.dev, t.model, m, ooc)
+	ck, role, err := t.cache.materialize(key, func() (*SynthCheckpoint, error) {
+		return t.synthesize(m, ooc)
+	})
+	switch role {
+	case roleLeader:
 		t.cacheMisses.Add(1)
 		t.mCacheMisses.Inc()
+	case roleHit, roleFollower:
+		if err == nil {
+			t.cacheHits.Add(1)
+			t.mCacheHits.Inc()
+		}
 	}
+	return ck, err
+}
+
+// synthesize is the cache-free synthesis body: the modelled cost of one
+// run, shared by the direct path and the materialize leader.
+func (t *Tool) synthesize(m *rtl.Module, ooc bool) (*SynthCheckpoint, error) {
 	ck := &SynthCheckpoint{Name: m.Name, OoC: ooc}
 	m.Walk(func(path string, mod *rtl.Module) {
 		if mod.BlackBox {
@@ -190,9 +205,6 @@ func (t *Tool) Synthesize(ctx context.Context, m *rtl.Module, ooc bool, sites ..
 	}
 	ck.Runtime = t.model.SynthTime(kluts(ck.Resources), ooc)
 	t.mSynth.Observe(float64(ck.Runtime))
-	if t.cache != nil {
-		t.cache.store(key, ck)
-	}
 	return ck, nil
 }
 

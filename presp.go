@@ -35,6 +35,7 @@ import (
 	"presp/internal/fpga"
 	"presp/internal/reconfig"
 	"presp/internal/report"
+	"presp/internal/server"
 	"presp/internal/sim"
 	"presp/internal/socgen"
 	"presp/internal/vivado"
@@ -234,6 +235,36 @@ func (p *Platform) UtilizationReport(s *SoC) (string, error) {
 	}
 	used := s.Design.StaticResources.Add(s.Design.ReconfigurableResources())
 	return tool.UtilizationReport(s.Design.Cfg.Name, used), nil
+}
+
+// FlowService is the multi-tenant flow-as-a-service server behind
+// cmd/presp-served: a bounded admission queue with backpressure,
+// per-tenant round-robin fair scheduling, single-flight deduplication
+// of identical submissions and graceful drain. Serve its Handler over
+// HTTP, or drive Submit/Get/Cancel in process. See DESIGN.md §13.
+type FlowService = server.Server
+
+// FlowServiceConfig tunes a FlowService (see server.Config).
+type FlowServiceConfig = server.Config
+
+// FlowJobSpec is the client-facing description of one service job —
+// the JSON body of POST /v1/jobs.
+type FlowJobSpec = server.Spec
+
+// FlowJob is the wire form of a submitted job.
+type FlowJob = server.JobView
+
+// NewFlowService starts a flow service. Callers must Shutdown it.
+func NewFlowService(cfg FlowServiceConfig) *FlowService { return server.New(cfg) }
+
+// NewFlowService starts a flow service that shares the platform's
+// synthesis-checkpoint cache, so service jobs and in-process RunFlow
+// calls reuse each other's checkpoints.
+func (p *Platform) NewFlowService(cfg FlowServiceConfig) *FlowService {
+	if cfg.Cache == nil {
+		cfg.Cache = p.cache
+	}
+	return server.New(cfg)
 }
 
 // Runtime is a simulated SoC instance under the reconfiguration
