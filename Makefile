@@ -53,10 +53,14 @@ bench-smoke:
 
 # Boot check for the flow-as-a-service daemon, part of `make ci`: build
 # presp-served, bind an ephemeral port, push one real job through the
-# HTTP API (submit, poll, /metrics), then drain gracefully. Fails if
-# the daemon cannot boot, serve, finish a job, or shut down cleanly.
+# HTTP API (submit, poll, /metrics), then drain gracefully. The second
+# invocation adds the persistence leg: with -cache-dir, the smoke run
+# kills the daemon and restarts it against the same cache directory,
+# asserting the identical spec warm-starts from disk (cache_disk_hits
+# >= 1, zero synthesis misses, byte-identical bitstream CRCs).
 serve-smoke:
 	$(GO) run ./cmd/presp-served -smoke
+	$(GO) run ./cmd/presp-served -smoke -cache-dir "$$(mktemp -d /tmp/presp-serve-smoke.XXXXXX)"
 
 # Longer fuzz session for the scheduler property suite.
 fuzz:
@@ -64,10 +68,13 @@ fuzz:
 
 # Short fuzz pass over the property suites, part of `make ci`: the
 # scheduler executor, the reconfiguration fault-plan harness (any plan
-# must leave the tile un-wedged and two runs byte-identical), and the
-# CAD fault-plan parser/injector (arbitrary plans parse or reject
-# cleanly, and the injected fault set is interleaving-independent).
+# must leave the tile un-wedged and two runs byte-identical), the CAD
+# fault-plan parser/injector (arbitrary plans parse or reject cleanly,
+# and the injected fault set is interleaving-independent), and the
+# disk-tier entry codec (any mutation of a persisted checkpoint must
+# fail the CRC check — corruption is quarantined, never decoded).
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzSchedulerExecute -fuzztime=5s ./internal/flow/
 	$(GO) test -run=^$$ -fuzz=FuzzFaultPlan -fuzztime=5s ./internal/reconfig/
 	$(GO) test -run=^$$ -fuzz=FuzzCADFaultPlan -fuzztime=5s ./internal/faultinject/
+	$(GO) test -run=^$$ -fuzz=FuzzDiskEntry -fuzztime=5s ./internal/vivado/

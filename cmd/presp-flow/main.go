@@ -10,6 +10,7 @@
 //	presp-flow -preset SoC_A -strategy serial -baseline both
 //	presp-flow -preset SOC_2 -journal run.jsonl -timeout 30s
 //	presp-flow -preset SOC_2 -resume run.jsonl
+//	presp-flow -preset SOC_2 -cache-dir ~/.cache/presp  # persistent warm starts
 //	presp-flow -preset SOC_2 -faults 'seed=7,synth=0.2' -retries 2
 //
 // Presets: SOC_1..SOC_4 (characterization), SoC_A..SoC_D (WAMI flow
@@ -58,6 +59,7 @@ type cliOptions struct {
 	faultPlan   *faultinject.Plan
 	journalPath string
 	resumePath  string
+	cacheDir    string
 	tracePath   string
 	metricsPath string
 	pprofAddr   string
@@ -83,6 +85,7 @@ func parseCLI(args []string) (*cliOptions, error) {
 	fs.StringVar(&faults, "faults", "", "inject seeded CAD faults, e.g. 'seed=7,synth@rt_1:count=1,impl=0.3'")
 	fs.StringVar(&o.journalPath, "journal", "", "record completed jobs to this JSON-lines file (resumable with -resume)")
 	fs.StringVar(&o.resumePath, "resume", "", "resume from a journal written by an interrupted run")
+	fs.StringVar(&o.cacheDir, "cache-dir", "", "back the checkpoint cache with a persistent disk tier in this directory; later runs against the same directory warm-start")
 	fs.StringVar(&o.tracePath, "trace", "", "write a Chrome trace-event file of the run (open in Perfetto)")
 	fs.StringVar(&o.metricsPath, "metrics", "", "write the metrics registry as flat JSON to this file")
 	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -166,6 +169,7 @@ func run(ctx context.Context, o *cliOptions) error {
 		Compress:      o.compress,
 		Workers:       o.workers,
 		Cache:         cache,
+		CacheDir:      o.cacheDir,
 		Timeout:       o.timeout,
 		MaxJobRetries: o.retries,
 		ErrorPolicy:   o.errorPolicy,
@@ -210,6 +214,15 @@ func run(ctx context.Context, o *cliOptions) error {
 		return err
 	}
 	printResult(res, cache)
+	if ds := cache.Disk(); ds != nil {
+		st := ds.Stats()
+		fmt.Printf("disk cache %s: %d entries (%d KB), %d hits / %d misses / %d writes",
+			ds.Dir(), st.Entries, st.Bytes/1024, st.Hits, st.Misses, st.Writes)
+		if st.Corrupt > 0 {
+			fmt.Printf(", %d quarantined", st.Corrupt)
+		}
+		fmt.Println()
+	}
 	if o.scripts && res.Scripts != nil {
 		printScripts(res.Scripts)
 	}

@@ -86,6 +86,46 @@ func TestParseCLIRejects(t *testing.T) {
 	}
 }
 
+// TestParseCLICacheDir: -cache-dir threads through to the flow options
+// untouched.
+func TestParseCLICacheDir(t *testing.T) {
+	o, err := parseCLI([]string{"-preset", "SOC_1", "-cache-dir", "/tmp/ckpt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.cacheDir != "/tmp/ckpt" {
+		t.Fatalf("cacheDir = %q", o.cacheDir)
+	}
+}
+
+// TestRunCacheDirWarmStart: two runs of the same preset against one
+// -cache-dir; the second must leave the persisted entries untouched
+// (same entry count, no new writes beyond run one's).
+func TestRunCacheDirWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 2; i++ {
+		o, err := parseCLI([]string{"-preset", "SOC_1", "-cache-dir", dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run(context.Background(), o); err != nil {
+			t.Fatalf("run %d failed: %v", i, err)
+		}
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("no checkpoints persisted")
+	}
+	for _, e := range names {
+		if strings.HasSuffix(e.Name(), ".bad") {
+			t.Errorf("quarantined entry after clean runs: %s", e.Name())
+		}
+	}
+}
+
 // TestRunMissingConfig: run() rejects an empty selection and a
 // preset/config conflict before doing any work.
 func TestRunMissingConfig(t *testing.T) {

@@ -8,6 +8,7 @@
 //	presp-served -addr :8080                  # serve the job API
 //	presp-served -addr :8080 -workers 4 -queue 128
 //	presp-served -journal-dir /var/lib/presp  # persist per-job journals
+//	presp-served -cache-dir /var/cache/presp  # persistent checkpoint tier: restarts warm-start
 //	presp-served -smoke                       # boot, run one job, drain, exit
 //
 // API (tenant from the X-Tenant header, default "default"):
@@ -41,6 +42,7 @@ import (
 
 	"presp/internal/obs"
 	"presp/internal/server"
+	"presp/internal/vivado"
 )
 
 // cliOptions is the parsed, validated command line.
@@ -50,6 +52,8 @@ type cliOptions struct {
 	queue        int
 	jobWorkers   int
 	journalDir   string
+	cacheDir     string
+	cacheMaxMB   int64
 	drainTimeout time.Duration
 	retryAfter   time.Duration
 	smoke        bool
@@ -65,6 +69,8 @@ func parseCLI(args []string) (*cliOptions, error) {
 	fs.IntVar(&o.queue, "queue", 64, "admission queue depth (submissions beyond it get 429)")
 	fs.IntVar(&o.jobWorkers, "job-workers", 0, "per-run flow scheduler goroutines (0 = all CPUs)")
 	fs.StringVar(&o.journalDir, "journal-dir", "", "write each job's flow journal to this directory")
+	fs.StringVar(&o.cacheDir, "cache-dir", "", "back the checkpoint cache with a persistent disk tier in this directory; a restarted daemon warm-starts from it")
+	fs.Int64Var(&o.cacheMaxMB, "cache-max-mb", 0, "byte budget for -cache-dir in MiB, GC'd oldest-access-first (0 = unbounded)")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
 	fs.DurationVar(&o.retryAfter, "retry-after", time.Second, "Retry-After hint on 429 responses")
 	fs.BoolVar(&o.smoke, "smoke", false, "self-test: boot on an ephemeral port, run one job through the API, drain, exit")
@@ -86,6 +92,12 @@ func parseCLI(args []string) (*cliOptions, error) {
 	if o.drainTimeout <= 0 {
 		return nil, fmt.Errorf("-drain-timeout must be > 0, got %v", o.drainTimeout)
 	}
+	if o.cacheMaxMB < 0 {
+		return nil, fmt.Errorf("-cache-max-mb must be >= 0, got %d", o.cacheMaxMB)
+	}
+	if o.cacheMaxMB > 0 && o.cacheDir == "" {
+		return nil, fmt.Errorf("-cache-max-mb needs -cache-dir")
+	}
 	if o.smoke {
 		o.addr = "127.0.0.1:0" // never bind a real port for the self-test
 	}
@@ -106,6 +118,36 @@ func main() {
 	}
 }
 
+// buildServer assembles one daemon instance: observer, the optional
+// persistent checkpoint tier under -cache-dir, and the job service.
+// Smoke mode calls it twice — the second instance over the same cache
+// directory is the warm-restart check.
+func buildServer(o *cliOptions) (*server.Server, error) {
+	observer := obs.New()
+	cfg := server.Config{
+		Workers:    o.workers,
+		QueueDepth: o.queue,
+		JobWorkers: o.jobWorkers,
+		JournalDir: o.journalDir,
+		RetryAfter: o.retryAfter,
+		Observer:   observer,
+	}
+	if o.cacheDir != "" {
+		store, err := vivado.OpenDiskStore(o.cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		if o.cacheMaxMB > 0 {
+			store.SetMaxBytes(o.cacheMaxMB << 20)
+		}
+		store.SetObserver(observer)
+		cache := vivado.NewCheckpointCache()
+		cache.SetDiskStore(store)
+		cfg.Cache = cache
+	}
+	return server.New(cfg), nil
+}
+
 // run boots the service and blocks until ctx is cancelled (signal) or,
 // in smoke mode, until the self-test finishes.
 func run(ctx context.Context, o *cliOptions, out io.Writer) error {
@@ -114,14 +156,10 @@ func run(ctx context.Context, o *cliOptions, out io.Writer) error {
 			return err
 		}
 	}
-	srv := server.New(server.Config{
-		Workers:    o.workers,
-		QueueDepth: o.queue,
-		JobWorkers: o.jobWorkers,
-		JournalDir: o.journalDir,
-		RetryAfter: o.retryAfter,
-		Observer:   obs.New(),
-	})
+	srv, err := buildServer(o)
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
@@ -145,12 +183,17 @@ func run(ctx context.Context, o *cliOptions, out io.Writer) error {
 	}
 
 	if o.smoke {
-		smokeErr := smoke(fmt.Sprintf("http://%s", ln.Addr()), out)
+		coldCRCs, smokeErr := smoke(fmt.Sprintf("http://%s", ln.Addr()), out)
 		if err := drain(); err != nil {
 			return err
 		}
 		if smokeErr != nil {
 			return fmt.Errorf("smoke: %w", smokeErr)
+		}
+		if o.cacheDir != "" {
+			if err := warmRestartSmoke(o, coldCRCs, out); err != nil {
+				return fmt.Errorf("smoke: warm restart: %w", err)
+			}
 		}
 		fmt.Fprintln(out, "presp-served: smoke ok")
 		return nil
@@ -166,25 +209,28 @@ func run(ctx context.Context, o *cliOptions, out io.Writer) error {
 
 // smoke drives one job through the real HTTP API: submit, poll to
 // completion, check the metrics endpoint — the end-to-end boot check
-// `make serve-smoke` runs in CI.
-func smoke(base string, out io.Writer) error {
+// `make serve-smoke` runs in CI. It returns the job's bitstream CRCs
+// so the warm-restart phase can assert byte-identical results.
+func smoke(base string, out io.Writer) ([]string, error) {
 	client := &http.Client{Timeout: 10 * time.Second}
 
 	resp, err := client.Post(base+"/v1/jobs", "application/json",
 		strings.NewReader(`{"preset":"SOC_3","compress":true}`))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var job struct {
 		ID    string `json:"id"`
 		State string `json:"state"`
 		Error string `json:"error"`
 		Result *struct {
-			TotalMin float64 `json:"total_min"`
+			TotalMin      float64  `json:"total_min"`
+			CacheMisses   int      `json:"cache_misses"`
+			BitstreamCRCs []string `json:"bitstream_crcs"`
 		} `json:"result"`
 	}
 	if err := decodeInto(resp, http.StatusAccepted, &job); err != nil {
-		return fmt.Errorf("submit: %w", err)
+		return nil, fmt.Errorf("submit: %w", err)
 	}
 	fmt.Fprintf(out, "presp-served: smoke submitted %s\n", job.ID)
 
@@ -192,38 +238,100 @@ func smoke(base string, out io.Writer) error {
 	for {
 		resp, err := client.Get(base + "/v1/jobs/" + job.ID)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := decodeInto(resp, http.StatusOK, &job); err != nil {
-			return fmt.Errorf("poll: %w", err)
+			return nil, fmt.Errorf("poll: %w", err)
 		}
 		if job.State != "queued" && job.State != "running" {
 			break
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("job %s still %s after 60s", job.ID, job.State)
+			return nil, fmt.Errorf("job %s still %s after 60s", job.ID, job.State)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
 	if job.State != "succeeded" {
-		return fmt.Errorf("job %s finished %s: %s", job.ID, job.State, job.Error)
+		return nil, fmt.Errorf("job %s finished %s: %s", job.ID, job.State, job.Error)
 	}
 	if job.Result == nil || job.Result.TotalMin <= 0 {
-		return fmt.Errorf("job %s succeeded without a plausible result", job.ID)
+		return nil, fmt.Errorf("job %s succeeded without a plausible result", job.ID)
 	}
 	fmt.Fprintf(out, "presp-served: smoke job done, modelled total %.1f min\n", job.Result.TotalMin)
 
 	mresp, err := client.Get(base + "/metrics")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var metrics map[string]any
 	if err := decodeInto(mresp, http.StatusOK, &metrics); err != nil {
-		return fmt.Errorf("metrics: %w", err)
+		return nil, fmt.Errorf("metrics: %w", err)
 	}
 	if got, ok := metrics["server_jobs_completed_total"].(float64); !ok || got < 1 {
-		return fmt.Errorf("metrics report %v completed jobs, want >= 1", metrics["server_jobs_completed_total"])
+		return nil, fmt.Errorf("metrics report %v completed jobs, want >= 1", metrics["server_jobs_completed_total"])
 	}
+	return job.Result.BitstreamCRCs, nil
+}
+
+// warmRestartSmoke is the persistence leg of the self-test: after the
+// first daemon drained, boot a fresh one over the same -cache-dir, run
+// the identical spec, and require that it was served from the disk tier
+// (cache_disk_hits >= 1, zero synthesis misses) with the same bitstream
+// CRCs the cold run produced.
+func warmRestartSmoke(o *cliOptions, coldCRCs []string, out io.Writer) error {
+	if len(coldCRCs) == 0 {
+		return fmt.Errorf("cold run reported no bitstream CRCs to compare against")
+	}
+	srv, err := buildServer(o)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln) //nolint:errcheck
+	base := fmt.Sprintf("http://%s", ln.Addr())
+	fmt.Fprintf(out, "presp-served: smoke restarting against %s (cache %s)\n", base, o.cacheDir)
+
+	warmCRCs, smokeErr := smoke(base, out)
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	var metrics map[string]any
+	var metricsErr error
+	if mresp, err := client.Get(base + "/metrics"); err != nil {
+		metricsErr = err
+	} else {
+		metricsErr = decodeInto(mresp, http.StatusOK, &metrics)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	if smokeErr != nil {
+		return smokeErr
+	}
+	if metricsErr != nil {
+		return fmt.Errorf("metrics: %w", metricsErr)
+	}
+	if strings.Join(warmCRCs, ",") != strings.Join(coldCRCs, ",") {
+		return fmt.Errorf("bitstreams diverged across restart:\ncold %v\nwarm %v", coldCRCs, warmCRCs)
+	}
+	hits, _ := metrics["cache_disk_hits"].(float64)
+	if hits < 1 {
+		return fmt.Errorf("cache_disk_hits = %v, want >= 1 (warm start did not use the disk tier)", metrics["cache_disk_hits"])
+	}
+	if misses, ok := metrics["vivado_cache_misses_total"].(float64); ok && misses > 0 {
+		return fmt.Errorf("warm restart paid %v synthesis misses, want 0", misses)
+	}
+	fmt.Fprintf(out, "presp-served: smoke warm restart ok (%d bitstream CRCs match, %d disk hits)\n",
+		len(warmCRCs), int(hits))
 	return nil
 }
 

@@ -41,6 +41,15 @@ func TestParseCLI(t *testing.T) {
 			t.Errorf("parsed = %+v", o)
 		}
 	})
+	t.Run("cache flags", func(t *testing.T) {
+		o, err := parseCLI([]string{"-cache-dir", "/tmp/ckpt", "-cache-max-mb", "64"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.cacheDir != "/tmp/ckpt" || o.cacheMaxMB != 64 {
+			t.Errorf("cache flags = %+v", o)
+		}
+	})
 	t.Run("smoke forces ephemeral loopback", func(t *testing.T) {
 		o, err := parseCLI([]string{"-smoke", "-addr", ":80"})
 		if err != nil {
@@ -55,6 +64,8 @@ func TestParseCLI(t *testing.T) {
 		{"-queue", "-1"},
 		{"-job-workers", "-2"},
 		{"-drain-timeout", "0s"},
+		{"-cache-max-mb", "-1"},
+		{"-cache-max-mb", "64"}, // byte budget without -cache-dir
 		{"stray-positional"},
 		{"-no-such-flag"},
 	} {
@@ -78,6 +89,27 @@ func TestSmokeMode(t *testing.T) {
 		t.Fatalf("run -smoke: %v\noutput:\n%s", err, out.String())
 	}
 	for _, want := range []string{"listening on http://127.0.0.1:", "draining", "smoke ok"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestSmokeModeWarmRestart: with -cache-dir, smoke mode appends the
+// restart leg — a second daemon over the same directory must serve the
+// identical spec from the persistent tier with matching bitstream CRCs.
+func TestSmokeModeWarmRestart(t *testing.T) {
+	o, err := parseCLI([]string{"-smoke", "-cache-dir", t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := run(ctx, o, &out); err != nil {
+		t.Fatalf("run -smoke -cache-dir: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"smoke restarting against", "smoke warm restart ok", "smoke ok"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}

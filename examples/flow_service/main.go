@@ -12,15 +12,32 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"time"
 
 	"presp"
 )
 
 func main() {
-	// The service embeds a platform-style shared checkpoint cache; an
-	// observer gives it server_* metrics and the /metrics endpoint.
-	svc := presp.NewFlowService(presp.FlowServiceConfig{
+	// The checkpoint cache is backed by a persistent disk tier, so a
+	// restarted service warm-starts from earlier runs (presp-served
+	// exposes the same wiring as -cache-dir).
+	cacheDir, err := os.MkdirTemp("", "presp-cache-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(cacheDir)
+
+	// The service shares its platform's checkpoint cache; an observer
+	// gives it server_* metrics and the /metrics endpoint.
+	p, err := presp.NewPlatform("VC707")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.AttachDiskCache(cacheDir); err != nil {
+		log.Fatal(err)
+	}
+	svc := p.NewFlowService(presp.FlowServiceConfig{
 		Workers:  2,
 		Observer: presp.NewObserver(),
 	})
@@ -64,6 +81,27 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("service drained cleanly")
+
+	// "Restart" the daemon: a brand-new platform and service over the
+	// same cache directory. The identical spec is served entirely from
+	// the persistent tier — zero synthesis misses across processes.
+	p2, err := presp.NewPlatform("VC707")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p2.AttachDiskCache(cacheDir); err != nil {
+		log.Fatal(err)
+	}
+	svc2 := p2.NewFlowService(presp.FlowServiceConfig{Workers: 2})
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer ts2.Close()
+	restarted := wait(ts2.URL, "team-red", submit(ts2.URL, "team-red", `{"preset":"SOC_3","compress":true}`).ID)
+	fmt.Printf("after restart: %d cache hits, %d misses (served from %s)\n",
+		restarted.Result.CacheHits, restarted.Result.CacheMisses, cacheDir)
+	if err := svc2.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("restarted service drained cleanly")
 }
 
 func submit(base, tenant, spec string) presp.FlowJob {

@@ -1,0 +1,53 @@
+package flow
+
+import (
+	"context"
+	"testing"
+
+	"presp/internal/obs"
+	"presp/internal/socgen"
+)
+
+// TestRunPRESPCacheDirWarmStart: two independent runs — separate caches,
+// as two processes would have — sharing one -cache-dir: the first pays
+// every synthesis, the second warm-starts entirely from the disk tier
+// with identical results and visible cache_disk_* traffic.
+func TestRunPRESPCacheDirWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	cold, err := RunPRESP(context.Background(), elaborate(t, socgen.SOC1()),
+		Options{SkipBitstreams: true, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SOC1 carries content-identical accelerator instances, so a cold run
+	// still hits within itself — what matters is that it paid at least
+	// one real synthesis and accounted for every job.
+	if cold.Jobs.CacheMisses == 0 ||
+		cold.Jobs.CacheHits+cold.Jobs.CacheMisses != cold.Jobs.SynthJobs {
+		t.Fatalf("cold run cache traffic = %d hits / %d misses over %d synth jobs",
+			cold.Jobs.CacheHits, cold.Jobs.CacheMisses, cold.Jobs.SynthJobs)
+	}
+
+	// Second "process": a fresh private cache, same directory.
+	o := obs.New()
+	warm, err := RunPRESP(context.Background(), elaborate(t, socgen.SOC1()),
+		Options{SkipBitstreams: true, CacheDir: dir, Observer: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Jobs.CacheHits != warm.Jobs.SynthJobs || warm.Jobs.CacheMisses != 0 {
+		t.Fatalf("warm run cache traffic = %d hits / %d misses, want %d/0",
+			warm.Jobs.CacheHits, warm.Jobs.CacheMisses, warm.Jobs.SynthJobs)
+	}
+	if warm.SynthWall != cold.SynthWall || warm.Total != cold.Total {
+		t.Fatalf("disk-served run diverged: cold %v/%v, warm %v/%v",
+			cold.SynthWall, cold.Total, warm.SynthWall, warm.Total)
+	}
+	snap := o.Metrics().Snapshot()
+	if snap.Counters["cache_disk_hits"] < 1 {
+		t.Fatalf("cache_disk_hits = %d, want >= 1", snap.Counters["cache_disk_hits"])
+	}
+	if snap.Counters["cache_disk_misses"] != 0 {
+		t.Fatalf("cache_disk_misses = %d, want 0 on a warm start", snap.Counters["cache_disk_misses"])
+	}
+}

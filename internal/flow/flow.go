@@ -89,8 +89,17 @@ type Options struct {
 	Workers int
 	// Cache is a shared synthesis-checkpoint cache; runs with a warm
 	// cache skip re-synthesizing unchanged modules (nil = no cache,
-	// except that Resume creates a private one).
+	// except that Resume or CacheDir creates a private one).
 	Cache *vivado.CheckpointCache
+	// CacheDir, when set, backs the checkpoint cache with a persistent
+	// disk tier rooted at the directory (created if absent): inserts
+	// write through, memory misses read through, and LRU evictions
+	// demote to disk, so a later run — or a restarted daemon — against
+	// the same directory warm-starts instead of re-synthesizing. When
+	// Cache is nil a private cache is created to carry the tier; when
+	// the caller's Cache already has a disk store attached, CacheDir is
+	// ignored in favour of it.
+	CacheDir string
 
 	// Timeout bounds the whole flow in real wall-clock time (0 = none).
 	// On expiry the run drains in-flight jobs and returns a
@@ -313,10 +322,19 @@ func setupRun(d *socgen.Design, opt Options, flowName string) (*vivado.Tool, err
 		tool.SetFaultHook(inj.Check)
 	}
 	cache := opt.Cache
-	if cache == nil && opt.Resume != nil {
-		// Resume rehydrates journaled checkpoints through the cache, so
-		// a private one serves when the caller brought none.
+	if cache == nil && (opt.Resume != nil || opt.CacheDir != "") {
+		// Resume rehydrates journaled checkpoints through the cache, and
+		// the disk tier needs a cache to sit under, so a private one
+		// serves when the caller brought none.
 		cache = vivado.NewCheckpointCache()
+	}
+	if opt.CacheDir != "" && cache.Disk() == nil {
+		store, err := vivado.OpenDiskStore(opt.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		store.SetObserver(opt.Observer)
+		cache.SetDiskStore(store)
 	}
 	tool.SetCache(cache)
 	tool.SetObserver(opt.Observer)

@@ -64,14 +64,24 @@ func NewJournal(w io.Writer) *Journal {
 	return j
 }
 
+// MaxJournalLine bounds a single journal line during replay. Synthesis
+// entries embed whole checkpoints, and the disk-tier work makes large
+// checkpoints realistic, so the cap is generous — but it must exist: an
+// unbounded scanner would let one corrupt line swallow the file. A line
+// over the cap surfaces bufio.ErrTooLong from LoadJournal rather than
+// silently truncating the record.
+const MaxJournalLine = 16 * 1024 * 1024
+
 // LoadJournal replays a journal written by a previous run. A malformed
 // trailing line — the telltale of a process killed mid-write — is
 // tolerated and marks the end of the record; a journal whose very first
-// line does not parse is rejected as not-a-journal.
+// line does not parse is rejected as not-a-journal. A line exceeding
+// MaxJournalLine is a load error (wrapping bufio.ErrTooLong), never a
+// silently short journal.
 func LoadJournal(r io.Reader) (*Journal, error) {
 	j := &Journal{}
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxJournalLine)
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {

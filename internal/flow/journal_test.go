@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"strings"
@@ -66,6 +67,41 @@ func TestJournalTruncatedTail(t *testing.T) {
 	done := loaded.CompletedJobs()
 	if !done["synth/a"] || done["synth/b"] {
 		t.Fatalf("truncated journal replayed wrong jobs: %v", done)
+	}
+}
+
+// TestJournalLineCapBoundary pins LoadJournal's behaviour at the
+// MaxJournalLine scanner cap: an entry just under it loads completely,
+// and one over it surfaces bufio.ErrTooLong as a load error — never a
+// silently short journal that would make Resume skip nothing and
+// re-run work a previous process already journaled.
+func TestJournalLineCapBoundary(t *testing.T) {
+	write := func(nameLen int) *bytes.Buffer {
+		var buf bytes.Buffer
+		j := NewJournal(&buf)
+		j.Begin("d", "presp")
+		ck := &vivado.SynthCheckpoint{Name: strings.Repeat("x", nameLen), Runtime: 1}
+		j.Completed("synth/huge", StageSynth, 1, 1, "k", ck)
+		if err := j.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+
+	under := write(MaxJournalLine - 4*1024)
+	loaded, err := LoadJournal(under)
+	if err != nil {
+		t.Fatalf("near-cap journal rejected: %v", err)
+	}
+	entries := loaded.Entries()
+	if len(entries) != 2 || entries[1].Checkpoint == nil ||
+		len(entries[1].Checkpoint.Name) != MaxJournalLine-4*1024 {
+		t.Fatal("near-cap checkpoint did not round-trip intact")
+	}
+
+	over := write(MaxJournalLine + 4*1024)
+	if _, err := LoadJournal(over); !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("over-cap journal error = %v, want bufio.ErrTooLong", err)
 	}
 }
 

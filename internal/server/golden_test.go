@@ -144,6 +144,34 @@ func TestGoldenErrorEnvelopes(t *testing.T) {
 		close(st.gate)
 	})
 
+	t.Run("retry-after rounding", func(t *testing.T) {
+		// Retry-After is an integer-seconds header: sub-second (and,
+		// defensively, negative) configs must clamp to 1 — "0" invites
+		// clients to hammer a full queue — and everything else rounds to
+		// the nearest second.
+		cases := []struct {
+			d    time.Duration
+			want string
+		}{
+			{400 * time.Millisecond, "1"},
+			{time.Second, "1"},
+			{1500 * time.Millisecond, "2"},
+			{2400 * time.Millisecond, "2"},
+			{-3 * time.Second, "1"},
+		}
+		for _, c := range cases {
+			srv := &Server{cfg: Config{RetryAfter: c.d}}
+			w := httptest.NewRecorder()
+			srv.writeSubmitError(w, &QueueFullError{Depth: 1})
+			if w.Code != http.StatusTooManyRequests {
+				t.Errorf("RetryAfter=%v: status = %d, want 429", c.d, w.Code)
+			}
+			if got := w.Header().Get("Retry-After"); got != c.want {
+				t.Errorf("RetryAfter=%v: header = %q, want %q", c.d, got, c.want)
+			}
+		}
+	})
+
 	t.Run("draining", func(t *testing.T) {
 		if err := s.Shutdown(context.Background()); err != nil {
 			t.Fatalf("shutdown: %v", err)

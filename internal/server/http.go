@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 
@@ -69,7 +70,14 @@ func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 	var bad *BadSpecError
 	switch {
 	case errors.As(err, &qf):
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter.Seconds()+0.5)))
+		// Retry-After must be a positive integer: sub-second or negative
+		// configs round to at least 1, since "0" tells well-behaved
+		// clients to hammer a queue that is by definition full.
+		secs := int(math.Round(s.cfg.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeError(w, http.StatusTooManyRequests, "queue_full", qf.Error())
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "draining", ErrDraining.Error())

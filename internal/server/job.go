@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"time"
 
 	"presp/internal/core"
@@ -232,6 +233,12 @@ type ResultView struct {
 	Partial        bool    `json:"partial,omitempty"`
 	Partitions     int     `json:"partitions"`
 	JournalEntries int     `json:"journal_entries"`
+	// BitstreamCRCs fingerprints every generated image as
+	// "name:crc32" (IEEE, hex), sorted by name. Deterministic for a
+	// given spec, so a client — or the restart smoke test — can assert
+	// two runs produced byte-identical bitstreams without downloading
+	// them. Absent when the run skipped bitstream generation.
+	BitstreamCRCs []string `json:"bitstream_crcs,omitempty"`
 }
 
 // summarizeResult converts a flow result to its wire form.
@@ -256,6 +263,17 @@ func summarizeResult(spec Spec, res *flow.Result, journalEntries int) *ResultVie
 	if res.Design != nil {
 		rv.Partitions = len(res.Design.RPs)
 	}
+	if res.FullBitstream != nil {
+		rv.BitstreamCRCs = append(rv.BitstreamCRCs,
+			fmt.Sprintf("%s:%08x", res.FullBitstream.Name, res.FullBitstream.Checksum))
+	}
+	for _, bs := range res.PartialBitstreams {
+		if bs == nil {
+			continue
+		}
+		rv.BitstreamCRCs = append(rv.BitstreamCRCs, fmt.Sprintf("%s:%08x", bs.Name, bs.Checksum))
+	}
+	sort.Strings(rv.BitstreamCRCs)
 	return rv
 }
 

@@ -34,12 +34,23 @@ import (
 // or its error. N flow runs racing on identical content therefore cost
 // exactly one miss, which is what lets a shared flow service collapse
 // duplicate submissions to one synthesis.
+//
+// An optional persistent tier (SetDiskStore) extends the cache across
+// process restarts: every insert is written through to disk, a memory
+// miss probes the disk before paying the compute (the probe rides the
+// same single-flight, so a disk read promotes into memory exactly once
+// per key however many callers race), and LRU eviction demotes an entry
+// to disk-only instead of discarding it. Disk-served lookups count as
+// hits — the whole point of the tier is that a restarted daemon's first
+// submission costs file reads, not re-synthesis.
 type CheckpointCache struct {
 	mu        sync.Mutex
 	max       int
 	entries   map[string]*list.Element
 	lru       *list.List // front = most recently used
 	inflight  map[string]*flight
+	disk      *DiskStore
+	demoted   []*lruEntry // evicted entries pending a disk demotion write
 	hits      int64
 	misses    int64
 	evictions int64
@@ -95,12 +106,32 @@ func NewCheckpointCacheWithLimit(max int) *CheckpointCache {
 // limit. max <= 0 removes the bound.
 func (c *CheckpointCache) SetMaxEntries(max int) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if max < 0 {
 		max = 0
 	}
 	c.max = max
 	c.evict()
+	disk, demoted := c.disk, c.takeDemotedLocked()
+	c.mu.Unlock()
+	writeDemoted(disk, demoted)
+}
+
+// SetDiskStore attaches the persistent checkpoint tier (nil detaches):
+// inserts write through to it, misses read through it, and evictions
+// demote to it. Attach before sharing the cache across goroutines or
+// runs; swapping stores mid-traffic is safe but pointless.
+func (c *CheckpointCache) SetDiskStore(ds *DiskStore) {
+	c.mu.Lock()
+	c.disk = ds
+	c.mu.Unlock()
+}
+
+// Disk returns the attached persistent tier (nil when the cache is
+// memory-only).
+func (c *CheckpointCache) Disk() *DiskStore {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.disk
 }
 
 // MaxEntries returns the configured bound (0 = unbounded).
@@ -134,11 +165,26 @@ func (c *CheckpointCache) Len() int {
 // Preload seeds the cache with a checkpoint under an externally-known
 // key — the resume path rehydrates journaled synthesis results through
 // it. Preloading counts as neither hit nor miss.
+//
+// Store precedence is first-store-wins: preloading a key that is
+// already cached is a no-op (the resident entry and its recency are
+// untouched), and conversely a preload that lands while a flight for
+// the same key is still computing wins the key — when the flight lands
+// on the occupied entry its result is discarded and every flight
+// subscriber is served the preloaded checkpoint. Keys are content
+// addresses, so whichever copy arrives first is the correct value.
 func (c *CheckpointCache) Preload(key string, ck *SynthCheckpoint) {
 	if key == "" || ck == nil {
 		return
 	}
-	c.store(key, ck)
+	c.mu.Lock()
+	stored, inserted := c.storeLocked(key, ck)
+	disk, demoted := c.disk, c.takeDemotedLocked()
+	c.mu.Unlock()
+	if disk != nil && inserted {
+		disk.Store(key, stored) //nolint:errcheck // best-effort durability tier
+	}
+	writeDemoted(disk, demoted)
 }
 
 // lookup fetches a deep copy of the checkpoint under key, counting the
@@ -156,35 +202,41 @@ func (c *CheckpointCache) lookup(key string) (*SynthCheckpoint, bool) {
 	return el.Value.(*lruEntry).ck.clone(), true
 }
 
-// store saves a deep copy of ck under key and evicts over-limit
-// entries.
-func (c *CheckpointCache) store(key string, ck *SynthCheckpoint) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.storeLocked(key, ck)
-}
-
-// storeLocked is store for callers already holding c.mu.
-func (c *CheckpointCache) storeLocked(key string, ck *SynthCheckpoint) {
+// storeLocked saves a deep copy of ck under key with first-store-wins
+// precedence: if the key is already occupied the resident checkpoint is
+// kept — value and LRU recency both untouched, the late store simply
+// discarded — and returned with inserted=false. On insert it returns
+// the cache-owned copy, which callers may hand to the disk tier (it is
+// never mutated) but must clone before handing to cache clients.
+// Callers hold c.mu.
+func (c *CheckpointCache) storeLocked(key string, ck *SynthCheckpoint) (stored *SynthCheckpoint, inserted bool) {
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*lruEntry).ck = ck.clone()
-		c.lru.MoveToFront(el)
-		return
+		return el.Value.(*lruEntry).ck, false
 	}
-	c.entries[key] = c.lru.PushFront(&lruEntry{key: key, ck: ck.clone()})
+	stored = ck.clone()
+	c.entries[key] = c.lru.PushFront(&lruEntry{key: key, ck: stored})
 	c.evict()
+	return stored, true
 }
 
 // materialize returns the checkpoint under key, computing it at most
 // once across concurrent callers. A cached entry is returned
-// immediately (roleHit). Otherwise the first caller becomes the leader
+// immediately (roleHit). Otherwise the first caller opens a flight:
+// with a disk tier attached it first probes the store — a verified disk
+// entry is promoted into memory and served as a hit (roleHit) without
+// any compute — and only a two-tier miss makes it the leader
 // (roleLeader): it counts the miss, runs compute outside the lock, and
-// publishes the result — stored on success, discarded on error. Callers
-// that arrive while the flight is open (roleFollower) wait and share
-// the leader's outcome: a successful flight counts as a hit for each
-// follower, a failed one propagates the leader's error to all of them
-// without wedging the key — the next caller after a failure starts a
-// fresh flight.
+// publishes the result — stored on success (write-through to the disk
+// tier), discarded on error. Callers that arrive while the flight is
+// open (roleFollower) wait and share the leader's outcome: a successful
+// flight counts as a hit for each follower (refreshing the entry's LRU
+// recency, so heavily-followed keys stay resident), a failed one
+// propagates the leader's error to all of them without wedging the
+// key — the next caller after a failure starts a fresh flight.
+//
+// If a Preload lands the key while the flight is computing, the
+// preloaded entry wins (see Preload): the flight's result is discarded
+// and the leader and every follower are served the resident checkpoint.
 func (c *CheckpointCache) materialize(key string, compute func() (*SynthCheckpoint, error)) (*SynthCheckpoint, flightRole, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -202,33 +254,81 @@ func (c *CheckpointCache) materialize(key string, compute func() (*SynthCheckpoi
 		}
 		c.mu.Lock()
 		c.hits++
+		if el, ok := c.entries[key]; ok {
+			// The follower's hit is an access like any other: without
+			// this refresh a heavily-followed key would age toward
+			// eviction while colder directly-hit keys stayed resident.
+			c.lru.MoveToFront(el)
+		}
 		c.mu.Unlock()
 		return fl.ck.clone(), roleFollower, nil
 	}
 	fl := &flight{done: make(chan struct{})}
 	c.inflight[key] = fl
-	c.misses++
+	disk := c.disk
 	c.mu.Unlock()
 
-	ck, err := compute()
+	// Read through the disk tier before paying the compute. The probe
+	// happens inside the flight, so concurrent callers of a disk-resident
+	// key cost exactly one file read and one promotion into memory.
+	if disk != nil {
+		if ck, ok := disk.Load(key); ok {
+			out := c.land(key, fl, ck, nil, true)
+			return out, roleHit, nil
+		}
+	}
 
 	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	ck, err := compute()
+	out := c.land(key, fl, ck, err, false)
+	if err != nil {
+		return nil, roleLeader, err
+	}
+	return out, roleLeader, nil
+}
+
+// land closes a flight with its outcome: on success the checkpoint is
+// stored (first-store-wins — a Preload that landed first keeps the key
+// and the flight result is discarded), written through to the disk tier
+// when the insert took, and returned as the value every flight caller
+// observes. hit marks a disk-served landing, which counts as a cache
+// hit instead of a miss.
+func (c *CheckpointCache) land(key string, fl *flight, ck *SynthCheckpoint, err error, hit bool) *SynthCheckpoint {
+	var out *SynthCheckpoint
+	var inserted bool
+	c.mu.Lock()
 	if err == nil {
-		c.storeLocked(key, ck)
-		fl.ck = ck.clone()
+		var stored *SynthCheckpoint
+		stored, inserted = c.storeLocked(key, ck)
+		fl.ck = stored
+		if inserted {
+			out = ck // the opener owns ck; no extra copy needed
+		} else {
+			out = stored.clone() // first store won; serve the resident value
+		}
+		if hit {
+			c.hits++
+		}
 	} else {
 		fl.err = err
 	}
 	delete(c.inflight, key)
 	close(fl.done)
+	disk, demoted := c.disk, c.takeDemotedLocked()
 	c.mu.Unlock()
-	if err != nil {
-		return nil, roleLeader, err
+	if disk != nil && inserted {
+		disk.Store(key, fl.ck) //nolint:errcheck // best-effort durability tier
 	}
-	return ck, roleLeader, nil
+	writeDemoted(disk, demoted)
+	return out
 }
 
-// evict drops least-recently-used entries until the bound is met.
+// evict drops least-recently-used entries until the bound is met. With
+// a disk tier attached the dropped entries are queued for demotion —
+// the caller must flush them via takeDemotedLocked/writeDemoted after
+// releasing the lock, so eviction never does file I/O under c.mu.
 // Callers must hold c.mu.
 func (c *CheckpointCache) evict() {
 	if c.max <= 0 {
@@ -239,9 +339,35 @@ func (c *CheckpointCache) evict() {
 		if oldest == nil {
 			return
 		}
+		ent := oldest.Value.(*lruEntry)
 		c.lru.Remove(oldest)
-		delete(c.entries, oldest.Value.(*lruEntry).key)
+		delete(c.entries, ent.key)
 		c.evictions++
+		if c.disk != nil {
+			c.demoted = append(c.demoted, ent)
+		}
+	}
+}
+
+// takeDemotedLocked drains the pending demotion queue. Callers hold
+// c.mu and pass the result to writeDemoted after unlocking.
+func (c *CheckpointCache) takeDemotedLocked() []*lruEntry {
+	d := c.demoted
+	c.demoted = nil
+	return d
+}
+
+// writeDemoted flushes evicted entries to the disk tier. The entries
+// left the LRU already, so nothing else aliases their checkpoints; the
+// write is best-effort (content-addressed keys make a lost demotion
+// only a future re-synthesis, never a correctness problem) and usually
+// a Stat no-op, since a write-through insert already persisted the key.
+func writeDemoted(disk *DiskStore, entries []*lruEntry) {
+	if disk == nil {
+		return
+	}
+	for _, e := range entries {
+		disk.Store(e.key, e.ck) //nolint:errcheck // best-effort durability tier
 	}
 }
 

@@ -1,0 +1,435 @@
+package vivado
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"presp/internal/obs"
+)
+
+// DiskStore is the persistent tier under CheckpointCache: one file per
+// cache key holding the JSON-encoded checkpoint plus a CRC-32 trailer.
+// It is what lets a restarted daemon warm-start from the previous
+// process's synthesis corpus instead of re-paying every modelled run.
+//
+// Durability discipline:
+//
+//   - Writes are atomic: the entry is written to a CreateTemp file in
+//     the store directory and Renamed over the final name, so a crash
+//     mid-write leaves either the old entry or none — never a torn one.
+//   - Reads are verified: a file whose CRC-32 trailer does not match its
+//     body — or that is too short to carry one, or whose body does not
+//     decode — is quarantined by renaming it to <name>.bad, counted in
+//     Corrupt, and reported as a miss. A quarantined entry is never
+//     trusted and never loaded; the flow simply recomputes it.
+//   - Open verifies every entry up front (quarantining the bad ones and
+//     applying the byte budget), so a warm start begins from a store
+//     that is known-good end to end.
+//
+// The store is bounded by an optional byte budget (SetMaxBytes): after
+// each write, entries are garbage-collected oldest-access-first until
+// the total size fits. Access order is tracked through file mtimes — a
+// successful Load touches its entry — which keeps the policy intact
+// across restarts without a sidecar index.
+//
+// All methods are safe for concurrent use; the store serializes its
+// file I/O internally.
+type DiskStore struct {
+	mu       sync.Mutex
+	dir      string
+	maxBytes int64
+	bytes    int64 // total size of live (non-quarantined) entries
+
+	hits        int64
+	misses      int64
+	writes      int64
+	corrupt     int64
+	gcEvictions int64
+
+	// exported mirrors how much of each counter has reached the obs
+	// registry, so SetObserver can push the backlog accumulated before
+	// an observer attached (verify-at-open quarantines, notably) without
+	// double-counting on re-attachment.
+	exported struct {
+		hits, misses, writes, corrupt, gcEvictions int64
+	}
+
+	// Instruments resolved by SetObserver; nil without an observer, and
+	// every method of a nil instrument no-ops.
+	mHits    *obs.Counter
+	mMisses  *obs.Counter
+	mWrites  *obs.Counter
+	mCorrupt *obs.Counter
+	mGC      *obs.Counter
+	hLoad    *obs.Histogram
+	hStore   *obs.Histogram
+}
+
+// diskEntryExt is the filename suffix of a live entry; quarantined
+// files carry diskQuarantineExt appended to their full name.
+const (
+	diskEntryExt      = ".ckpt"
+	diskQuarantineExt = ".bad"
+)
+
+// diskTrailerLen is the fixed byte length of the CRC trailer line:
+// "crc32:" + 8 hex digits + "\n".
+const diskTrailerLen = len("crc32:") + 8 + 1
+
+// diskMSBuckets buckets real file-I/O latencies (milliseconds) — unlike
+// the modelled-minute histograms, these measure wall time.
+var diskMSBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100}
+
+// OpenDiskStore opens (creating if necessary) the persistent checkpoint
+// store rooted at dir and verifies every existing entry: corrupt or
+// truncated files are quarantined immediately, so everything the store
+// reports as present is loadable.
+func OpenDiskStore(dir string) (*DiskStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("vivado: disk store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("vivado: disk store: %w", err)
+	}
+	ds := &DiskStore{dir: dir}
+	if err := ds.verifyAll(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// Dir returns the store's root directory.
+func (ds *DiskStore) Dir() string { return ds.dir }
+
+// SetMaxBytes bounds the store to max bytes of live entries (0 removes
+// the bound), garbage-collecting oldest-access-first immediately if the
+// store is already over it.
+func (ds *DiskStore) SetMaxBytes(max int64) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if max < 0 {
+		max = 0
+	}
+	ds.maxBytes = max
+	ds.gcLocked()
+}
+
+// MaxBytes returns the configured byte budget (0 = unbounded).
+func (ds *DiskStore) MaxBytes() int64 {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.maxBytes
+}
+
+// SetObserver attaches cache_disk_* counters and load/store latency
+// histograms on the observer's registry (nil detaches). Counts
+// accumulated before the observer attached — the verify-at-open
+// quarantines in particular — are pushed onto the registry immediately,
+// and the export is delta-tracked so re-attachment never double-counts.
+func (ds *DiskStore) SetObserver(o *obs.Observer) {
+	reg := o.Metrics()
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	ds.mHits = reg.Counter("cache_disk_hits")
+	ds.mMisses = reg.Counter("cache_disk_misses")
+	ds.mWrites = reg.Counter("cache_disk_writes")
+	ds.mCorrupt = reg.Counter("cache_disk_corrupt")
+	ds.mGC = reg.Counter("cache_disk_gc_evictions")
+	ds.hLoad = reg.Histogram("cache_disk_load_ms", diskMSBuckets...)
+	ds.hStore = reg.Histogram("cache_disk_store_ms", diskMSBuckets...)
+	flush := func(total int64, exported *int64, m *obs.Counter) {
+		m.Add(total - *exported)
+		*exported = total
+	}
+	flush(ds.hits, &ds.exported.hits, ds.mHits)
+	flush(ds.misses, &ds.exported.misses, ds.mMisses)
+	flush(ds.writes, &ds.exported.writes, ds.mWrites)
+	flush(ds.corrupt, &ds.exported.corrupt, ds.mCorrupt)
+	flush(ds.gcEvictions, &ds.exported.gcEvictions, ds.mGC)
+}
+
+// count bumps one counter pair: the store-local total and — once an
+// observer is attached — its obs-side mirror. Before attachment only
+// the total moves, leaving the difference as backlog for SetObserver to
+// flush. Callers hold ds.mu.
+func count(total, exported *int64, m *obs.Counter) {
+	*total++
+	if m != nil {
+		*exported++
+		m.Inc()
+	}
+}
+
+// DiskStats is a point-in-time snapshot of a store's counters.
+type DiskStats struct {
+	// Hits and Misses count Load outcomes (a quarantined entry is a
+	// miss and a Corrupt).
+	Hits, Misses int64
+	// Writes counts successfully persisted entries.
+	Writes int64
+	// Corrupt counts entries quarantined as *.bad — short files, CRC
+	// mismatches and undecodable bodies.
+	Corrupt int64
+	// GCEvictions counts entries removed by the byte-budget GC.
+	GCEvictions int64
+	// Entries and Bytes describe the live contents.
+	Entries int
+	Bytes   int64
+}
+
+// Stats snapshots the store's counters and occupancy.
+func (ds *DiskStore) Stats() DiskStats {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	n := 0
+	if names, err := ds.entryNamesLocked(); err == nil {
+		n = len(names)
+	}
+	return DiskStats{
+		Hits: ds.hits, Misses: ds.misses, Writes: ds.writes,
+		Corrupt: ds.corrupt, GCEvictions: ds.gcEvictions,
+		Entries: n, Bytes: ds.bytes,
+	}
+}
+
+// Len returns the number of live entries on disk.
+func (ds *DiskStore) Len() int { return ds.Stats().Entries }
+
+// path maps a cache key to its entry file. Keys are the cache's hex
+// digests, so they are always filename-safe; anything else is rejected
+// by the callers before reaching disk.
+func (ds *DiskStore) path(key string) string {
+	return filepath.Join(ds.dir, key+diskEntryExt)
+}
+
+// Load fetches the checkpoint stored under key. A present, verified
+// entry is returned (and its access time refreshed for the GC's
+// oldest-first ordering); a missing one is a miss; a corrupt one is
+// quarantined and reported as a miss.
+func (ds *DiskStore) Load(key string) (*SynthCheckpoint, bool) {
+	if key == "" {
+		return nil, false
+	}
+	start := time.Now()
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	defer func() { ds.hLoad.Observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
+	path := ds.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		count(&ds.misses, &ds.exported.misses, ds.mMisses)
+		return nil, false
+	}
+	ck, err := decodeDiskEntry(data)
+	if err != nil {
+		ds.quarantineLocked(path, int64(len(data)))
+		count(&ds.misses, &ds.exported.misses, ds.mMisses)
+		return nil, false
+	}
+	// Touch the entry: GC evicts oldest-accessed first, and mtime is the
+	// access record that survives restarts.
+	now := time.Now()
+	os.Chtimes(path, now, now) //nolint:errcheck // best-effort recency hint
+	count(&ds.hits, &ds.exported.hits, ds.mHits)
+	return ck, true
+}
+
+// Store persists ck under key with an atomic CreateTemp+Rename write,
+// then applies the byte budget. Storing an already-present key is a
+// cheap no-op — entries are content-addressed, so same key means same
+// bytes. Failures are returned but never poison the store: the worst
+// outcome of a failed write is a missing entry.
+func (ds *DiskStore) Store(key string, ck *SynthCheckpoint) error {
+	if key == "" || ck == nil {
+		return fmt.Errorf("vivado: disk store: empty key or nil checkpoint")
+	}
+	start := time.Now()
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	defer func() { ds.hStore.Observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
+	path := ds.path(key)
+	if _, err := os.Stat(path); err == nil {
+		return nil // content-addressed: the entry is already durable
+	}
+	data, err := encodeDiskEntry(ck)
+	if err != nil {
+		return fmt.Errorf("vivado: disk store: %w", err)
+	}
+	tmp, err := os.CreateTemp(ds.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("vivado: disk store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name()) //nolint:errcheck // best-effort cleanup
+		return fmt.Errorf("vivado: disk store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name()) //nolint:errcheck // best-effort cleanup
+		return fmt.Errorf("vivado: disk store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name()) //nolint:errcheck // best-effort cleanup
+		return fmt.Errorf("vivado: disk store: %w", err)
+	}
+	ds.bytes += int64(len(data))
+	count(&ds.writes, &ds.exported.writes, ds.mWrites)
+	ds.gcLocked()
+	return nil
+}
+
+// encodeDiskEntry renders the on-disk form: the checkpoint as one JSON
+// line followed by the CRC-32 (IEEE) trailer of everything before it.
+func encodeDiskEntry(ck *SynthCheckpoint) ([]byte, error) {
+	body, err := json.Marshal(ck)
+	if err != nil {
+		return nil, err
+	}
+	body = append(body, '\n')
+	return append(body, fmt.Sprintf("crc32:%08x\n", crc32.ChecksumIEEE(body))...), nil
+}
+
+// decodeDiskEntry verifies and decodes one entry file: trailer present,
+// CRC matching, body decodable. Any failure means the file cannot be
+// trusted and must be quarantined by the caller.
+func decodeDiskEntry(data []byte) (*SynthCheckpoint, error) {
+	if len(data) < diskTrailerLen {
+		return nil, fmt.Errorf("short entry (%d bytes)", len(data))
+	}
+	body := data[:len(data)-diskTrailerLen]
+	trailer := data[len(data)-diskTrailerLen:]
+	// Byte-exact trailer parse — no fmt scanning, whose whitespace
+	// leniency would bless a damaged terminator (found by FuzzDiskEntry).
+	if string(trailer[:6]) != "crc32:" || trailer[diskTrailerLen-1] != '\n' {
+		return nil, fmt.Errorf("malformed CRC trailer %q", trailer)
+	}
+	var want uint32
+	for _, c := range trailer[6 : 6+8] {
+		var d uint32
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint32(c-'a') + 10
+		default:
+			return nil, fmt.Errorf("malformed CRC trailer %q", trailer)
+		}
+		want = want<<4 | d
+	}
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	ck := &SynthCheckpoint{}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(ck); err != nil {
+		return nil, fmt.Errorf("decoding body: %w", err)
+	}
+	if ck.Name == "" {
+		return nil, fmt.Errorf("entry has no module name")
+	}
+	return ck, nil
+}
+
+// quarantineLocked moves a corrupt entry aside as <name>.bad (deleting
+// it if even the rename fails) and counts it. Callers hold ds.mu.
+func (ds *DiskStore) quarantineLocked(path string, size int64) {
+	if err := os.Rename(path, path+diskQuarantineExt); err != nil {
+		os.Remove(path) //nolint:errcheck // best-effort: gone is as good as quarantined
+	}
+	ds.bytes -= size
+	if ds.bytes < 0 {
+		ds.bytes = 0
+	}
+	count(&ds.corrupt, &ds.exported.corrupt, ds.mCorrupt)
+}
+
+// entryNamesLocked lists the live entry file names. Callers hold ds.mu.
+func (ds *DiskStore) entryNamesLocked() ([]string, error) {
+	des, err := os.ReadDir(ds.dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(des))
+	for _, de := range des {
+		if de.Type().IsRegular() && filepath.Ext(de.Name()) == diskEntryExt {
+			names = append(names, de.Name())
+		}
+	}
+	return names, nil
+}
+
+// verifyAll scans the store at open: every entry is read and checked,
+// corrupt ones are quarantined, and the byte budget (if any) applied.
+func (ds *DiskStore) verifyAll() error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	names, err := ds.entryNamesLocked()
+	if err != nil {
+		return fmt.Errorf("vivado: disk store: %w", err)
+	}
+	ds.bytes = 0
+	for _, name := range names {
+		path := filepath.Join(ds.dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue // vanished between ReadDir and read; nothing to count
+		}
+		if _, err := decodeDiskEntry(data); err != nil {
+			ds.quarantineLocked(path, 0)
+			continue
+		}
+		ds.bytes += int64(len(data))
+	}
+	ds.gcLocked()
+	return nil
+}
+
+// gcLocked evicts oldest-accessed entries until the live total fits the
+// byte budget. Callers hold ds.mu.
+func (ds *DiskStore) gcLocked() {
+	if ds.maxBytes <= 0 || ds.bytes <= ds.maxBytes {
+		return
+	}
+	names, err := ds.entryNamesLocked()
+	if err != nil {
+		return
+	}
+	type fileAge struct {
+		path  string
+		size  int64
+		atime time.Time
+	}
+	files := make([]fileAge, 0, len(names))
+	for _, name := range names {
+		path := filepath.Join(ds.dir, name)
+		fi, err := os.Stat(path)
+		if err != nil {
+			continue
+		}
+		files = append(files, fileAge{path: path, size: fi.Size(), atime: fi.ModTime()})
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].atime.Equal(files[j].atime) {
+			return files[i].atime.Before(files[j].atime)
+		}
+		return files[i].path < files[j].path // deterministic tie-break
+	})
+	for _, f := range files {
+		if ds.bytes <= ds.maxBytes {
+			return
+		}
+		if err := os.Remove(f.path); err != nil {
+			continue
+		}
+		ds.bytes -= f.size
+		count(&ds.gcEvictions, &ds.exported.gcEvictions, ds.mGC)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 )
 
 // TestCacheLRUEviction: a bounded cache drops the least-recently-used
@@ -73,6 +74,66 @@ func TestCacheSetMaxEntriesShrinks(t *testing.T) {
 	if cache.Len() != 17 {
 		t.Fatalf("unbounding failed: len=%d, want 17", cache.Len())
 	}
+}
+
+// TestFollowerHitRefreshesLRURecency: a follower served from a flight
+// is an access like any other — it must refresh the entry's recency, so
+// a heavily-followed key cannot be evicted ahead of colder entries.
+//
+// The test builds the racy interleaving by hand: a manually-opened
+// flight guarantees the waiter can only be a follower (the key is not in
+// entries, so it cannot hit; the flight exists, so it cannot lead), and
+// the flight is landed together with a colder entry in one critical
+// section, so when the follower wakes, "hot" is already the LRU victim.
+// If the follower arrives too late it becomes a plain hit and the
+// attempt retries — assertions only run on a genuine follower.
+func TestFollowerHitRefreshesLRURecency(t *testing.T) {
+	for try := 0; try < 50; try++ {
+		cache := NewCheckpointCacheWithLimit(2)
+		fl := &flight{done: make(chan struct{})}
+		cache.mu.Lock()
+		cache.inflight["hot"] = fl
+		cache.mu.Unlock()
+
+		roleCh := make(chan flightRole, 1)
+		go func() {
+			_, role, _ := cache.materialize("hot", func() (*SynthCheckpoint, error) {
+				return nil, fmt.Errorf("waiter must not compute")
+			})
+			roleCh <- role
+		}()
+		time.Sleep(time.Millisecond) // give the waiter time to park
+
+		// Land the flight the way a leader would, and age "hot" behind
+		// "cold" before the follower can observe anything.
+		cache.mu.Lock()
+		stored, _ := cache.storeLocked("hot", &SynthCheckpoint{Name: "hot", Runtime: 1})
+		fl.ck = stored
+		delete(cache.inflight, "hot")
+		cache.storeLocked("cold", &SynthCheckpoint{Name: "cold", Runtime: 1})
+		close(fl.done)
+		cache.mu.Unlock()
+
+		if role := <-roleCh; role != roleFollower {
+			continue // waiter arrived after the landing; retry the race
+		}
+
+		// The follower's hit refreshed "hot", so the next eviction must
+		// take "cold".
+		cache.mu.Lock()
+		cache.storeLocked("new", &SynthCheckpoint{Name: "new", Runtime: 1})
+		_, hotThere := cache.entries["hot"]
+		_, coldThere := cache.entries["cold"]
+		cache.mu.Unlock()
+		if !hotThere {
+			t.Fatal("followed key was evicted ahead of a colder entry")
+		}
+		if coldThere {
+			t.Fatal("eviction dropped neither candidate — LRU bookkeeping broken")
+		}
+		return
+	}
+	t.Skip("could not park a follower in 50 attempts")
 }
 
 // TestCachePreloadSemantics: preloading counts as neither hit nor miss,

@@ -80,6 +80,33 @@ func (p *Platform) CacheStats() (hits, misses int64) {
 	return p.cache.Stats()
 }
 
+// DiskCache is a crash-safe persistent tier for synthesis checkpoints:
+// one CRC-verified file per cache key, written atomically, with corrupt
+// entries quarantined rather than loaded. Attach one to a platform (or
+// a flow run via FlowOptions.CacheDir) and later processes warm-start
+// from it. See DESIGN.md §14.
+type DiskCache = vivado.DiskStore
+
+// OpenDiskCache opens (creating if needed) a persistent checkpoint
+// store rooted at dir and verifies every entry already present.
+func OpenDiskCache(dir string) (*DiskCache, error) {
+	return vivado.OpenDiskStore(dir)
+}
+
+// AttachDiskCache backs the platform's shared checkpoint cache with a
+// persistent tier at dir: every synthesis result is written through to
+// disk, and cache misses are served from disk before any synthesis
+// runs. A platform in a later process pointed at the same directory
+// warm-starts.
+func (p *Platform) AttachDiskCache(dir string) error {
+	store, err := vivado.OpenDiskStore(dir)
+	if err != nil {
+		return err
+	}
+	p.cache.SetDiskStore(store)
+	return nil
+}
+
 // Device returns the platform's FPGA device model.
 func (p *Platform) Device() *fpga.Device { return p.dev }
 

@@ -98,6 +98,57 @@ func TestFlowThroughFacade(t *testing.T) {
 	}
 }
 
+// TestDiskCacheThroughFacade: a platform with an attached disk cache
+// persists its synthesis checkpoints, and a fresh platform pointed at
+// the same directory warm-starts (zero cache misses, identical timing).
+func TestDiskCacheThroughFacade(t *testing.T) {
+	dir := t.TempDir()
+
+	p1 := platform(t)
+	if err := p1.AttachDiskCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	soc, err := p1.BuildSoC(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := p1.RunFlow(context.Background(), soc, presp.FlowOptions{SkipBitstreams: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Jobs.CacheMisses == 0 {
+		t.Fatal("cold run paid no synthesis")
+	}
+
+	store, err := presp.OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := store.Stats(); st.Entries == 0 {
+		t.Fatal("no checkpoints persisted")
+	}
+
+	// A brand-new platform ("process restart") over the same directory.
+	p2 := platform(t)
+	if err := p2.AttachDiskCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	soc2, err := p2.BuildSoC(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := p2.RunFlow(context.Background(), soc2, presp.FlowOptions{SkipBitstreams: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Jobs.CacheMisses != 0 {
+		t.Fatalf("warm platform paid %d synthesis misses, want 0", warm.Jobs.CacheMisses)
+	}
+	if warm.Total != cold.Total {
+		t.Fatalf("modelled total diverged: cold %v warm %v", cold.Total, warm.Total)
+	}
+}
+
 func TestForceStrategyFacade(t *testing.T) {
 	p := platform(t)
 	soc, err := p.BuildSoC(quickConfig())
