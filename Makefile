@@ -11,9 +11,9 @@ GO ?= go
 # must fail the suite, not hang CI.
 TEST_TIMEOUT ?= 5m
 
-.PHONY: ci vet staticcheck build test race bench bench-smoke fuzz fuzz-smoke serve-smoke
+.PHONY: ci vet staticcheck build test race bench bench-smoke fuzz fuzz-smoke serve-smoke chaos-smoke
 
-ci: vet staticcheck build test race fuzz-smoke bench-smoke serve-smoke
+ci: vet staticcheck build test race fuzz-smoke chaos-smoke bench-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -78,3 +78,14 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzFaultPlan -fuzztime=5s ./internal/reconfig/
 	$(GO) test -run=^$$ -fuzz=FuzzCADFaultPlan -fuzztime=5s ./internal/faultinject/
 	$(GO) test -run=^$$ -fuzz=FuzzDiskEntry -fuzztime=5s ./internal/vivado/
+	$(GO) test -run=^$$ -fuzz=FuzzWALRecord -fuzztime=5s ./internal/server/
+
+# Crash battery for the durable job layer, part of `make ci`: replay the
+# job WAL truncated at every record boundary (plus a torn tail), kill -9
+# a real daemon child mid-flow and after admission, and recover — zero
+# lost or duplicated jobs, byte-identical bitstream CRCs, watchdog and
+# breaker semantics under the race detector.
+chaos-smoke:
+	$(GO) test -race -count=1 -timeout $(TEST_TIMEOUT) \
+		-run 'TestWAL|TestCrash|TestKill9|TestRecover|TestWatchdog|TestBreaker' \
+		./internal/server/

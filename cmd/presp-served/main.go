@@ -9,15 +9,18 @@
 //	presp-served -addr :8080 -workers 4 -queue 128
 //	presp-served -journal-dir /var/lib/presp  # persist per-job journals
 //	presp-served -cache-dir /var/cache/presp  # persistent checkpoint tier: restarts warm-start
+//	presp-served -state-dir /var/lib/presp    # job WAL: a kill -9'd daemon recovers its jobs on reboot
+//	presp-served -job-stall-timeout 5m        # watchdog: requeue, then poison, runs with no heartbeat
 //	presp-served -smoke                       # boot, run one job, drain, exit
 //
 // API (tenant from the X-Tenant header, default "default"):
 //
-//	POST   /v1/jobs        submit a flow spec; 202 job, 429 when full
+//	POST   /v1/jobs        submit a flow spec; 202 job (Idempotency-Key replays 200), 429 when full, 503 circuit open
 //	GET    /v1/jobs        list the tenant's jobs
 //	GET    /v1/jobs/{id}   poll one job
-//	DELETE /v1/jobs/{id}   cancel
-//	GET    /v1/healthz     occupancy and drain state
+//	DELETE /v1/jobs/{id}   cancel; 409 once the job already finished
+//	GET    /v1/healthz     liveness: occupancy and drain state, 200 even while draining
+//	GET    /v1/readyz      readiness: 503 while draining so load balancers stop routing
 //	GET    /metrics        flat-JSON metrics registry
 //	GET    /debug/pprof/   standard pprof handlers
 //
@@ -54,6 +57,11 @@ type cliOptions struct {
 	journalDir   string
 	cacheDir     string
 	cacheMaxMB   int64
+	stateDir     string
+	stallTimeout time.Duration
+	stallReq     int
+	breakerN     int
+	breakerCool  time.Duration
 	drainTimeout time.Duration
 	retryAfter   time.Duration
 	smoke        bool
@@ -71,6 +79,11 @@ func parseCLI(args []string) (*cliOptions, error) {
 	fs.StringVar(&o.journalDir, "journal-dir", "", "write each job's flow journal to this directory")
 	fs.StringVar(&o.cacheDir, "cache-dir", "", "back the checkpoint cache with a persistent disk tier in this directory; a restarted daemon warm-starts from it")
 	fs.Int64Var(&o.cacheMaxMB, "cache-max-mb", 0, "byte budget for -cache-dir in MiB, GC'd oldest-access-first (0 = unbounded)")
+	fs.StringVar(&o.stateDir, "state-dir", "", "durable job state: WAL + resume journals; a crashed daemon recovers its jobs from here on the next boot")
+	fs.DurationVar(&o.stallTimeout, "job-stall-timeout", 0, "watchdog: cancel+requeue a run with no scheduler heartbeat for this long (0 = off)")
+	fs.IntVar(&o.stallReq, "stall-requeues", 1, "watchdog requeue budget before a stalled job is poisoned")
+	fs.IntVar(&o.breakerN, "breaker-threshold", 0, "open the per-tenant circuit after this many consecutive failures of one spec (0 = off)")
+	fs.DurationVar(&o.breakerCool, "breaker-cooldown", 30*time.Second, "how long an open circuit sheds before the half-open probe")
 	fs.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
 	fs.DurationVar(&o.retryAfter, "retry-after", time.Second, "Retry-After hint on 429 responses")
 	fs.BoolVar(&o.smoke, "smoke", false, "self-test: boot on an ephemeral port, run one job through the API, drain, exit")
@@ -98,6 +111,18 @@ func parseCLI(args []string) (*cliOptions, error) {
 	if o.cacheMaxMB > 0 && o.cacheDir == "" {
 		return nil, fmt.Errorf("-cache-max-mb needs -cache-dir")
 	}
+	if o.stallTimeout < 0 {
+		return nil, fmt.Errorf("-job-stall-timeout must be >= 0, got %v", o.stallTimeout)
+	}
+	if o.stallReq < 0 {
+		return nil, fmt.Errorf("-stall-requeues must be >= 0, got %d", o.stallReq)
+	}
+	if o.breakerN < 0 {
+		return nil, fmt.Errorf("-breaker-threshold must be >= 0, got %d", o.breakerN)
+	}
+	if o.breakerCool <= 0 {
+		return nil, fmt.Errorf("-breaker-cooldown must be > 0, got %v", o.breakerCool)
+	}
 	if o.smoke {
 		o.addr = "127.0.0.1:0" // never bind a real port for the self-test
 	}
@@ -119,18 +144,24 @@ func main() {
 }
 
 // buildServer assembles one daemon instance: observer, the optional
-// persistent checkpoint tier under -cache-dir, and the job service.
-// Smoke mode calls it twice — the second instance over the same cache
-// directory is the warm-restart check.
-func buildServer(o *cliOptions) (*server.Server, error) {
+// persistent checkpoint tier under -cache-dir, the job service, and —
+// when -state-dir is set — WAL recovery of whatever the previous
+// process left behind. Smoke mode calls it twice — the second instance
+// over the same cache directory is the warm-restart check.
+func buildServer(o *cliOptions, out io.Writer) (*server.Server, error) {
 	observer := obs.New()
 	cfg := server.Config{
-		Workers:    o.workers,
-		QueueDepth: o.queue,
-		JobWorkers: o.jobWorkers,
-		JournalDir: o.journalDir,
-		RetryAfter: o.retryAfter,
-		Observer:   observer,
+		Workers:          o.workers,
+		QueueDepth:       o.queue,
+		JobWorkers:       o.jobWorkers,
+		JournalDir:       o.journalDir,
+		StateDir:         o.stateDir,
+		StallTimeout:     o.stallTimeout,
+		StallRequeues:    o.stallReq,
+		BreakerThreshold: o.breakerN,
+		BreakerCooldown:  o.breakerCool,
+		RetryAfter:       o.retryAfter,
+		Observer:         observer,
 	}
 	if o.cacheDir != "" {
 		store, err := vivado.OpenDiskStore(o.cacheDir)
@@ -145,7 +176,18 @@ func buildServer(o *cliOptions) (*server.Server, error) {
 		cache.SetDiskStore(store)
 		cfg.Cache = cache
 	}
-	return server.New(cfg), nil
+	srv := server.New(cfg)
+	if o.stateDir != "" {
+		stats, err := srv.Recover()
+		if err != nil {
+			return nil, fmt.Errorf("recover: %w", err)
+		}
+		if stats.Jobs > 0 {
+			fmt.Fprintf(out, "presp-served: recovered %d jobs from %s (%d requeued, %d resumed mid-flow, %d already terminal)\n",
+				stats.Jobs, o.stateDir, stats.Requeued, stats.Resumed, stats.Terminal)
+		}
+	}
+	return srv, nil
 }
 
 // run boots the service and blocks until ctx is cancelled (signal) or,
@@ -156,7 +198,7 @@ func run(ctx context.Context, o *cliOptions, out io.Writer) error {
 			return err
 		}
 	}
-	srv, err := buildServer(o)
+	srv, err := buildServer(o, out)
 	if err != nil {
 		return err
 	}
@@ -214,8 +256,17 @@ func run(ctx context.Context, o *cliOptions, out io.Writer) error {
 func smoke(base string, out io.Writer) ([]string, error) {
 	client := &http.Client{Timeout: 10 * time.Second}
 
-	resp, err := client.Post(base+"/v1/jobs", "application/json",
-		strings.NewReader(`{"preset":"SOC_3","compress":true}`))
+	submit := func() (*http.Response, error) {
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs",
+			strings.NewReader(`{"preset":"SOC_3","compress":true}`))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Idempotency-Key", "smoke-1")
+		return client.Do(req)
+	}
+	resp, err := submit()
 	if err != nil {
 		return nil, err
 	}
@@ -270,6 +321,33 @@ func smoke(base string, out io.Writer) ([]string, error) {
 	if got, ok := metrics["server_jobs_completed_total"].(float64); !ok || got < 1 {
 		return nil, fmt.Errorf("metrics report %v completed jobs, want >= 1", metrics["server_jobs_completed_total"])
 	}
+
+	// Readiness reports ok while serving (it flips to 503 only during
+	// drain), and replaying the Idempotency-Key hands the finished job
+	// back as a 200 instead of admitting a duplicate.
+	rresp, err := client.Get(base + "/v1/readyz")
+	if err != nil {
+		return nil, err
+	}
+	var ready struct {
+		Status string `json:"status"`
+	}
+	if err := decodeInto(rresp, http.StatusOK, &ready); err != nil {
+		return nil, fmt.Errorf("readyz: %w", err)
+	}
+	replay, err := submit()
+	if err != nil {
+		return nil, err
+	}
+	var again struct {
+		ID string `json:"id"`
+	}
+	if err := decodeInto(replay, http.StatusOK, &again); err != nil {
+		return nil, fmt.Errorf("idempotent replay: %w", err)
+	}
+	if again.ID != job.ID {
+		return nil, fmt.Errorf("idempotent replay returned %s, want %s", again.ID, job.ID)
+	}
 	return job.Result.BitstreamCRCs, nil
 }
 
@@ -282,7 +360,7 @@ func warmRestartSmoke(o *cliOptions, coldCRCs []string, out io.Writer) error {
 	if len(coldCRCs) == 0 {
 		return fmt.Errorf("cold run reported no bitstream CRCs to compare against")
 	}
-	srv, err := buildServer(o)
+	srv, err := buildServer(o, out)
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -50,6 +52,19 @@ func TestParseCLI(t *testing.T) {
 			t.Errorf("cache flags = %+v", o)
 		}
 	})
+	t.Run("durability flags", func(t *testing.T) {
+		o, err := parseCLI([]string{
+			"-state-dir", "/tmp/state", "-job-stall-timeout", "5m",
+			"-stall-requeues", "2", "-breaker-threshold", "3", "-breaker-cooldown", "10s",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.stateDir != "/tmp/state" || o.stallTimeout != 5*time.Minute ||
+			o.stallReq != 2 || o.breakerN != 3 || o.breakerCool != 10*time.Second {
+			t.Errorf("durability flags = %+v", o)
+		}
+	})
 	t.Run("smoke forces ephemeral loopback", func(t *testing.T) {
 		o, err := parseCLI([]string{"-smoke", "-addr", ":80"})
 		if err != nil {
@@ -66,6 +81,10 @@ func TestParseCLI(t *testing.T) {
 		{"-drain-timeout", "0s"},
 		{"-cache-max-mb", "-1"},
 		{"-cache-max-mb", "64"}, // byte budget without -cache-dir
+		{"-job-stall-timeout", "-1s"},
+		{"-stall-requeues", "-1"},
+		{"-breaker-threshold", "-1"},
+		{"-breaker-cooldown", "0s"},
 		{"stray-positional"},
 		{"-no-such-flag"},
 	} {
@@ -113,6 +132,27 @@ func TestSmokeModeWarmRestart(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestSmokeModeWithStateDir: -state-dir wires the job WAL into smoke
+// mode — recovery on boot is a clean no-op, the run completes, and the
+// job's records are durably on disk afterwards.
+func TestSmokeModeWithStateDir(t *testing.T) {
+	dir := t.TempDir()
+	o, err := parseCLI([]string{"-smoke", "-state-dir", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := run(ctx, o, &out); err != nil {
+		t.Fatalf("run -smoke -state-dir: %v\noutput:\n%s", err, out.String())
+	}
+	fi, err := os.Stat(filepath.Join(dir, "jobs.wal"))
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("jobs.wal missing or empty after smoke: %v", err)
 	}
 }
 

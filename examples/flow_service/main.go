@@ -28,6 +28,16 @@ func main() {
 	}
 	defer os.RemoveAll(cacheDir)
 
+	// The job layer is crash-durable too: every admission is logged to a
+	// write-ahead log under the state directory before the client sees
+	// its 202, and a restarted service replays it (presp-served exposes
+	// the same wiring as -state-dir).
+	stateDir, err := os.MkdirTemp("", "presp-state-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(stateDir)
+
 	// The service shares its platform's checkpoint cache; an observer
 	// gives it server_* metrics and the /metrics endpoint.
 	p, err := presp.NewPlatform("VC707")
@@ -39,16 +49,26 @@ func main() {
 	}
 	svc := p.NewFlowService(presp.FlowServiceConfig{
 		Workers:  2,
+		StateDir: stateDir,
 		Observer: presp.NewObserver(),
 	})
+	// Recover arms the WAL and replays whatever a previous process left
+	// behind; on a fresh state directory it is a clean no-op.
+	if _, err := svc.Recover(); err != nil {
+		log.Fatal(err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 	fmt.Println("service up at", ts.URL)
 
 	// Two tenants submit the same SoC build at the same time. The
 	// single-flight layer admits one execution; the second submission
-	// subscribes to it and receives the identical result.
-	first := submit(ts.URL, "team-red", `{"preset":"SOC_3","compress":true}`)
+	// subscribes to it and receives the identical result. team-red tags
+	// its submission with an Idempotency-Key so retries are safe.
+	first, code := submitKeyed(ts.URL, "team-red", "red-build-1", `{"preset":"SOC_3","compress":true}`)
+	if code != http.StatusAccepted {
+		log.Fatalf("submit: HTTP %d", code)
+	}
 	second := submit(ts.URL, "team-blue", `{"preset":"SOC_3","compress":true}`)
 	fmt.Printf("team-red  submitted %s\n", first.ID)
 	fmt.Printf("team-blue submitted %s (deduplicated=%v)\n", second.ID, second.Deduplicated)
@@ -69,6 +89,11 @@ func main() {
 	}
 	resp.Body.Close()
 	fmt.Printf("team-blue fetching team-red's job: HTTP %d\n", resp.StatusCode)
+
+	// Retrying with the same Idempotency-Key replays the finished job —
+	// HTTP 200 and the original ID instead of a duplicate admission.
+	replayed, code := submitKeyed(ts.URL, "team-red", "red-build-1", `{"preset":"SOC_3","compress":true}`)
+	fmt.Printf("idempotent retry: HTTP %d, job %s (original %s)\n", code, replayed.ID, first.ID)
 
 	// A warm resubmission reuses every synthesis checkpoint.
 	warm := wait(ts.URL, "team-red", submit(ts.URL, "team-red", `{"preset":"SOC_3","compress":true}`).ID)
@@ -92,12 +117,23 @@ func main() {
 	if err := p2.AttachDiskCache(cacheDir); err != nil {
 		log.Fatal(err)
 	}
-	svc2 := p2.NewFlowService(presp.FlowServiceConfig{Workers: 2})
+	svc2 := p2.NewFlowService(presp.FlowServiceConfig{Workers: 2, StateDir: stateDir})
+	stats, err := svc2.Recover()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovery replayed %d WAL records: %d jobs, %d already terminal\n",
+		stats.Records, stats.Jobs, stats.Terminal)
 	ts2 := httptest.NewServer(svc2.Handler())
 	defer ts2.Close()
 	restarted := wait(ts2.URL, "team-red", submit(ts2.URL, "team-red", `{"preset":"SOC_3","compress":true}`).ID)
 	fmt.Printf("after restart: %d cache hits, %d misses (served from %s)\n",
 		restarted.Result.CacheHits, restarted.Result.CacheMisses, cacheDir)
+
+	// The idempotency key survived the restart via the WAL: the same
+	// retry against the NEW process still replays the original job.
+	across, code := submitKeyed(ts2.URL, "team-red", "red-build-1", `{"preset":"SOC_3","compress":true}`)
+	fmt.Printf("idempotent retry across restart: HTTP %d, job %s\n", code, across.ID)
 	if err := svc2.Shutdown(ctx); err != nil {
 		log.Fatal(err)
 	}
@@ -105,11 +141,25 @@ func main() {
 }
 
 func submit(base, tenant, spec string) presp.FlowJob {
+	job, code := submitKeyed(base, tenant, "", spec)
+	if code != http.StatusAccepted {
+		log.Fatalf("submit for %s: HTTP %d", tenant, code)
+	}
+	return job
+}
+
+// submitKeyed posts a spec, optionally tagged with an Idempotency-Key,
+// and returns the job plus the status code — 202 for a fresh admission,
+// 200 when the key replays an existing job.
+func submitKeyed(base, tenant, key, spec string) (presp.FlowJob, int) {
 	req, err := http.NewRequest("POST", base+"/v1/jobs", bytes.NewReader([]byte(spec)))
 	if err != nil {
 		log.Fatal(err)
 	}
 	req.Header.Set("X-Tenant", tenant)
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
+	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		log.Fatal(err)
@@ -119,10 +169,7 @@ func submit(base, tenant, spec string) presp.FlowJob {
 	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
 		log.Fatal(err)
 	}
-	if resp.StatusCode != http.StatusAccepted {
-		log.Fatalf("submit for %s: HTTP %d", tenant, resp.StatusCode)
-	}
-	return job
+	return job, resp.StatusCode
 }
 
 func wait(base, tenant, id string) presp.FlowJob {

@@ -131,6 +131,14 @@ type Options struct {
 	// synthesis checkpoints are preloaded into the cache, so completed
 	// work is skipped. The journal must match the design and flow.
 	Resume *Journal
+	// Heartbeat, when set, is called from the scheduler coordinator
+	// after every completed job with the cumulative count of completed
+	// jobs and the run's virtual-time position (sum of modelled job
+	// minutes). Service layers use it as a liveness signal: progress is
+	// measured in virtual minutes, staleness in real ones, so a stall
+	// watchdog can tell "slow but moving" from "wedged". Calls are
+	// serialized; the callback must not block.
+	Heartbeat func(completed int, virtual vivado.Minutes)
 	// Observer records metrics and trace spans for the run: scheduler
 	// job lifecycle, worker occupancy, per-stage runtime histograms,
 	// cost-model op timings and checkpoint-cache traffic. Nil (the
@@ -398,21 +406,32 @@ func execGraph(ctx context.Context, g *Graph, tool *vivado.Tool, opt Options, re
 		Observer:    opt.Observer,
 	}
 	reg := opt.Observer.Metrics()
-	if opt.Journal != nil {
+	if opt.Journal != nil || opt.Heartbeat != nil {
 		journalWrites := reg.Counter("flow_journal_writes_total")
 		tr := opt.Observer.Tracer()
 		if tr != nil {
 			tr.SetThreadName(coordinatorTID, "coordinator")
 		}
+		// OnJobDone runs on the coordinator, serially, so the heartbeat
+		// accumulators need no extra synchronization.
+		completed := 0
+		var virtual vivado.Minutes
 		execOpt.OnJobDone = func(j *Job, out JobOutcome) {
 			if out.Err != nil {
 				return
 			}
-			p := book.get(j.ID)
-			opt.Journal.Completed(j.ID, j.Stage, out.Minutes, out.Attempts, p.key, p.ck)
-			journalWrites.Inc()
-			if tr != nil {
-				tr.Instant("journal", "journal/"+j.ID, coordinatorTID, nil)
+			completed++
+			virtual += out.Minutes
+			if opt.Journal != nil {
+				p := book.get(j.ID)
+				opt.Journal.Completed(j.ID, j.Stage, out.Minutes, out.Attempts, p.key, p.ck)
+				journalWrites.Inc()
+				if tr != nil {
+					tr.Instant("journal", "journal/"+j.ID, coordinatorTID, nil)
+				}
+			}
+			if opt.Heartbeat != nil {
+				opt.Heartbeat(completed, virtual)
 			}
 		}
 	}

@@ -191,6 +191,20 @@ func CountSpans(events []Event, cat string) int {
 	return n
 }
 
+// CountInstants counts the instant ("i") events of one category whose
+// name matches (an empty name matches any). Recovery, stall-detection
+// and breaker-open markers are instants; tests assert them with this
+// the same way CountSpans serves the per-job spans.
+func CountInstants(events []Event, cat, name string) int {
+	n := 0
+	for _, ev := range events {
+		if ev.Phase == "i" && ev.Cat == cat && (name == "" || ev.Name == name) {
+			n++
+		}
+	}
+	return n
+}
+
 // CheckNesting verifies the trace's complete spans form a proper stack
 // on every (pid, tid) lane: two spans on one lane either nest fully or
 // do not overlap at all. Chrome's renderer assumes this; a violation

@@ -32,6 +32,15 @@ func TestTracerRoundTrip(t *testing.T) {
 	if got := CountSpans(f.TraceEvents, "job"); got != 2 {
 		t.Fatalf("CountSpans(job) = %d, want 2", got)
 	}
+	if got := CountInstants(f.TraceEvents, "retry", "impl_leaf#1"); got != 1 {
+		t.Fatalf("CountInstants(retry, impl_leaf#1) = %d, want 1", got)
+	}
+	if got := CountInstants(f.TraceEvents, "retry", ""); got != 1 {
+		t.Fatalf("CountInstants(retry, any) = %d, want 1", got)
+	}
+	if got := CountInstants(f.TraceEvents, "job", ""); got != 0 {
+		t.Fatalf("CountInstants(job, any) = %d, want 0 (spans are not instants)", got)
+	}
 	for _, ev := range f.TraceEvents {
 		if ev.PID != tracePID {
 			t.Fatalf("event %q pid = %d, want %d", ev.Name, ev.PID, tracePID)

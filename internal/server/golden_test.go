@@ -183,3 +183,129 @@ func TestGoldenErrorEnvelopes(t *testing.T) {
 		goldenCompare(t, "error_draining", body)
 	})
 }
+
+// TestGoldenHealthAndReadiness pins the liveness/readiness split:
+// healthz answers 200 for the whole life of the process — including a
+// drain, when in-flight work is still being served — while readyz flips
+// to 503 the moment admission stops, so load balancers shed traffic
+// before shutdown without killing the pod under it.
+func TestGoldenHealthAndReadiness(t *testing.T) {
+	st := &stubRunner{}
+	s, ts := goldenServer(t, st, Config{Workers: 1})
+
+	resp, body := doJSON(t, "GET", ts.URL+"/v1/healthz", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200: %s", resp.StatusCode, body)
+	}
+	goldenCompare(t, "healthz_ok", body)
+
+	resp, body = doJSON(t, "GET", ts.URL+"/v1/readyz", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz = %d, want 200: %s", resp.StatusCode, body)
+	}
+	goldenCompare(t, "readyz_ok", body)
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Liveness survives the drain; readiness does not.
+	resp, body = doJSON(t, "GET", ts.URL+"/v1/healthz", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining healthz = %d, want 200 (liveness must survive a drain): %s", resp.StatusCode, body)
+	}
+	goldenCompare(t, "healthz_draining", body)
+
+	resp, body = doJSON(t, "GET", ts.URL+"/v1/readyz", "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz = %d, want 503: %s", resp.StatusCode, body)
+	}
+	goldenCompare(t, "readyz_draining", body)
+}
+
+// TestGoldenCancelConflict pins the 409-vs-404 split on DELETE.
+func TestGoldenCancelConflict(t *testing.T) {
+	st := &stubRunner{}
+	s, ts := goldenServer(t, st, Config{Workers: 1})
+
+	resp, body := doJSON(t, "POST", ts.URL+"/v1/jobs", `{"preset":"SOC_1"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	waitState(t, s, "default", "j000001", StateSucceeded)
+
+	resp, body = doJSON(t, "DELETE", ts.URL+"/v1/jobs/j000001", "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel finished = %d, want 409: %s", resp.StatusCode, body)
+	}
+	goldenCompare(t, "error_conflict", body)
+}
+
+// TestGoldenCircuitOpen pins the breaker's 503 envelope and its
+// Retry-After header.
+func TestGoldenCircuitOpen(t *testing.T) {
+	st := &stubRunner{err: fmt.Errorf("synthetic failure")}
+	s, ts := goldenServer(t, st, Config{Workers: 1, BreakerThreshold: 2, BreakerCooldown: 30 * time.Second})
+
+	for i := 1; i <= 2; i++ {
+		resp, body := doJSON(t, "POST", ts.URL+"/v1/jobs", `{"preset":"SOC_1"}`)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d = %d: %s", i, resp.StatusCode, body)
+		}
+		waitState(t, s, "default", fmt.Sprintf("j%06d", i), StateFailed)
+	}
+	resp, body := doJSON(t, "POST", ts.URL+"/v1/jobs", `{"preset":"SOC_1"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed submit = %d, want 503: %s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "30" {
+		t.Errorf("Retry-After = %q, want \"30\"", ra)
+	}
+	goldenCompare(t, "error_circuit_open", body)
+}
+
+// TestGoldenIdempotentReplay pins the Idempotency-Key surface: first
+// submission 202, replay 200 with the same job (idempotency_key in the
+// body), mismatched reuse 409.
+func TestGoldenIdempotentReplay(t *testing.T) {
+	st := &stubRunner{}
+	s, ts := goldenServer(t, st, Config{Workers: 1})
+
+	post := func(body, key string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Idempotency-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp, buf.Bytes()
+	}
+
+	resp, body := post(`{"preset":"SOC_3","compress":true}`, "build-42")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202: %s", resp.StatusCode, body)
+	}
+	goldenCompare(t, "job_accepted_idempotent", body)
+	waitState(t, s, "default", "j000001", StateSucceeded)
+
+	resp, body = post(`{"preset":"SOC_3","compress":true}`, "build-42")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay = %d, want 200: %s", resp.StatusCode, body)
+	}
+	goldenCompare(t, "job_replayed_idempotent", body)
+
+	resp, body = post(`{"preset":"SOC_3"}`, "build-42")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("mismatched reuse = %d, want 409: %s", resp.StatusCode, body)
+	}
+	goldenCompare(t, "error_idempotency_mismatch", body)
+}

@@ -41,6 +41,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/readyz", s.handleReady)
 	mux.Handle("GET /metrics", obs.MetricsHandler(s.cfg.Observer.Metrics()))
 	obs.RegisterPprof(mux)
 	return mux
@@ -54,9 +55,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("decoding job spec: %v", err))
 		return
 	}
-	job, err := s.Submit(tenantOf(r), spec)
+	job, replayed, err := s.SubmitIdempotent(tenantOf(r), r.Header.Get("Idempotency-Key"), spec)
 	if err != nil {
 		s.writeSubmitError(w, err)
+		return
+	}
+	if replayed {
+		// The key was seen before: return the prior submission's job —
+		// 200, not 202, so clients can tell a replay from an admission.
+		writeJSON(w, http.StatusOK, job)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job)
@@ -68,7 +75,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 	var qf *QueueFullError
 	var bad *BadSpecError
+	var open *CircuitOpenError
+	var mism *IdempotencyMismatchError
 	switch {
+	case errors.As(err, &open):
+		secs := int(math.Round(open.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusServiceUnavailable, "circuit_open", open.Error())
+	case errors.As(err, &mism):
+		writeError(w, http.StatusConflict, "idempotency_mismatch", mism.Error())
 	case errors.As(err, &qf):
 		// Retry-After must be a positive integer: sub-second or negative
 		// configs round to at least 1, since "0" tells well-behaved
@@ -104,13 +122,21 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	job, err := s.Cancel(tenantOf(r), r.PathValue("id"))
-	if err != nil {
+	switch {
+	case errors.Is(err, ErrFinished):
+		// The job exists but already reached a terminal state some other
+		// way — a conflict, not a missing resource.
+		writeError(w, http.StatusConflict, "conflict", ErrFinished.Error())
+	case err != nil:
 		writeError(w, http.StatusNotFound, "not_found", ErrNotFound.Error())
-		return
+	default:
+		writeJSON(w, http.StatusOK, job)
 	}
-	writeJSON(w, http.StatusOK, job)
 }
 
+// handleHealth is liveness: the process is up and serving, so it is
+// always 200 — even while draining, when in-flight work is still being
+// finished and polled. Load balancers shed on readyz, not here.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := s.Snapshot()
 	status := "ok"
@@ -123,6 +149,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"running": st.Running,
 		"jobs":    st.Jobs,
 	})
+}
+
+// handleReady is readiness: 503 once the server stops admitting work
+// (draining), so load balancers route new submissions elsewhere while
+// existing clients keep polling through the still-live process.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	st := s.Snapshot()
+	if st.Draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -185,12 +185,15 @@ const (
 	// StateRejected: the server drained before the job was admitted to
 	// a worker.
 	StateRejected JobState = "rejected"
+	// StatePoisoned: the job stalled past its watchdog requeue budget
+	// and was quarantined — it will not run again.
+	StatePoisoned JobState = "poisoned"
 )
 
 // terminal reports whether a state is final.
 func (s JobState) terminal() bool {
 	switch s {
-	case StateSucceeded, StateFailed, StateCancelled, StateRejected:
+	case StateSucceeded, StateFailed, StateCancelled, StateRejected, StatePoisoned:
 		return true
 	}
 	return false
@@ -209,6 +212,17 @@ type Job struct {
 	Started   time.Time
 	Finished  time.Time
 	Result    *ResultView
+
+	// Key is the spec's single-flight content address; it is what the
+	// WAL records and what an idempotent resubmission is checked
+	// against.
+	Key string
+	// IdemKey is the client's Idempotency-Key, if any.
+	IdemKey string
+	// Attempts counts watchdog requeues: 0 for a job that ran once.
+	Attempts int
+	// Recovered marks a job re-created from the WAL after a crash.
+	Recovered bool
 
 	group *group
 }
@@ -284,23 +298,32 @@ type JobView struct {
 	State        JobState    `json:"state"`
 	Spec         Spec        `json:"spec"`
 	Deduplicated bool        `json:"deduplicated,omitempty"`
-	SubmittedAt  string      `json:"submitted_at,omitempty"`
-	StartedAt    string      `json:"started_at,omitempty"`
-	FinishedAt   string      `json:"finished_at,omitempty"`
-	Error        string      `json:"error,omitempty"`
-	Result       *ResultView `json:"result,omitempty"`
+	// IdempotencyKey echoes the client's Idempotency-Key header.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// Recovered marks a job replayed from the WAL after a restart.
+	Recovered bool `json:"recovered,omitempty"`
+	// Attempts counts watchdog requeues (absent for first-try jobs).
+	Attempts    int         `json:"attempts,omitempty"`
+	SubmittedAt string      `json:"submitted_at,omitempty"`
+	StartedAt   string      `json:"started_at,omitempty"`
+	FinishedAt  string      `json:"finished_at,omitempty"`
+	Error       string      `json:"error,omitempty"`
+	Result      *ResultView `json:"result,omitempty"`
 }
 
 // viewLocked snapshots a job. Callers hold the server mutex.
 func (j *Job) viewLocked() JobView {
 	v := JobView{
-		ID:           j.ID,
-		Tenant:       j.Tenant,
-		State:        j.State,
-		Spec:         j.Spec,
-		Deduplicated: j.Dedup,
-		Error:        j.Err,
-		Result:       j.Result,
+		ID:             j.ID,
+		Tenant:         j.Tenant,
+		State:          j.State,
+		Spec:           j.Spec,
+		Deduplicated:   j.Dedup,
+		IdempotencyKey: j.IdemKey,
+		Recovered:      j.Recovered,
+		Attempts:       j.Attempts,
+		Error:          j.Err,
+		Result:         j.Result,
 	}
 	fmtT := func(t time.Time) string {
 		if t.IsZero() {
@@ -321,7 +344,43 @@ var (
 	// ErrNotFound reports an unknown job ID — or one owned by another
 	// tenant, indistinguishable by design (404).
 	ErrNotFound = errors.New("job not found")
+	// ErrFinished reports a cancel of a job that already reached a
+	// non-cancelled terminal state (409) — distinct from an unknown ID,
+	// so clients can tell a lost race from a typo. Re-cancelling an
+	// already-cancelled job stays an idempotent no-op.
+	ErrFinished = errors.New("job already finished")
 )
+
+// CircuitOpenError sheds a submission whose (tenant, spec) circuit
+// breaker is open after repeated failures (503 + Retry-After).
+type CircuitOpenError struct {
+	// Failures is the consecutive-failure count that opened the circuit.
+	Failures int
+	// RetryAfter is how long until the breaker half-opens.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *CircuitOpenError) Error() string {
+	return fmt.Sprintf("circuit open after %d consecutive failures; retry in %s",
+		e.Failures, e.RetryAfter.Round(time.Second))
+}
+
+// IdempotencyMismatchError rejects a submission that reuses an
+// Idempotency-Key with a different spec (409): replaying the existing
+// job would silently hand the client a result for work it did not ask
+// for.
+type IdempotencyMismatchError struct {
+	// Key is the reused idempotency key.
+	Key string
+	// JobID is the job that owns the key.
+	JobID string
+}
+
+// Error implements error.
+func (e *IdempotencyMismatchError) Error() string {
+	return fmt.Sprintf("idempotency key %q was already used by job %s with a different spec", e.Key, e.JobID)
+}
 
 // QueueFullError rejects a submission when the admission queue is at
 // capacity (429 + Retry-After).

@@ -60,8 +60,35 @@ type Config struct {
 	Observer *obs.Observer
 	// JournalDir, when set, writes each job's flow journal to
 	// <dir>/<job-id>.jsonl; in-flight jobs that complete during a drain
-	// are journaled there.
+	// are journaled there. When empty and StateDir is set, it defaults
+	// to <StateDir>/journals so crash recovery can always resume
+	// interrupted runs from their journals.
 	JournalDir string
+	// StateDir, when set, makes accepted jobs crash-durable: every job
+	// state transition is appended to <dir>/jobs.wal (CRC-trailered,
+	// fsynced) before it is acknowledged, and Recover replays the log
+	// on boot — re-enqueueing jobs that never started and resuming
+	// interrupted runs from their journals. Recover must be called once
+	// before the server takes traffic; until then nothing is logged.
+	StateDir string
+	// StallTimeout arms the stuck-job watchdog: a running flight that
+	// makes no scheduler progress (virtual-time heartbeats) for longer
+	// than this wall-clock span is cancelled and requeued, and after
+	// StallRequeues requeues it is quarantined as poisoned. 0 disables
+	// the watchdog.
+	StallTimeout time.Duration
+	// StallRequeues caps how many times a stalled flight is requeued
+	// before being poisoned (default 1).
+	StallRequeues int
+	// BreakerThreshold opens a per-(tenant, spec) circuit breaker after
+	// this many consecutive failures of the same spec: further
+	// submissions are shed with 503 + Retry-After until BreakerCooldown
+	// passes, then one probe is let through (half-open). 0 disables the
+	// breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit sheds submissions
+	// (default 30s).
+	BreakerCooldown time.Duration
 	// RetryAfter is the hint returned with 429 responses (default 1s).
 	RetryAfter time.Duration
 	// Now overrides the clock (tests pin it for golden files).
@@ -83,8 +110,34 @@ type group struct {
 	started  time.Time
 	enqueued time.Time
 
-	journalFile *os.File // non-nil when Config.JournalDir is set
+	// lastBeat is the wall time of the last scheduler progress
+	// heartbeat; the watchdog declares a stall when it falls more than
+	// StallTimeout behind. virtMinutes is the modelled progress the
+	// heartbeat reported — the two time bases are deliberately
+	// distinct: progress is measured in virtual minutes, staleness in
+	// real ones.
+	lastBeat    time.Time
+	virtMinutes float64
+	// stalled marks a run the watchdog cancelled; requeues counts how
+	// often this flight was put back on the queue.
+	stalled  bool
+	requeues int
+	// resume carries a previous (crashed) run's journal so the flow
+	// skips completed stages.
+	resume *flow.Journal
+
+	journalFile *os.File // non-nil when a journal directory is set
 }
+
+// breakerState tracks one (tenant, spec key)'s consecutive failures.
+type breakerState struct {
+	fails     int
+	openUntil time.Time
+}
+
+// tenantKey scopes a name (spec content address, idempotency key) per
+// tenant; used for both breaker state and idempotency lookups.
+func tenantKey(tenant, name string) string { return tenant + "\x00" + name }
 
 // Server is the flow service. Create with New, serve via Handler, stop
 // with Shutdown.
@@ -97,6 +150,9 @@ type Server struct {
 	// run timing without touching the scheduling machinery.
 	runFlow func(ctx context.Context, cs *compiledSpec, opt flow.Options) (*flow.Result, error)
 
+	// journalDir is JournalDir after StateDir defaulting.
+	journalDir string
+
 	mu       sync.Mutex
 	cond     *sync.Cond
 	jobs     map[string]*Job
@@ -108,6 +164,15 @@ type Server struct {
 	draining bool
 	seq      int
 	wg       sync.WaitGroup
+
+	// wal is the job write-ahead log, non-nil once Recover has opened
+	// it (StateDir set). idem maps tenant-scoped idempotency keys to job
+	// IDs; breakers holds per-(tenant, spec) failure circuits.
+	wal          *wal
+	recovered    bool
+	idem         map[string]string
+	breakers     map[string]*breakerState
+	watchdogQuit chan struct{}
 
 	// Instruments, resolved once; nil-safe when no Observer is set.
 	mSubmitted    *obs.Counter
@@ -122,6 +187,15 @@ type Server struct {
 	gRunning      *obs.Gauge
 	hQueueSec     *obs.Histogram
 	hRunSec       *obs.Histogram
+
+	mWALRecords  *obs.Counter
+	mWALErrors   *obs.Counter
+	mRecovered   *obs.Counter // jobs re-created from the WAL at boot
+	mStalls      *obs.Counter // watchdog stall detections
+	mPoisoned    *obs.Counter // jobs quarantined past the requeue budget
+	mBreakerOpen *obs.Counter // circuit transitions to open
+	mBreakerShed *obs.Counter // submissions shed by an open circuit
+	mIdemReplays *obs.Counter // Idempotency-Key hits returning prior jobs
 }
 
 // serverTIDBase is the trace lane block for server worker slots, kept
@@ -140,13 +214,25 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.StallRequeues <= 0 {
+		cfg.StallRequeues = 1
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 30 * time.Second
+	}
+	if cfg.JournalDir == "" && cfg.StateDir != "" {
+		cfg.JournalDir = filepath.Join(cfg.StateDir, "journals")
+	}
 	s := &Server{
-		cfg:     cfg,
-		now:     cfg.Now,
-		cache:   cfg.Cache,
-		jobs:    make(map[string]*Job),
-		flights: make(map[string]*group),
-		queues:  make(map[string][]*group),
+		cfg:        cfg,
+		now:        cfg.Now,
+		cache:      cfg.Cache,
+		journalDir: cfg.JournalDir,
+		jobs:       make(map[string]*Job),
+		flights:    make(map[string]*group),
+		queues:     make(map[string][]*group),
+		idem:       make(map[string]string),
+		breakers:   make(map[string]*breakerState),
 	}
 	if s.now == nil {
 		s.now = time.Now
@@ -168,6 +254,14 @@ func New(cfg Config) *Server {
 	s.mRejected = reg.Counter("server_jobs_drain_rejected_total")
 	s.mQueueRejects = reg.Counter("server_admission_rejects_total")
 	s.mDrainRejects = reg.Counter("server_drain_rejects_total")
+	s.mWALRecords = reg.Counter("server_wal_records_total")
+	s.mWALErrors = reg.Counter("server_wal_errors_total")
+	s.mRecovered = reg.Counter("server_recovered_jobs")
+	s.mStalls = reg.Counter("server_watchdog_stalls_total")
+	s.mPoisoned = reg.Counter("server_jobs_poisoned")
+	s.mBreakerOpen = reg.Counter("server_breaker_opens_total")
+	s.mBreakerShed = reg.Counter("server_breaker_sheds_total")
+	s.mIdemReplays = reg.Counter("server_idempotent_replays_total")
 	s.gQueueDepth = reg.Gauge("server_queue_depth")
 	s.gRunning = reg.Gauge("server_jobs_running")
 	s.hQueueSec = reg.Histogram("server_job_queue_seconds")
@@ -182,40 +276,81 @@ func New(cfg Config) *Server {
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker(i)
 	}
+	if cfg.StallTimeout > 0 {
+		s.watchdogQuit = make(chan struct{})
+		s.wg.Add(1)
+		go s.watchdog(s.watchdogQuit)
+	}
 	return s
 }
 
 // Submit validates and admits one job for tenant. It returns the
 // created job, or ErrDraining, a *QueueFullError or a *BadSpecError.
 func (s *Server) Submit(tenant string, spec Spec) (JobView, error) {
+	v, _, err := s.SubmitIdempotent(tenant, "", spec)
+	return v, err
+}
+
+// SubmitIdempotent is Submit with an optional client idempotency key.
+// A key the tenant has used before returns that submission's job —
+// terminal or live — with replayed=true instead of admitting new work;
+// this is how a client that crashed (or whose server crashed) resubmits
+// safely after recovery. Reusing a key with a different spec is an
+// *IdempotencyMismatchError. An open circuit for (tenant, spec) sheds
+// the submission with a *CircuitOpenError.
+func (s *Server) SubmitIdempotent(tenant, idemKey string, spec Spec) (JobView, bool, error) {
 	cs, err := compile(spec)
 	if err != nil {
-		return JobView{}, &BadSpecError{Reason: err}
+		return JobView{}, false, &BadSpecError{Reason: err}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if idemKey != "" {
+		if id, ok := s.idem[tenantKey(tenant, idemKey)]; ok {
+			j := s.jobs[id]
+			if j.Key != cs.key {
+				return JobView{}, false, &IdempotencyMismatchError{Key: idemKey, JobID: id}
+			}
+			s.mIdemReplays.Inc()
+			return j.viewLocked(), true, nil
+		}
+	}
 	if s.draining {
 		s.mDrainRejects.Inc()
-		return JobView{}, ErrDraining
+		return JobView{}, false, ErrDraining
 	}
 	// Single-flight: identical work joins the in-flight group — queued
 	// or running — instead of consuming a queue slot.
 	if g, ok := s.flights[cs.key]; ok {
-		j := s.newJobLocked(tenant, cs.spec, true)
+		j := s.newJobLocked(tenant, cs, idemKey, true)
 		j.group = g
 		g.jobs = append(g.jobs, j)
 		if g.running {
 			j.State = StateRunning
 			j.Started = g.started
 		}
+		if err := s.admitDurablyLocked(j); err != nil {
+			g.jobs = g.jobs[:len(g.jobs)-1]
+			return JobView{}, false, err
+		}
 		s.mDeduped.Inc()
-		return j.viewLocked(), nil
+		return j.viewLocked(), false, nil
+	}
+	if s.cfg.BreakerThreshold > 0 {
+		if b := s.breakers[tenantKey(tenant, cs.key)]; b != nil && b.fails >= s.cfg.BreakerThreshold {
+			if now := s.now(); now.Before(b.openUntil) {
+				s.mBreakerShed.Inc()
+				return JobView{}, false, &CircuitOpenError{Failures: b.fails, RetryAfter: b.openUntil.Sub(now)}
+			}
+			// Cooldown elapsed: half-open, let this probe through. The
+			// breaker reopens on its failure and resets on success.
+		}
 	}
 	if s.queued >= s.cfg.QueueDepth {
 		s.mQueueRejects.Inc()
-		return JobView{}, &QueueFullError{Depth: s.cfg.QueueDepth}
+		return JobView{}, false, &QueueFullError{Depth: s.cfg.QueueDepth}
 	}
-	j := s.newJobLocked(tenant, cs.spec, false)
+	j := s.newJobLocked(tenant, cs, idemKey, false)
 	ctx, cancel := context.WithCancel(context.Background())
 	g := &group{
 		key:      cs.key,
@@ -229,17 +364,64 @@ func (s *Server) Submit(tenant string, spec Spec) (JobView, error) {
 	j.group = g
 	s.flights[cs.key] = g
 	s.enqueueLocked(g)
+	if err := s.admitDurablyLocked(j); err != nil {
+		s.removeQueuedLocked(g)
+		cancel()
+		return JobView{}, false, err
+	}
 	s.cond.Signal()
-	return j.viewLocked(), nil
+	return j.viewLocked(), false, nil
+}
+
+// admitDurablyLocked makes j's admission crash-durable and registers
+// its idempotency key. The admitted record is the one WAL append that
+// gates the acknowledgement: if it cannot be made durable, the caller
+// rolls the job back and the submission fails — the client never holds
+// a 202 for a job a crash could lose. Callers hold s.mu and must
+// unlink j on error.
+func (s *Server) admitDurablyLocked(j *Job) error {
+	if s.wal != nil {
+		rec := walRecord{
+			Op: walAdmitted, Job: j.ID, Tenant: j.Tenant, Key: j.Key,
+			Idem: j.IdemKey, Spec: &j.Spec, Time: j.Submitted.UTC().Format(time.RFC3339Nano),
+		}
+		if err := s.wal.append(rec); err != nil {
+			s.mWALErrors.Inc()
+			delete(s.jobs, j.ID)
+			return fmt.Errorf("server: job not durable: %w", err)
+		}
+		s.mWALRecords.Inc()
+	}
+	if j.IdemKey != "" {
+		s.idem[tenantKey(j.Tenant, j.IdemKey)] = j.ID
+	}
+	return nil
+}
+
+// walAppendLocked logs a non-admission transition best-effort: a
+// failing append is counted but does not fail the job — the transition
+// already happened in memory, and replay treats a missing tail record
+// conservatively (a re-run, never a loss). Callers hold s.mu.
+func (s *Server) walAppendLocked(rec walRecord) {
+	if s.wal == nil {
+		return
+	}
+	if err := s.wal.append(rec); err != nil {
+		s.mWALErrors.Inc()
+		return
+	}
+	s.mWALRecords.Inc()
 }
 
 // newJobLocked allocates a job record. Callers hold s.mu.
-func (s *Server) newJobLocked(tenant string, spec Spec, dedup bool) *Job {
+func (s *Server) newJobLocked(tenant string, cs *compiledSpec, idemKey string, dedup bool) *Job {
 	s.seq++
 	j := &Job{
 		ID:        fmt.Sprintf("j%06d", s.seq),
 		Tenant:    tenant,
-		Spec:      spec,
+		Spec:      cs.spec,
+		Key:       cs.key,
+		IdemKey:   idemKey,
 		State:     StateQueued,
 		Dedup:     dedup,
 		Submitted: s.now(),
@@ -322,9 +504,11 @@ func (s *Server) worker(slot int) {
 		g := s.dequeueLocked()
 		g.running = true
 		g.started = s.now()
+		g.lastBeat = g.started
 		for _, j := range g.jobs {
 			j.State = StateRunning
 			j.Started = g.started
+			s.walAppendLocked(walRecord{Op: walStarted, Job: j.ID})
 		}
 		s.running++
 		s.gRunning.Set(float64(s.running))
@@ -335,7 +519,9 @@ func (s *Server) worker(slot int) {
 }
 
 // execute runs one flight group to completion and publishes the
-// outcome to every surviving subscriber.
+// outcome to every surviving subscriber. A run the watchdog stalled is
+// requeued (within its budget) instead of published; past the budget
+// its jobs are quarantined as poisoned.
 func (s *Server) execute(slot int, g *group) {
 	journal, journalErr := s.openJournal(g)
 	opt := flow.Options{
@@ -353,6 +539,18 @@ func (s *Server) execute(slot int, g *group) {
 	if g.cs.spec.ErrorPolicy == "collect" {
 		opt.ErrorPolicy = flow.Collect
 	}
+	s.mu.Lock()
+	opt.Resume = g.resume
+	s.mu.Unlock()
+	// Progress heartbeats feed the stall watchdog: each completed
+	// scheduler job advances the flight's virtual-time position and
+	// refreshes its wall-clock liveness.
+	opt.Heartbeat = func(completed int, virt vivado.Minutes) {
+		s.mu.Lock()
+		g.lastBeat = s.now()
+		g.virtMinutes = float64(virt)
+		s.mu.Unlock()
+	}
 
 	tr := s.cfg.Observer.Tracer()
 	spanStart := tr.Now()
@@ -367,11 +565,43 @@ func (s *Server) execute(slot int, g *group) {
 	}
 
 	s.mu.Lock()
-	delete(s.flights, g.key)
 	s.running--
 	s.gRunning.Set(float64(s.running))
 	end := s.now()
 	s.hRunSec.Observe(end.Sub(g.started).Seconds())
+
+	// Watchdog requeue: the stall cancelled this run, subscribers are
+	// still waiting and the budget has room — put the flight back on
+	// the queue with a fresh context instead of failing it.
+	if err != nil && g.stalled && !s.draining && len(g.jobs) > 0 && g.requeues < s.cfg.StallRequeues {
+		g.requeues++
+		g.stalled = false
+		g.running = false
+		oldCancel := g.cancel
+		g.ctx, g.cancel = context.WithCancel(context.Background())
+		g.enqueued = end
+		for _, j := range g.jobs {
+			if j.State.terminal() {
+				continue
+			}
+			j.State = StateQueued
+			j.Attempts++
+			s.walAppendLocked(walRecord{Op: walRequeued, Job: j.ID})
+		}
+		s.enqueueLocked(g)
+		s.cond.Signal()
+		requeues := g.requeues
+		s.mu.Unlock()
+		oldCancel()
+		if tr != nil {
+			tr.Instant("server", "stall-requeue/"+g.cs.spec.Preset, serverTIDBase+slot,
+				map[string]any{"key": g.key, "requeues": requeues})
+		}
+		return
+	}
+
+	delete(s.flights, g.key)
+	poisoned := err != nil && g.stalled && !s.draining && len(g.jobs) > 0
 	var rv *ResultView
 	if err == nil {
 		rv = summarizeResult(g.cs.spec, res, len(journal.Entries()))
@@ -381,14 +611,33 @@ func (s *Server) execute(slot int, g *group) {
 			continue // cancelled subscribers keep their state
 		}
 		j.Finished = end
-		if err != nil {
+		switch {
+		case poisoned:
+			j.State = StatePoisoned
+			j.Err = fmt.Sprintf("poisoned: no scheduler progress for %v after %d attempts: %v",
+				s.cfg.StallTimeout, g.requeues+1, err)
+			s.mPoisoned.Inc()
+			s.walAppendLocked(walRecord{Op: walPoisoned, Job: j.ID, Error: j.Err})
+		case err != nil:
 			j.State = StateFailed
 			j.Err = err.Error()
 			s.mFailed.Inc()
-		} else {
+			s.walAppendLocked(walRecord{Op: walDone, Job: j.ID, State: StateFailed, Error: j.Err})
+		default:
 			j.State = StateSucceeded
 			j.Result = rv
 			s.mCompleted.Inc()
+			s.walAppendLocked(walRecord{Op: walDone, Job: j.ID, State: StateSucceeded, Result: rv})
+		}
+	}
+	// Circuit breaker accounting: only organic outcomes count — runs
+	// whose subscribers all cancelled, or that died in a drain, say
+	// nothing about the spec itself.
+	if len(g.jobs) > 0 && !s.draining {
+		if err != nil {
+			s.breakerFailureLocked(g.tenant, g.key, end)
+		} else {
+			delete(s.breakers, tenantKey(g.tenant, g.key))
 		}
 	}
 	nJobs := len(g.jobs)
@@ -405,10 +654,83 @@ func (s *Server) execute(slot int, g *group) {
 	}
 }
 
+// breakerFailureLocked records one organic failure for (tenant, spec)
+// and opens the circuit at the threshold. Callers hold s.mu.
+func (s *Server) breakerFailureLocked(tenant, specKey string, now time.Time) {
+	if s.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	bk := tenantKey(tenant, specKey)
+	b := s.breakers[bk]
+	if b == nil {
+		b = &breakerState{}
+		s.breakers[bk] = b
+	}
+	b.fails++
+	if b.fails >= s.cfg.BreakerThreshold {
+		wasOpen := now.Before(b.openUntil)
+		b.openUntil = now.Add(s.cfg.BreakerCooldown)
+		if !wasOpen {
+			s.mBreakerOpen.Inc()
+			if tr := s.cfg.Observer.Tracer(); tr != nil {
+				tr.Instant("server", "breaker-open", serverTIDBase,
+					map[string]any{"tenant": tenant, "key": specKey, "failures": b.fails})
+			}
+		}
+	}
+}
+
+// watchdog scans running flights and cancels any whose last progress
+// heartbeat is older than StallTimeout. Detection uses the wall clock
+// (s.now); progress itself is reported in virtual minutes — a flight
+// modelling hours of CAD time is fine as long as heartbeats keep
+// arriving in real time.
+func (s *Server) watchdog(quit chan struct{}) {
+	defer s.wg.Done()
+	interval := s.cfg.StallTimeout / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	if interval > time.Second {
+		interval = time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-quit:
+			return
+		case <-tick.C:
+		}
+		type stall struct {
+			key, tenant string
+			cancel      context.CancelFunc
+		}
+		var stalled []stall
+		s.mu.Lock()
+		now := s.now()
+		for _, g := range s.flights {
+			if g.running && !g.stalled && now.Sub(g.lastBeat) > s.cfg.StallTimeout {
+				g.stalled = true
+				s.mStalls.Inc()
+				stalled = append(stalled, stall{g.key, g.tenant, g.cancel})
+			}
+		}
+		s.mu.Unlock()
+		for _, st := range stalled {
+			if tr := s.cfg.Observer.Tracer(); tr != nil {
+				tr.Instant("server", "stall-detected", serverTIDBase,
+					map[string]any{"key": st.key, "tenant": st.tenant})
+			}
+			st.cancel()
+		}
+	}
+}
+
 // openJournal creates the group's journal: in-memory always, backed by
-// a <JournalDir>/<leader-job>.jsonl file when configured.
+// a <journalDir>/<leader-job>.jsonl file when configured.
 func (s *Server) openJournal(g *group) (*flow.Journal, error) {
-	if s.cfg.JournalDir == "" {
+	if s.journalDir == "" {
 		return flow.NewJournal(nil), nil
 	}
 	s.mu.Lock()
@@ -417,7 +739,10 @@ func (s *Server) openJournal(g *group) (*flow.Journal, error) {
 		leader = g.jobs[0].ID
 	}
 	s.mu.Unlock()
-	f, err := os.Create(filepath.Join(s.cfg.JournalDir, leader+".jsonl"))
+	if err := os.MkdirAll(s.journalDir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: journal: %w", err)
+	}
+	f, err := os.Create(filepath.Join(s.journalDir, leader+".jsonl"))
 	if err != nil {
 		return nil, fmt.Errorf("server: journal: %w", err)
 	}
@@ -453,8 +778,11 @@ func (s *Server) List(tenant string) []JobView {
 // Cancel marks tenant's job cancelled. Cancelling a queued job frees
 // its queue slot when it was the group's last subscriber; cancelling a
 // running job detaches the subscription and stops the underlying run
-// only when nobody else is waiting on it. Cancelling a terminal job is
-// a no-op returning the job as-is, so poll/cancel races are harmless.
+// only when nobody else is waiting on it. Re-cancelling a cancelled
+// job is a no-op returning the job as-is, so poll/cancel races are
+// harmless; cancelling a job that already finished some other way is
+// ErrFinished (the HTTP layer's 409), distinct from an unknown ID's
+// ErrNotFound (404).
 func (s *Server) Cancel(tenant, id string) (JobView, error) {
 	s.mu.Lock()
 	j := s.jobs[id]
@@ -464,12 +792,17 @@ func (s *Server) Cancel(tenant, id string) (JobView, error) {
 	}
 	if j.State.terminal() {
 		v := j.viewLocked()
+		wasCancelled := j.State == StateCancelled
 		s.mu.Unlock()
-		return v, nil
+		if wasCancelled {
+			return v, nil
+		}
+		return v, ErrFinished
 	}
 	j.State = StateCancelled
 	j.Finished = s.now()
 	s.mCancelled.Inc()
+	s.walAppendLocked(walRecord{Op: walCancelled, Job: j.ID})
 	g := j.group
 	var cancelRun bool
 	if g != nil {
@@ -532,6 +865,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 					j.Err = ErrDraining.Error()
 					j.Finished = s.now()
 					s.mRejected.Inc()
+					s.walAppendLocked(walRecord{Op: walDone, Job: j.ID, State: StateRejected, Error: j.Err})
 				}
 				g.jobs = nil
 				delete(s.flights, g.key)
@@ -542,6 +876,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.rr = nil
 		s.queued = 0
 		s.gQueueDepth.Set(0)
+		if s.watchdogQuit != nil {
+			close(s.watchdogQuit)
+			s.watchdogQuit = nil
+		}
 		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
@@ -553,16 +891,34 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.closeWAL()
 		return nil
 	case <-ctx.Done():
 		// Grace period over: stop in-flight runs at the next job
 		// boundary and wait for the workers to wind down.
 		s.mu.Lock()
+		var cancels []context.CancelFunc
 		for _, g := range s.flights {
-			g.cancel()
+			cancels = append(cancels, g.cancel)
 		}
 		s.mu.Unlock()
+		for _, cancel := range cancels {
+			cancel()
+		}
 		<-done
+		s.closeWAL()
 		return ctx.Err()
+	}
+}
+
+// closeWAL releases the job log after the last worker exits; later
+// appends become no-ops.
+func (s *Server) closeWAL() {
+	s.mu.Lock()
+	w := s.wal
+	s.wal = nil
+	s.mu.Unlock()
+	if w != nil {
+		w.close() //nolint:errcheck // every durable record was already fsynced
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -29,6 +30,9 @@ import (
 //     decode — is quarantined by renaming it to <name>.bad, counted in
 //     Corrupt, and reported as a miss. A quarantined entry is never
 //     trusted and never loaded; the flow simply recomputes it.
+//     Quarantined files are kept for post-mortem but not forever: the
+//     GC ages them out after quarantineMaxAge, and while present they
+//     count against the byte budget ahead of live entries.
 //   - Open verifies every entry up front (quarantining the bad ones and
 //     applying the byte budget), so a warm start begins from a store
 //     that is known-good end to end.
@@ -47,18 +51,19 @@ type DiskStore struct {
 	maxBytes int64
 	bytes    int64 // total size of live (non-quarantined) entries
 
-	hits        int64
-	misses      int64
-	writes      int64
-	corrupt     int64
-	gcEvictions int64
+	hits          int64
+	misses        int64
+	writes        int64
+	corrupt       int64
+	gcEvictions   int64
+	quarEvictions int64
 
 	// exported mirrors how much of each counter has reached the obs
 	// registry, so SetObserver can push the backlog accumulated before
 	// an observer attached (verify-at-open quarantines, notably) without
 	// double-counting on re-attachment.
 	exported struct {
-		hits, misses, writes, corrupt, gcEvictions int64
+		hits, misses, writes, corrupt, gcEvictions, quarEvictions int64
 	}
 
 	// Instruments resolved by SetObserver; nil without an observer, and
@@ -68,6 +73,7 @@ type DiskStore struct {
 	mWrites  *obs.Counter
 	mCorrupt *obs.Counter
 	mGC      *obs.Counter
+	mQuarGC  *obs.Counter
 	hLoad    *obs.Histogram
 	hStore   *obs.Histogram
 }
@@ -78,6 +84,12 @@ const (
 	diskEntryExt      = ".ckpt"
 	diskQuarantineExt = ".bad"
 )
+
+// quarantineMaxAge bounds how long a quarantined *.bad file is kept
+// around for post-mortem inspection: the GC removes older ones on its
+// next pass, so a corruption storm cannot grow the store directory
+// without bound even under no byte budget.
+const quarantineMaxAge = 24 * time.Hour
 
 // diskTrailerLen is the fixed byte length of the CRC trailer line:
 // "crc32:" + 8 hex digits + "\n".
@@ -142,6 +154,7 @@ func (ds *DiskStore) SetObserver(o *obs.Observer) {
 	ds.mWrites = reg.Counter("cache_disk_writes")
 	ds.mCorrupt = reg.Counter("cache_disk_corrupt")
 	ds.mGC = reg.Counter("cache_disk_gc_evictions")
+	ds.mQuarGC = reg.Counter("cache_disk_quarantine_evictions")
 	ds.hLoad = reg.Histogram("cache_disk_load_ms", diskMSBuckets...)
 	ds.hStore = reg.Histogram("cache_disk_store_ms", diskMSBuckets...)
 	flush := func(total int64, exported *int64, m *obs.Counter) {
@@ -153,6 +166,7 @@ func (ds *DiskStore) SetObserver(o *obs.Observer) {
 	flush(ds.writes, &ds.exported.writes, ds.mWrites)
 	flush(ds.corrupt, &ds.exported.corrupt, ds.mCorrupt)
 	flush(ds.gcEvictions, &ds.exported.gcEvictions, ds.mGC)
+	flush(ds.quarEvictions, &ds.exported.quarEvictions, ds.mQuarGC)
 }
 
 // count bumps one counter pair: the store-local total and — once an
@@ -179,9 +193,17 @@ type DiskStats struct {
 	Corrupt int64
 	// GCEvictions counts entries removed by the byte-budget GC.
 	GCEvictions int64
+	// QuarantineEvictions counts quarantined *.bad files the GC removed
+	// — aged out past quarantineMaxAge or sacrificed to the byte budget.
+	QuarantineEvictions int64
 	// Entries and Bytes describe the live contents.
 	Entries int
 	Bytes   int64
+	// Quarantined and QuarantinedBytes describe the *.bad files still
+	// held for post-mortem inspection; they count against the byte
+	// budget ahead of live entries.
+	Quarantined      int
+	QuarantinedBytes int64
 }
 
 // Stats snapshots the store's counters and occupancy.
@@ -192,10 +214,17 @@ func (ds *DiskStore) Stats() DiskStats {
 	if names, err := ds.entryNamesLocked(); err == nil {
 		n = len(names)
 	}
+	quar := ds.scanLocked(isQuarantined)
+	var quarBytes int64
+	for _, f := range quar {
+		quarBytes += f.size
+	}
 	return DiskStats{
 		Hits: ds.hits, Misses: ds.misses, Writes: ds.writes,
 		Corrupt: ds.corrupt, GCEvictions: ds.gcEvictions,
-		Entries: n, Bytes: ds.bytes,
+		QuarantineEvictions: ds.quarEvictions,
+		Entries:             n, Bytes: ds.bytes,
+		Quarantined: len(quar), QuarantinedBytes: quarBytes,
 	}
 }
 
@@ -392,38 +421,88 @@ func (ds *DiskStore) verifyAll() error {
 	return nil
 }
 
-// gcLocked evicts oldest-accessed entries until the live total fits the
-// byte budget. Callers hold ds.mu.
-func (ds *DiskStore) gcLocked() {
-	if ds.maxBytes <= 0 || ds.bytes <= ds.maxBytes {
-		return
-	}
-	names, err := ds.entryNamesLocked()
+// diskFile is one on-disk file as the GC sees it.
+type diskFile struct {
+	path  string
+	size  int64
+	atime time.Time
+}
+
+// isLiveEntry / isQuarantined classify store files by name. A
+// quarantined file is "<key>.ckpt.bad", so its filepath.Ext is ".bad"
+// and the two predicates are disjoint.
+func isLiveEntry(name string) bool   { return filepath.Ext(name) == diskEntryExt }
+func isQuarantined(name string) bool { return strings.HasSuffix(name, diskQuarantineExt) }
+
+// scanLocked lists the regular files matching keep, oldest mtime first
+// with a deterministic path tie-break. Callers hold ds.mu.
+func (ds *DiskStore) scanLocked(keep func(string) bool) []diskFile {
+	des, err := os.ReadDir(ds.dir)
 	if err != nil {
-		return
+		return nil
 	}
-	type fileAge struct {
-		path  string
-		size  int64
-		atime time.Time
-	}
-	files := make([]fileAge, 0, len(names))
-	for _, name := range names {
-		path := filepath.Join(ds.dir, name)
-		fi, err := os.Stat(path)
+	files := make([]diskFile, 0, len(des))
+	for _, de := range des {
+		if !de.Type().IsRegular() || !keep(de.Name()) {
+			continue
+		}
+		fi, err := de.Info()
 		if err != nil {
 			continue
 		}
-		files = append(files, fileAge{path: path, size: fi.Size(), atime: fi.ModTime()})
+		files = append(files, diskFile{
+			path: filepath.Join(ds.dir, de.Name()), size: fi.Size(), atime: fi.ModTime(),
+		})
 	}
 	sort.Slice(files, func(i, j int) bool {
 		if !files[i].atime.Equal(files[j].atime) {
 			return files[i].atime.Before(files[j].atime)
 		}
-		return files[i].path < files[j].path // deterministic tie-break
+		return files[i].path < files[j].path
 	})
-	for _, f := range files {
-		if ds.bytes <= ds.maxBytes {
+	return files
+}
+
+// gcLocked enforces the store's two retention rules. Quarantined *.bad
+// files are post-mortem artifacts, not cache content: any older than
+// quarantineMaxAge is removed regardless of the byte budget, and the
+// survivors count against the budget ahead of live entries — a
+// corruption storm must never crowd working checkpoints out of the
+// budget, nor grow the directory forever. Then live entries are evicted
+// oldest-accessed first until everything fits. Callers hold ds.mu.
+func (ds *DiskStore) gcLocked() {
+	quar := ds.scanLocked(isQuarantined)
+	now := time.Now()
+	kept := quar[:0]
+	var quarBytes int64
+	for _, f := range quar {
+		if now.Sub(f.atime) > quarantineMaxAge {
+			if os.Remove(f.path) == nil {
+				count(&ds.quarEvictions, &ds.exported.quarEvictions, ds.mQuarGC)
+			}
+			continue
+		}
+		kept = append(kept, f)
+		quarBytes += f.size
+	}
+	if ds.maxBytes <= 0 || ds.bytes+quarBytes <= ds.maxBytes {
+		return
+	}
+	// Over budget: quarantined files go first (they serve no reads),
+	// oldest first...
+	for _, f := range kept {
+		if ds.bytes+quarBytes <= ds.maxBytes {
+			return
+		}
+		if err := os.Remove(f.path); err != nil {
+			continue
+		}
+		quarBytes -= f.size
+		count(&ds.quarEvictions, &ds.exported.quarEvictions, ds.mQuarGC)
+	}
+	// ...then live entries, oldest-accessed first.
+	for _, f := range ds.scanLocked(isLiveEntry) {
+		if ds.bytes+quarBytes <= ds.maxBytes {
 			return
 		}
 		if err := os.Remove(f.path); err != nil {

@@ -1,6 +1,7 @@
 package vivado
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -452,4 +453,181 @@ func FuzzDiskEntry(f *testing.F) {
 			t.Fatalf("mutated entry (keep=%d flip=%#x off=%d) decoded to %+v", keep, flip, off, got)
 		}
 	})
+}
+
+// TestDiskStoreQuarantineAgeOut: a quarantined *.bad file is kept for
+// post-mortem, counted in Stats, and aged out by the GC once it is older
+// than quarantineMaxAge — even with no byte budget configured.
+func TestDiskStoreQuarantineAgeOut(t *testing.T) {
+	ds := openTestStore(t)
+	o := obs.New()
+	ds.SetObserver(o)
+	if err := ds.Store("k1", testCheckpoint("acc")); err != nil {
+		t.Fatal(err)
+	}
+	corruptEntry(t, ds, "k1", 3)
+	if _, ok := ds.Load("k1"); ok {
+		t.Fatal("corrupt entry loaded")
+	}
+	st := ds.Stats()
+	if st.Quarantined != 1 || st.QuarantinedBytes <= 0 {
+		t.Fatalf("stats = %+v, want 1 quarantined file with bytes", st)
+	}
+
+	// A fresh quarantine survives a GC pass...
+	if err := ds.Store("k2", testCheckpoint("acc2")); err != nil {
+		t.Fatal(err)
+	}
+	if st := ds.Stats(); st.Quarantined != 1 || st.QuarantineEvictions != 0 {
+		t.Fatalf("fresh quarantine aged out early: %+v", st)
+	}
+
+	// ...but once older than quarantineMaxAge the next pass removes it.
+	bad := filepath.Join(ds.Dir(), "k1"+diskEntryExt+diskQuarantineExt)
+	old := time.Now().Add(-quarantineMaxAge - time.Hour)
+	if err := os.Chtimes(bad, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Store("k3", testCheckpoint("acc3")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatal("aged quarantine file still on disk")
+	}
+	st = ds.Stats()
+	if st.Quarantined != 0 || st.QuarantinedBytes != 0 || st.QuarantineEvictions != 1 {
+		t.Fatalf("stats after age-out = %+v, want 0 quarantined / 1 eviction", st)
+	}
+	snap := o.Metrics().Snapshot()
+	if snap.Counters["cache_disk_quarantine_evictions"] != 1 {
+		t.Errorf("cache_disk_quarantine_evictions = %d, want 1",
+			snap.Counters["cache_disk_quarantine_evictions"])
+	}
+}
+
+// TestDiskStoreQuarantineCountsAgainstBudget: *.bad files count toward
+// SetMaxBytes and are sacrificed ahead of live entries — a corruption
+// storm shrinks the post-mortem pile, not the working set.
+func TestDiskStoreQuarantineCountsAgainstBudget(t *testing.T) {
+	ds := openTestStore(t)
+	for _, k := range []string{"k1", "k2", "k3"} {
+		if err := ds.Store(k, testCheckpoint("m_"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size := ds.Stats().Bytes / 3
+	corruptEntry(t, ds, "k2", 3)
+	if _, ok := ds.Load("k2"); ok {
+		t.Fatal("corrupt entry loaded")
+	}
+	// Live: k1 + k3 (2*size). Quarantined: k2's corpse (size). A budget
+	// of 2*size is over-subscribed only because of the corpse, so the GC
+	// must delete it and leave both live entries alone.
+	ds.SetMaxBytes(2 * size)
+	st := ds.Stats()
+	if st.Quarantined != 0 || st.QuarantineEvictions != 1 {
+		t.Fatalf("stats = %+v, want quarantine evicted for the budget", st)
+	}
+	if st.Entries != 2 || st.GCEvictions != 0 {
+		t.Fatalf("stats = %+v, want both live entries untouched", st)
+	}
+	for _, k := range []string{"k1", "k3"} {
+		if _, ok := ds.Load(k); !ok {
+			t.Fatalf("live entry %s lost to a quarantine corpse", k)
+		}
+	}
+}
+
+// TestDiskStoreGCRacesConcurrentLoads: the byte-budget GC churning
+// underneath concurrent Loads and cache promotions must never corrupt
+// either tier — every materialize returns the right checkpoint for its
+// key (recomputing if the file was evicted mid-probe), and a direct Load
+// whose file just vanished is a clean miss, never garbage. Run under
+// -race, this is the locking proof for the disk tier.
+func TestDiskStoreGCRacesConcurrentLoads(t *testing.T) {
+	ds := openTestStore(t)
+	cache := NewCheckpointCache()
+	cache.SetDiskStore(ds)
+	cache.SetMaxEntries(4) // force continuous demotion/promotion traffic
+
+	var keys []string
+	for i := 0; i < 16; i++ {
+		keys = append(keys, fmt.Sprintf("k%02d", i))
+	}
+	for _, k := range keys {
+		if err := ds.Store(k, testCheckpoint("m_"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size := ds.Stats().Bytes / int64(len(keys))
+
+	var wg sync.WaitGroup
+	// Budget churner: whipsaw the byte budget so the GC constantly
+	// evicts, and re-store keys so there is always something to evict.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			if i%2 == 0 {
+				ds.SetMaxBytes(size * 4)
+			} else {
+				ds.SetMaxBytes(0)
+			}
+			k := keys[i%len(keys)]
+			ds.Store(k, testCheckpoint("m_"+k)) //nolint:errcheck // churn; misses are fine
+		}
+	}()
+	// Promoting readers: materialize through the cache; the compute
+	// fallback recomputes keys the GC stole mid-flight.
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := keys[(g*7+i)%len(keys)]
+				ck, _, err := cache.materialize(k, func() (*SynthCheckpoint, error) {
+					return testCheckpoint("m_" + k), nil
+				})
+				if err != nil {
+					t.Errorf("materialize %s: %v", k, err)
+					return
+				}
+				if ck == nil || ck.Name != "m_"+k {
+					t.Errorf("materialize %s returned wrong checkpoint: %+v", k, ck)
+					return
+				}
+			}
+		}(g)
+	}
+	// Raw readers: a Load racing an eviction is a hit or a clean miss —
+	// never an error path, never another key's data.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := keys[(g*5+i)%len(keys)]
+				if ck, ok := ds.Load(k); ok && ck.Name != "m_"+k {
+					t.Errorf("Load %s returned %q", k, ck.Name)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The store must still be coherent: unbounded again, every key is
+	// recomputable and loadable.
+	ds.SetMaxBytes(0)
+	for _, k := range keys {
+		if err := ds.Store(k, testCheckpoint("m_"+k)); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := ds.Load(k); !ok {
+			t.Fatalf("key %s unloadable after the churn", k)
+		}
+	}
+	if st := ds.Stats(); st.Corrupt != 0 {
+		t.Fatalf("churn corrupted entries: %+v", st)
+	}
 }

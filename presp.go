@@ -267,12 +267,20 @@ func (p *Platform) UtilizationReport(s *SoC) (string, error) {
 // FlowService is the multi-tenant flow-as-a-service server behind
 // cmd/presp-served: a bounded admission queue with backpressure,
 // per-tenant round-robin fair scheduling, single-flight deduplication
-// of identical submissions and graceful drain. Serve its Handler over
-// HTTP, or drive Submit/Get/Cancel in process. See DESIGN.md §13.
+// of identical submissions and graceful drain. With a StateDir it is
+// also crash-durable: every admission is logged to a write-ahead log
+// before the client sees 202, and Recover replays the log on the next
+// boot — re-enqueueing lost jobs and resuming interrupted runs from
+// their journals. Serve its Handler over HTTP, or drive
+// Submit/SubmitIdempotent/Get/Cancel in process. See DESIGN.md §13/§15.
 type FlowService = server.Server
 
 // FlowServiceConfig tunes a FlowService (see server.Config).
 type FlowServiceConfig = server.Config
+
+// FlowRecoveryStats summarizes one FlowService.Recover pass over the
+// write-ahead log.
+type FlowRecoveryStats = server.RecoveryStats
 
 // FlowJobSpec is the client-facing description of one service job —
 // the JSON body of POST /v1/jobs.
