@@ -41,12 +41,14 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # One-iteration smoke pass over the flow benchmarks, part of `make ci`:
-# the cold/warm evaluator sweeps plus the observed/nil-observer flow
-# pair (the check that instrumentation costs nothing when disabled).
-# The parsed results land in BENCH_flow.json for diffing across
-# changes; -benchtime=1x numbers are smoke-level, not statistics.
+# the cold/warm evaluator sweeps, the observed/nil-observer flow pair
+# (the check that instrumentation costs nothing when disabled) and the
+# incremental cold/warm/edit legs (the stage-artifact cache's win on
+# unchanged and one-kernel-edit reruns). The parsed results land in
+# BENCH_flow.json for diffing across changes; -benchtime=1x numbers
+# are smoke-level, not statistics.
 bench-smoke:
-	$(GO) test -run='^$$' -bench='^Benchmark(EvaluateStrategy(Cold|Warm)|RunPRESP(NilObserver|Observed))$$' \
+	$(GO) test -run='^$$' -bench='^Benchmark(EvaluateStrategy(Cold|Warm)|RunPRESP(NilObserver|Observed|Incremental(Cold|Warm|Edit)))$$' \
 		-benchtime=1x -benchmem -timeout $(TEST_TIMEOUT) ./internal/flow/ \
 		| $(GO) run ./cmd/presp-benchjson > BENCH_flow.json
 	@cat BENCH_flow.json

@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"presp/internal/cliutil"
 	"presp/internal/core"
 	"presp/internal/experiments"
 	"presp/internal/faultinject"
@@ -55,6 +56,7 @@ type cliOptions struct {
 	workers     int
 	timeout     time.Duration
 	retries     int
+	incremental bool
 	errorPolicy flow.ErrorPolicy
 	faultPlan   *faultinject.Plan
 	journalPath string
@@ -70,7 +72,8 @@ type cliOptions struct {
 func parseCLI(args []string) (*cliOptions, error) {
 	fs := flag.NewFlagSet("presp-flow", flag.ContinueOnError)
 	o := &cliOptions{}
-	var faults, policy string
+	var cu cliutil.Flags
+	var policy string
 	fs.StringVar(&o.preset, "preset", "", "built-in SoC (SOC_1..SOC_4, SoC_A..SoC_D, SoC_X/Y/Z)")
 	fs.StringVar(&o.configPath, "config", "", "path to a JSON SoC configuration")
 	fs.StringVar(&o.strategy, "strategy", "", "force a strategy: serial, semi, fully (default: size-driven choice)")
@@ -78,26 +81,26 @@ func parseCLI(args []string) (*cliOptions, error) {
 	fs.BoolVar(&o.compress, "compress", true, "compress bitstreams")
 	fs.StringVar(&o.baseline, "baseline", "", "also run a baseline: mono, dfx or both")
 	fs.BoolVar(&o.scripts, "scripts", false, "print the auto-generated CAD scripts")
-	fs.IntVar(&o.workers, "workers", 0, "scheduler worker goroutines (0 = all CPUs); results are identical for every value")
-	fs.DurationVar(&o.timeout, "timeout", 0, "abort the whole flow after this wall-clock duration (0 = none)")
 	fs.IntVar(&o.retries, "retries", 0, "retry failed jobs up to N times with capped virtual-time backoff")
+	fs.BoolVar(&o.incremental, "incremental", true, "cache stage artifacts (floorplan, per-partition impl, bitstreams) so edited re-runs skip unchanged stages")
 	fs.StringVar(&policy, "error-policy", "fail-fast", "job-failure policy: fail-fast or collect")
-	fs.StringVar(&faults, "faults", "", "inject seeded CAD faults, e.g. 'seed=7,synth@rt_1:count=1,impl=0.3'")
 	fs.StringVar(&o.journalPath, "journal", "", "record completed jobs to this JSON-lines file (resumable with -resume)")
 	fs.StringVar(&o.resumePath, "resume", "", "resume from a journal written by an interrupted run")
-	fs.StringVar(&o.cacheDir, "cache-dir", "", "back the checkpoint cache with a persistent disk tier in this directory; later runs against the same directory warm-start")
-	fs.StringVar(&o.tracePath, "trace", "", "write a Chrome trace-event file of the run (open in Perfetto)")
-	fs.StringVar(&o.metricsPath, "metrics", "", "write the metrics registry as flat JSON to this file")
 	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	cu.RegisterWorkers(fs, "workers")
+	cu.RegisterTimeout(fs)
+	cu.RegisterFaults(fs, "seed=7,synth@rt_1:count=1,impl=0.3")
+	cu.RegisterTrace(fs, "")
+	cu.RegisterMetrics(fs)
+	cu.RegisterCacheDir(fs, "later runs against the same directory warm-start")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	if fs.NArg() > 0 {
-		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(0))
-	}
-	if _, err := flow.NormalizeWorkers(o.workers); err != nil {
+	if err := cu.Finish(fs); err != nil {
 		return nil, err
 	}
+	o.workers, o.timeout, o.faultPlan = cu.Workers, cu.Timeout, cu.FaultPlan
+	o.tracePath, o.metricsPath, o.cacheDir = cu.Trace, cu.Metrics, cu.CacheDir
 	if o.retries < 0 {
 		return nil, fmt.Errorf("-retries must be >= 0, got %d", o.retries)
 	}
@@ -108,13 +111,6 @@ func parseCLI(args []string) (*cliOptions, error) {
 		o.errorPolicy = flow.Collect
 	default:
 		return nil, fmt.Errorf("unknown error policy %q (want fail-fast or collect)", policy)
-	}
-	if faults != "" {
-		plan, err := faultinject.ParsePlan(faults)
-		if err != nil {
-			return nil, err
-		}
-		o.faultPlan = plan
 	}
 	if o.journalPath != "" && o.journalPath == o.resumePath {
 		return nil, fmt.Errorf("-journal and -resume must name different files")
@@ -165,10 +161,15 @@ func run(ctx context.Context, o *cliOptions) error {
 		observer = obs.New()
 	}
 	cache := vivado.NewCheckpointCache()
+	var stage *vivado.StageCache
+	if o.incremental {
+		stage = vivado.NewStageCache()
+	}
 	opt := flow.Options{
 		Compress:      o.compress,
 		Workers:       o.workers,
 		Cache:         cache,
+		StageCache:    stage,
 		CacheDir:      o.cacheDir,
 		Timeout:       o.timeout,
 		MaxJobRetries: o.retries,
@@ -350,6 +351,13 @@ func printResult(res *flow.Result, cache *vivado.CheckpointCache) {
 		}
 	}
 	fmt.Println()
+	if j.Skipped > 0 || j.StageCacheMisses > 0 {
+		fmt.Printf("incremental: %d stage jobs skipped from the artifact cache", j.Skipped)
+		for _, st := range report.SortedKeys(j.SkippedByStage) {
+			fmt.Printf(", %s %d", st, j.SkippedByStage[st])
+		}
+		fmt.Printf(" (%d probes missed)\n", j.StageCacheMisses)
+	}
 
 	if res.Partial {
 		fmt.Printf("PARTIAL result: %d jobs failed, %d cancelled downstream\n",

@@ -43,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"presp/internal/cliutil"
 	"presp/internal/obs"
 	"presp/internal/server"
 	"presp/internal/vivado"
@@ -57,6 +58,7 @@ type cliOptions struct {
 	journalDir   string
 	cacheDir     string
 	cacheMaxMB   int64
+	stageCache   bool
 	stateDir     string
 	stallTimeout time.Duration
 	stallReq     int
@@ -72,13 +74,15 @@ type cliOptions struct {
 func parseCLI(args []string) (*cliOptions, error) {
 	fs := flag.NewFlagSet("presp-served", flag.ContinueOnError)
 	o := &cliOptions{}
+	var cu cliutil.Flags
 	fs.StringVar(&o.addr, "addr", "localhost:8080", "listen address (host:port; port 0 picks one)")
 	fs.IntVar(&o.workers, "workers", 2, "concurrent flow executions")
 	fs.IntVar(&o.queue, "queue", 64, "admission queue depth (submissions beyond it get 429)")
-	fs.IntVar(&o.jobWorkers, "job-workers", 0, "per-run flow scheduler goroutines (0 = all CPUs)")
+	cu.RegisterWorkers(fs, "job-workers")
 	fs.StringVar(&o.journalDir, "journal-dir", "", "write each job's flow journal to this directory")
-	fs.StringVar(&o.cacheDir, "cache-dir", "", "back the checkpoint cache with a persistent disk tier in this directory; a restarted daemon warm-starts from it")
+	cu.RegisterCacheDir(fs, "a restarted daemon warm-starts from it")
 	fs.Int64Var(&o.cacheMaxMB, "cache-max-mb", 0, "byte budget for -cache-dir in MiB, GC'd oldest-access-first (0 = unbounded)")
+	fs.BoolVar(&o.stageCache, "stage-cache", true, "share a stage-artifact cache across jobs so resubmitted edited specs skip unchanged stages")
 	fs.StringVar(&o.stateDir, "state-dir", "", "durable job state: WAL + resume journals; a crashed daemon recovers its jobs from here on the next boot")
 	fs.DurationVar(&o.stallTimeout, "job-stall-timeout", 0, "watchdog: cancel+requeue a run with no scheduler heartbeat for this long (0 = off)")
 	fs.IntVar(&o.stallReq, "stall-requeues", 1, "watchdog requeue budget before a stalled job is poisoned")
@@ -90,17 +94,15 @@ func parseCLI(args []string) (*cliOptions, error) {
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	if fs.NArg() > 0 {
-		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	if err := cu.Finish(fs); err != nil {
+		return nil, err
 	}
+	o.jobWorkers, o.cacheDir = cu.Workers, cu.CacheDir
 	if o.workers <= 0 {
 		return nil, fmt.Errorf("-workers must be > 0, got %d", o.workers)
 	}
 	if o.queue <= 0 {
 		return nil, fmt.Errorf("-queue must be > 0, got %d", o.queue)
-	}
-	if o.jobWorkers < 0 {
-		return nil, fmt.Errorf("-job-workers must be >= 0, got %d", o.jobWorkers)
 	}
 	if o.drainTimeout <= 0 {
 		return nil, fmt.Errorf("-drain-timeout must be > 0, got %v", o.drainTimeout)
@@ -162,6 +164,7 @@ func buildServer(o *cliOptions, out io.Writer) (*server.Server, error) {
 		BreakerCooldown:  o.breakerCool,
 		RetryAfter:       o.retryAfter,
 		Observer:         observer,
+		NoStageCache:     !o.stageCache,
 	}
 	if o.cacheDir != "" {
 		store, err := vivado.OpenDiskStore(o.cacheDir)

@@ -25,6 +25,7 @@ import (
 
 	"presp/internal/accel"
 	"presp/internal/bitstream"
+	"presp/internal/cliutil"
 	"presp/internal/experiments"
 	"presp/internal/faultinject"
 	"presp/internal/flow"
@@ -52,31 +53,25 @@ type cliOptions struct {
 func parseCLI(args []string) (*cliOptions, error) {
 	fs := flag.NewFlagSet("presp-sim", flag.ContinueOnError)
 	o := &cliOptions{}
+	var cu cliutil.Flags
 	var noCompress bool
-	var faults string
 	fs.StringVar(&o.soc, "soc", "SoC_Y", "runtime SoC: SoC_X, SoC_Y or SoC_Z")
 	fs.IntVar(&o.frames, "frames", 6, "frame count (first frame is warm-up)")
 	fs.IntVar(&o.edge, "edge", 128, "frame edge length in pixels")
 	fs.IntVar(&o.iters, "lk-iters", 1, "Lucas-Kanade iterations per frame")
 	fs.BoolVar(&noCompress, "no-compress", false, "disable bitstream compression")
-	fs.StringVar(&faults, "faults", "", "fault plan, e.g. 'seed=7,icap=0.2,crc@rt_2=0.1,transfer@dma:after=3:count=1' (see internal/faultinject)")
-	fs.StringVar(&o.tracePath, "trace", "", "write a Chrome trace-event file of the runtime (virtual time; open in Perfetto)")
+	cu.RegisterFaults(fs, "seed=7,icap=0.2,crc@rt_2=0.1,transfer@dma:after=3:count=1")
+	cu.RegisterTrace(fs, "virtual time")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	if fs.NArg() > 0 {
-		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	if err := cu.Finish(fs); err != nil {
+		return nil, err
 	}
+	o.faultPlan, o.tracePath = cu.FaultPlan, cu.Trace
 	o.compress = !noCompress
 	if o.frames < 1 {
 		return nil, fmt.Errorf("-frames must be >= 1, got %d", o.frames)
-	}
-	if faults != "" {
-		plan, err := faultinject.ParsePlan(faults)
-		if err != nil {
-			return nil, err
-		}
-		o.faultPlan = plan
 	}
 	return o, nil
 }

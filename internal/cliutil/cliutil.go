@@ -1,0 +1,111 @@
+// Package cliutil centralizes the flag definitions the presp command
+// line tools share. presp-flow, presp-sim and presp-served each grew
+// their own copies of -workers, -timeout, -faults, -trace, -metrics
+// and -cache-dir; the copies had started to drift in usage text and
+// validation, so the definitions live here once and the commands
+// register the subset they support.
+//
+// Usage: create a Flags, call the Register* methods against the
+// command's FlagSet before Parse, then call Finish after Parse —
+// Finish rejects stray positional arguments and runs the shared
+// validation (worker-count normalization, fault-plan parsing).
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"presp/internal/faultinject"
+	"presp/internal/flow"
+)
+
+// Flags holds the parsed values of the shared flags. Only fields whose
+// Register* method was called are meaningful.
+type Flags struct {
+	// Workers is the flow scheduler pool width (0 = all CPUs). The
+	// registered flag name varies per command ("workers" for
+	// presp-flow, "job-workers" for presp-served) but semantics and
+	// validation are identical.
+	Workers int
+	// Timeout bounds the whole run's wall clock (0 = none).
+	Timeout time.Duration
+	// Trace is the Chrome trace-event output path ("" = off).
+	Trace string
+	// Metrics is the flat-JSON metrics output path ("" = off).
+	Metrics string
+	// CacheDir backs the checkpoint cache with a persistent disk tier.
+	CacheDir string
+	// FaultPlan is the parsed -faults plan, filled by Finish (nil when
+	// the flag was empty or never registered).
+	FaultPlan *faultinject.Plan
+
+	faults     string
+	hasWorkers bool
+}
+
+// RegisterWorkers registers the flow scheduler pool-width flag under
+// name (commands differ: presp-flow calls it -workers, presp-served
+// -job-workers because -workers there means server execution slots).
+func (f *Flags) RegisterWorkers(fs *flag.FlagSet, name string) {
+	fs.IntVar(&f.Workers, name, 0, "flow scheduler worker goroutines (0 = all CPUs); results are identical for every value")
+	f.hasWorkers = true
+}
+
+// RegisterTimeout registers -timeout.
+func (f *Flags) RegisterTimeout(fs *flag.FlagSet) {
+	fs.DurationVar(&f.Timeout, "timeout", 0, "abort the whole run after this wall-clock duration (0 = none)")
+}
+
+// RegisterFaults registers -faults; example is the command-appropriate
+// plan shown in the usage text (flow faults differ from runtime ones).
+func (f *Flags) RegisterFaults(fs *flag.FlagSet, example string) {
+	fs.StringVar(&f.faults, "faults", "", "inject seeded faults, e.g. '"+example+"' (see internal/faultinject)")
+}
+
+// RegisterTrace registers -trace; note qualifies the time base (flow
+// traces are wall-clock, runtime traces virtual).
+func (f *Flags) RegisterTrace(fs *flag.FlagSet, note string) {
+	usage := "write a Chrome trace-event file of the run (open in Perfetto)"
+	if note != "" {
+		usage = "write a Chrome trace-event file of the run (" + note + "; open in Perfetto)"
+	}
+	fs.StringVar(&f.Trace, "trace", "", usage)
+}
+
+// RegisterMetrics registers -metrics.
+func (f *Flags) RegisterMetrics(fs *flag.FlagSet) {
+	fs.StringVar(&f.Metrics, "metrics", "", "write the metrics registry as flat JSON to this file")
+}
+
+// RegisterCacheDir registers -cache-dir; note describes who benefits
+// from the warm start ("later runs" vs "a restarted daemon").
+func (f *Flags) RegisterCacheDir(fs *flag.FlagSet, note string) {
+	fs.StringVar(&f.CacheDir, "cache-dir", "",
+		"back the checkpoint cache with a persistent disk tier in this directory; "+note)
+}
+
+// Finish validates the shared flags after fs.Parse: no positional
+// arguments, a normalizable worker count, a non-negative timeout and a
+// parseable fault plan. Call it before reading any Flags field.
+func (f *Flags) Finish(fs *flag.FlagSet) error {
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if f.hasWorkers {
+		if _, err := flow.NormalizeWorkers(f.Workers); err != nil {
+			return err
+		}
+	}
+	if f.Timeout < 0 {
+		return fmt.Errorf("-timeout must be >= 0, got %v", f.Timeout)
+	}
+	if f.faults != "" {
+		plan, err := faultinject.ParsePlan(f.faults)
+		if err != nil {
+			return err
+		}
+		f.FaultPlan = plan
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newSet builds a silent FlagSet with every shared flag registered —
+// the superset no single command uses, which is exactly what makes the
+// suite cover all of them at once.
+func newSet(f *Flags) *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f.RegisterWorkers(fs, "workers")
+	f.RegisterTimeout(fs)
+	f.RegisterFaults(fs, "seed=7,synth=0.2")
+	f.RegisterTrace(fs, "")
+	f.RegisterMetrics(fs)
+	f.RegisterCacheDir(fs, "later runs warm-start")
+	return fs
+}
+
+func parse(t *testing.T, args ...string) (*Flags, error) {
+	t.Helper()
+	var f Flags
+	fs := newSet(&f)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if err := f.Finish(fs); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+func TestDefaults(t *testing.T) {
+	f, err := parse(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Workers != 0 || f.Timeout != 0 || f.Trace != "" || f.Metrics != "" ||
+		f.CacheDir != "" || f.FaultPlan != nil {
+		t.Fatalf("defaults wrong: %+v", f)
+	}
+}
+
+func TestAllFlagsParse(t *testing.T) {
+	f, err := parse(t,
+		"-workers", "7",
+		"-timeout", "90s",
+		"-faults", "seed=7,synth@rt_1_rp:count=1,impl=0.3",
+		"-trace", "run.json",
+		"-metrics", "metrics.json",
+		"-cache-dir", "/tmp/ckpt",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Workers != 7 || f.Timeout != 90*time.Second || f.Trace != "run.json" ||
+		f.Metrics != "metrics.json" || f.CacheDir != "/tmp/ckpt" {
+		t.Fatalf("parsed wrong: %+v", f)
+	}
+	if f.FaultPlan == nil {
+		t.Fatal("fault plan not parsed")
+	}
+}
+
+func TestRejects(t *testing.T) {
+	for _, args := range [][]string{
+		{"-workers", "-2"},
+		{"-workers", "x"},
+		{"-timeout", "-1s"},
+		{"-timeout", "notaduration"},
+		{"-faults", "frobnicate@x:count=1"},
+		{"-faults", "synth:count=notanumber"},
+		{"stray-positional"},
+		{"-no-such-flag"},
+	} {
+		if _, err := parse(t, args...); err == nil {
+			t.Errorf("parse(%q) accepted, want error", args)
+		}
+	}
+}
+
+// TestWorkersFlagName: the same definition serves presp-served's
+// -job-workers spelling with identical validation.
+func TestWorkersFlagName(t *testing.T) {
+	var f Flags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f.RegisterWorkers(fs, "job-workers")
+	if err := fs.Parse([]string{"-job-workers", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Finish(fs); err != nil {
+		t.Fatal(err)
+	}
+	if f.Workers != 4 {
+		t.Fatalf("Workers = %d, want 4", f.Workers)
+	}
+	f2 := Flags{}
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs2.SetOutput(io.Discard)
+	f2.RegisterWorkers(fs2, "job-workers")
+	if err := fs2.Parse([]string{"-job-workers", "-2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Finish(fs2); err == nil {
+		t.Fatal("negative -job-workers accepted")
+	}
+}
+
+// TestUsageMentionsExample: the per-command fault-plan example lands in
+// the usage text, so presp-sim's help still shows runtime fault ops.
+func TestUsageMentionsExample(t *testing.T) {
+	var f Flags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.RegisterFaults(fs, "seed=7,icap=0.2,crc@rt_2=0.1")
+	fl := fs.Lookup("faults")
+	if fl == nil || !strings.Contains(fl.Usage, "icap=0.2") {
+		t.Fatalf("usage missing example: %+v", fl)
+	}
+}

@@ -8,8 +8,10 @@ import (
 
 	"presp/internal/accel"
 	"presp/internal/core"
+	"presp/internal/fpga"
 	"presp/internal/obs"
 	"presp/internal/socgen"
+	"presp/internal/vivado"
 )
 
 // strategySweep returns the three strategies the evaluator probes on
@@ -145,6 +147,93 @@ func BenchmarkRunPRESPObserved(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := RunPRESP(context.Background(), d, Options{Compress: true, Observer: obs.New()}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchIncrementalSetup elaborates SOC_2 twice — a base design and a
+// copy with one kernel re-costed — and pins the fully-parallel strategy
+// for both, so the stage-cache invalidation unit is a single partition
+// and the edit leg below re-runs exactly one impl + one bitgen job.
+func benchIncrementalSetup(b *testing.B) (base, edited *socgen.Design, sBase, sEdited *core.Strategy) {
+	b.Helper()
+	var err error
+	if base, err = socgen.Elaborate(socgen.SOC2(), accel.Default()); err != nil {
+		b.Fatal(err)
+	}
+	if edited, err = socgen.Elaborate(socgen.SOC2(), accel.Default()); err != nil {
+		b.Fatal(err)
+	}
+	edited.RPs[1].Content.Cost[fpga.LUT] -= 64
+	if sBase, err = core.ForceStrategy(base, core.FullyParallel, len(base.RPs)); err != nil {
+		b.Fatal(err)
+	}
+	if sEdited, err = core.ForceStrategy(edited, core.FullyParallel, len(edited.RPs)); err != nil {
+		b.Fatal(err)
+	}
+	return base, edited, sBase, sEdited
+}
+
+// BenchmarkRunPRESPIncrementalCold pays the full flow every iteration:
+// fresh checkpoint and stage caches, so nothing is reused.
+func BenchmarkRunPRESPIncrementalCold(b *testing.B) {
+	d, _, strat, _ := benchIncrementalSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := Options{Strategy: strat, Compress: true,
+			Cache: vivado.NewCheckpointCache(), StageCache: vivado.NewStageCache()}
+		if _, err := RunPRESP(context.Background(), d, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunPRESPIncrementalWarm reruns an unchanged design against
+// primed caches: synthesis is all hits and every post-synthesis stage
+// is skipped from the artifact cache.
+func BenchmarkRunPRESPIncrementalWarm(b *testing.B) {
+	d, _, strat, _ := benchIncrementalSetup(b)
+	opts := Options{Strategy: strat, Compress: true,
+		Cache: vivado.NewCheckpointCache(), StageCache: vivado.NewStageCache()}
+	if _, err := RunPRESP(context.Background(), d, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunPRESP(context.Background(), d, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Jobs.Skipped == 0 || res.Jobs.StageCacheMisses != 0 {
+			b.Fatalf("warm run reused nothing: %d skipped, %d misses",
+				res.Jobs.Skipped, res.Jobs.StageCacheMisses)
+		}
+	}
+}
+
+// BenchmarkRunPRESPIncrementalEdit measures the one-kernel-edit rerun:
+// each iteration primes fresh caches with the base design off the
+// clock, then times the edited run, which re-synthesizes and
+// re-implements only the edited partition.
+func BenchmarkRunPRESPIncrementalEdit(b *testing.B) {
+	base, edited, sBase, sEdited := benchIncrementalSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cache, stage := vivado.NewCheckpointCache(), vivado.NewStageCache()
+		if _, err := RunPRESP(context.Background(), base, Options{Strategy: sBase, Compress: true,
+			Cache: cache, StageCache: stage}); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := RunPRESP(context.Background(), edited, Options{Strategy: sEdited, Compress: true,
+			Cache: cache, StageCache: stage})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Jobs.ImplJobs != 1 || res.Jobs.BitgenJobs != 1 {
+			b.Fatalf("edit run re-ran %d impl + %d bitgen jobs, want 1 + 1",
+				res.Jobs.ImplJobs, res.Jobs.BitgenJobs)
 		}
 	}
 }

@@ -106,19 +106,3 @@ func GenerateRuntimeBitstreams(ctx context.Context, d *socgen.Design, plan *floo
 	}
 	return out, nil
 }
-
-// GenerateRuntimeBitstreamsWorkers generates the runtime bitstream set.
-//
-// Deprecated: GenerateRuntimeBitstreams now takes the context and
-// worker count directly.
-func GenerateRuntimeBitstreamsWorkers(d *socgen.Design, plan *floorplan.Plan, alloc map[string][]string, reg *accel.Registry, compress bool, workers int) (map[string]map[string]*bitstream.Bitstream, error) {
-	return GenerateRuntimeBitstreams(context.Background(), d, plan, alloc, reg, compress, workers)
-}
-
-// GenerateRuntimeBitstreamsContext generates the runtime bitstream set.
-//
-// Deprecated: GenerateRuntimeBitstreams now takes the context and
-// worker count directly.
-func GenerateRuntimeBitstreamsContext(ctx context.Context, d *socgen.Design, plan *floorplan.Plan, alloc map[string][]string, reg *accel.Registry, compress bool, workers int) (map[string]map[string]*bitstream.Bitstream, error) {
-	return GenerateRuntimeBitstreams(ctx, d, plan, alloc, reg, compress, workers)
-}

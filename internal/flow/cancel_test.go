@@ -97,7 +97,7 @@ func TestFlowKillAndResume(t *testing.T) {
 		w := &cancellingWriter{cancel: cancel, after: 1 + k} // +1: header line
 		opt := base
 		opt.Journal = NewJournal(w)
-		_, runErr := RunPRESPContext(ctx, elaborate(t, cfg), opt)
+		_, runErr := RunPRESP(ctx, elaborate(t, cfg), opt)
 		cancel()
 		if runErr == nil {
 			// Cancellation landed after the last job: the run finished.
@@ -121,7 +121,7 @@ func TestFlowKillAndResume(t *testing.T) {
 		opt = base
 		opt.Resume = journal
 		opt.Cache = vivado.NewCheckpointCache()
-		res, err := RunPRESPContext(context.Background(), elaborate(t, cfg), opt)
+		res, err := RunPRESP(context.Background(), elaborate(t, cfg), opt)
 		if err != nil {
 			t.Fatalf("k=%d: resumed run failed: %v", k, err)
 		}
@@ -152,7 +152,7 @@ func TestFlowCancelLeavesCacheConsistent(t *testing.T) {
 		ctx, cancel := context.WithCancel(context.Background())
 		// Cancel mid-run by journaling to a writer that pulls the plug.
 		w := &cancellingWriter{cancel: cancel, after: 1 + k}
-		_, runErr := RunPRESPContext(ctx, elaborate(t, cfg), Options{
+		_, runErr := RunPRESP(ctx, elaborate(t, cfg), Options{
 			Compress: true, Cache: cache, Journal: NewJournal(w), Workers: runtime.NumCPU(),
 		})
 		cancel()
@@ -199,7 +199,7 @@ func TestFlowTimeout(t *testing.T) {
 func TestFlowPreCancelledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := RunPRESPContext(ctx, elaborate(t, socgen.SOC1()), Options{})
+	_, err := RunPRESP(ctx, elaborate(t, socgen.SOC1()), Options{})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("got %v, want context.Canceled", err)
 	}
@@ -241,7 +241,7 @@ func TestGenerateRuntimeBitstreamsCancel(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := GenerateRuntimeBitstreamsContext(ctx, d, plan, alloc, accel.Default(), true, 2); err == nil {
+	if _, err := GenerateRuntimeBitstreams(ctx, d, plan, alloc, accel.Default(), true, 2); err == nil {
 		t.Fatal("cancelled context did not abort bitstream generation")
 	}
 	leakcheck.VerifyNone(t)

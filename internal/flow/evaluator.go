@@ -45,7 +45,7 @@ func (e *Evaluator) EvaluateStrategy(d *socgen.Design, s *core.Strategy) (float6
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	res, err := RunPRESPContext(ctx, d, Options{
+	res, err := RunPRESP(ctx, d, Options{
 		Model:          e.Model,
 		Strategy:       s,
 		SkipBitstreams: true,

@@ -100,6 +100,18 @@ type Options struct {
 	// the caller's Cache already has a disk store attached, CacheDir is
 	// ignored in favour of it.
 	CacheDir string
+	// StageCache is a shared stage-artifact cache enabling incremental
+	// re-flow: floorplan solutions, implementation results and bitstream
+	// images are content-addressed (see stagekeys.go), so a re-run — or
+	// a run of an edited design — skips every job whose inputs are
+	// unchanged and re-executes exactly the invalidated chain. Nil (the
+	// default) disables stage caching; runs under a FaultPlan ignore it
+	// (a skip would bypass the injected faults). When the checkpoint
+	// cache has a disk tier and the stage cache has none, the tier is
+	// shared so incremental hits survive restarts. Skips preserve the
+	// determinism contract: a warm run's results are byte-identical to
+	// the cold run that populated the cache.
+	StageCache *vivado.StageCache
 
 	// Timeout bounds the whole flow in real wall-clock time (0 = none).
 	// On expiry the run drains in-flight jobs and returns a
@@ -234,26 +246,12 @@ func RunPRESP(ctx context.Context, d *socgen.Design, opt Options) (*Result, erro
 	return runPartitioned(ctx, d, opt, modePRESP)
 }
 
-// RunPRESPContext runs the PR-ESP flow.
-//
-// Deprecated: RunPRESP now takes the context directly.
-func RunPRESPContext(ctx context.Context, d *socgen.Design, opt Options) (*Result, error) {
-	return RunPRESP(ctx, d, opt)
-}
-
 // RunStandardDFX executes the baseline, bounded by ctx: the vendor DFX
 // flow in a single tool instance — sequential synthesis of the static
 // part and every reconfigurable module, then a serial whole-design
 // implementation.
 func RunStandardDFX(ctx context.Context, d *socgen.Design, opt Options) (*Result, error) {
 	return runPartitioned(ctx, d, opt, modeStandardDFX)
-}
-
-// RunStandardDFXContext runs the standard-DFX baseline flow.
-//
-// Deprecated: RunStandardDFX now takes the context directly.
-func RunStandardDFXContext(ctx context.Context, d *socgen.Design, opt Options) (*Result, error) {
-	return RunStandardDFX(ctx, d, opt)
 }
 
 // FlowNames lists the runnable flow names RunFlow accepts, in a stable
@@ -344,6 +342,12 @@ func setupRun(d *socgen.Design, opt Options, flowName string) (*vivado.Tool, err
 		store.SetObserver(opt.Observer)
 		cache.SetDiskStore(store)
 	}
+	if opt.StageCache != nil && opt.StageCache.Disk() == nil && cache != nil && cache.Disk() != nil {
+		// Share the checkpoint tier's disk store: artifact entries use
+		// their own file extension, so the two caches never collide, and
+		// incremental hits survive restarts alongside the checkpoints.
+		opt.StageCache.SetDiskStore(cache.Disk())
+	}
 	tool.SetCache(cache)
 	tool.SetObserver(opt.Observer)
 	digest := DesignDigest(d)
@@ -423,8 +427,12 @@ func execGraph(ctx context.Context, g *Graph, tool *vivado.Tool, opt Options, re
 			completed++
 			virtual += out.Minutes
 			if opt.Journal != nil {
-				p := book.get(j.ID)
-				opt.Journal.Completed(j.ID, j.Stage, out.Minutes, out.Attempts, p.key, p.ck)
+				if out.Skipped {
+					opt.Journal.Skip(j.ID, j.Stage, out.Minutes)
+				} else {
+					p := book.get(j.ID)
+					opt.Journal.Completed(j.ID, j.Stage, out.Minutes, out.Attempts, p.key, p.ck)
+				}
 				journalWrites.Inc()
 				if tr != nil {
 					tr.Instant("journal", "journal/"+j.ID, coordinatorTID, nil)
@@ -478,6 +486,12 @@ func runPartitioned(ctx context.Context, d *socgen.Design, opt Options, mode flo
 	if err != nil {
 		return nil, err
 	}
+
+	// Stage-artifact keys for incremental re-flow: every post-synthesis
+	// job gets a content address derived from its inputs, so an
+	// unchanged job skips via its cached artifact. Nil when no stage
+	// cache is configured (or the run is un-keyable; see buildStageKeys).
+	sk := buildStageKeys(d, tool, res.Strategy, opt, mode)
 
 	g := NewGraph()
 	book := newJournalBook()
@@ -541,41 +555,45 @@ func runPartitioned(ctx context.Context, d *socgen.Design, opt Options, mode flo
 	// synthesis joins at the implementation run that consumes its
 	// checkpoint. One wedged partition therefore cannot cancel the
 	// whole plan under the Collect policy. ---
-	must(g.Add("floorplan", StagePlan, []string{"synth/static"}, func(ctx context.Context) (vivado.Minutes, error) {
-		if err := tool.CheckFault(ctx, faultinject.OpCADFloorplan, d.Cfg.Name); err != nil {
-			return 0, err
-		}
-		plan, err := FloorplanDesign(d, tool.Model())
-		if err != nil {
-			return 0, err
-		}
-		if mode == modePRESP {
-			for _, rp := range d.RPs {
-				pb, ok := plan.Pblocks[rp.Name]
-				if !ok {
-					return 0, fmt.Errorf("flow: floorplan lost partition %s", rp.Name)
-				}
-				if err := tool.CheckDFX(ctx, rp.Content, rp.Resources, pb); err != nil {
-					return 0, fmt.Errorf("flow: partition %s: %w", rp.Name, err)
+	fpProbe, fpRun := cachedStage(sk, sk.floorplanKey(),
+		func(ctx context.Context) (*floorplan.Plan, vivado.Minutes, error) {
+			if err := tool.CheckFault(ctx, faultinject.OpCADFloorplan, d.Cfg.Name); err != nil {
+				return nil, 0, err
+			}
+			plan, err := FloorplanDesign(d, tool.Model())
+			if err != nil {
+				return nil, 0, err
+			}
+			if mode == modePRESP {
+				for _, rp := range d.RPs {
+					pb, ok := plan.Pblocks[rp.Name]
+					if !ok {
+						return nil, 0, fmt.Errorf("flow: floorplan lost partition %s", rp.Name)
+					}
+					if err := tool.CheckDFX(ctx, rp.Content, rp.Resources, pb); err != nil {
+						return nil, 0, fmt.Errorf("flow: partition %s: %w", rp.Name, err)
+					}
 				}
 			}
-		}
-		res.Plan = plan
-		return 0, nil
-	}))
+			return plan, 0, nil
+		},
+		func(plan *floorplan.Plan, _ vivado.Minutes) { res.Plan = plan })
+	must(g.AddCached("floorplan", StagePlan, []string{"synth/static"}, fpProbe, fpRun))
 
 	// --- Script generation (documents every decision made so far). ---
 	implGate := "floorplan"
 	if mode == modePRESP {
 		implGate = "scripts"
-		must(g.Add("scripts", StagePlan, []string{"floorplan"}, func(_ context.Context) (vivado.Minutes, error) {
-			s, err := GenerateScripts(d, res.Strategy, res.Plan)
-			if err != nil {
-				return 0, err
-			}
-			res.Scripts = s
-			return 0, nil
-		}))
+		scProbe, scRun := cachedStage(sk, sk.scriptsKey(),
+			func(_ context.Context) (*Scripts, vivado.Minutes, error) {
+				s, err := GenerateScripts(d, res.Strategy, res.Plan)
+				if err != nil {
+					return nil, 0, err
+				}
+				return s, 0, nil
+			},
+			func(s *Scripts, _ vivado.Minutes) { res.Scripts = s })
+		must(g.AddCached("scripts", StagePlan, []string{"floorplan"}, scProbe, scRun))
 	}
 
 	// --- Orchestrated P&R per the chosen strategy. ---
@@ -590,25 +608,34 @@ func runPartitioned(ctx context.Context, d *socgen.Design, opt Options, mode flo
 		for _, rp := range d.RPs {
 			implFor[rp.Name] = "impl/serial"
 		}
-		must(g.Add("impl/serial", StageImpl, deps, func(ctx context.Context) (vivado.Minutes, error) {
-			total := d.StaticResources.Add(d.ReconfigurableResources())
-			sr, err := tool.ImplementSerial(ctx, d.Cfg.Name, total, len(d.RPs), res.Plan.RPFraction)
-			if err != nil {
-				return 0, err
-			}
-			res.PRWall = sr.Runtime
-			return sr.Runtime, nil
-		}))
+		seProbe, seRun := cachedStage(sk, sk.serialKey(),
+			func(ctx context.Context) (*vivado.SerialResult, vivado.Minutes, error) {
+				total := d.StaticResources.Add(d.ReconfigurableResources())
+				sr, err := tool.ImplementSerial(ctx, d.Cfg.Name, total, len(d.RPs), res.Plan.RPFraction)
+				if err != nil {
+					return nil, 0, err
+				}
+				return sr, sr.Runtime, nil
+			},
+			func(sr *vivado.SerialResult, _ vivado.Minutes) { res.PRWall = sr.Runtime })
+		must(g.AddCached("impl/serial", StageImpl, deps, seProbe, seRun))
 	case core.SemiParallel, core.FullyParallel:
-		must(g.Add("impl/static", StageImpl, []string{"synth/static", implGate}, func(ctx context.Context) (vivado.Minutes, error) {
-			r, err := tool.PreRouteStatic(ctx, d.Cfg.Name, staticCk, res.Plan.Pblocks, d.ReconfigurableResources())
-			if err != nil {
-				return 0, err
-			}
-			rs = r
-			res.TStatic = r.Runtime
-			return r.Runtime, nil
-		}))
+		stProbe, stRun := cachedStage(sk, sk.implStaticKey(),
+			func(ctx context.Context) (*vivado.RoutedStatic, vivado.Minutes, error) {
+				r, err := tool.PreRouteStatic(ctx, d.Cfg.Name, staticCk, res.Plan.Pblocks, d.ReconfigurableResources())
+				if err != nil {
+					return nil, 0, err
+				}
+				return r, r.Runtime, nil
+			},
+			func(r *vivado.RoutedStatic, _ vivado.Minutes) {
+				// A skipped pre-route must still anchor the group runs that
+				// miss: rs is the decoded artifact, bit-for-bit the routed
+				// static a live run would have produced.
+				rs = r
+				res.TStatic = r.Runtime
+			})
+		must(g.AddCached("impl/static", StageImpl, []string{"synth/static", implGate}, stProbe, stRun))
 		for gi, group := range res.Strategy.Groups {
 			gi, group := gi, group
 			id := fmt.Sprintf("impl/group_%03d", gi)
@@ -618,22 +645,24 @@ func runPartitioned(ctx context.Context, d *socgen.Design, opt Options, mode flo
 				deps = append(deps, "synth/"+name)
 				implFor[name] = id
 			}
-			must(g.Add(id, StageImpl, deps, func(ctx context.Context) (vivado.Minutes, error) {
-				// Snapshot the group's checkpoints: other synthesis jobs
-				// may still be writing rpCks concurrently.
-				cks := make(map[string]*vivado.SynthCheckpoint, len(group))
-				mu.Lock()
-				for _, name := range group {
-					cks[name] = rpCks[name]
-				}
-				mu.Unlock()
-				cr, err := tool.ImplementInContext(ctx, rs, group, cks)
-				if err != nil {
-					return 0, err
-				}
-				ctxResults[gi] = cr
-				return cr.Runtime, nil
-			}))
+			grProbe, grRun := cachedStage(sk, sk.groupKey(gi),
+				func(ctx context.Context) (*vivado.ContextResult, vivado.Minutes, error) {
+					// Snapshot the group's checkpoints: other synthesis jobs
+					// may still be writing rpCks concurrently.
+					cks := make(map[string]*vivado.SynthCheckpoint, len(group))
+					mu.Lock()
+					for _, name := range group {
+						cks[name] = rpCks[name]
+					}
+					mu.Unlock()
+					cr, err := tool.ImplementInContext(ctx, rs, group, cks)
+					if err != nil {
+						return nil, 0, err
+					}
+					return cr, cr.Runtime, nil
+				},
+				func(cr *vivado.ContextResult, _ vivado.Minutes) { ctxResults[gi] = cr })
+			must(g.AddCached(id, StageImpl, deps, grProbe, grRun))
 		}
 	default:
 		return nil, fmt.Errorf("flow: unknown strategy %v", res.Strategy.Kind)
@@ -646,36 +675,44 @@ func runPartitioned(ctx context.Context, d *socgen.Design, opt Options, mode flo
 	partials := make([]*bitstream.Bitstream, len(d.RPs))
 	partialT := make([]vivado.Minutes, len(d.RPs))
 	if !opt.SkipBitstreams {
-		must(g.Add("bitgen/full", StageBitgen, implIDs, func(ctx context.Context) (vivado.Minutes, error) {
-			total := d.StaticResources.Add(d.ReconfigurableResources())
-			full, t, err := tool.WriteFullBitstream(ctx, d.Cfg.Name+".bit", total, opt.Compress)
-			if err != nil {
-				return 0, err
-			}
-			res.FullBitstream = full
-			fullT = t
-			return t, nil
-		}))
+		bfProbe, bfRun := cachedStage(sk, sk.bitgenFullKey(),
+			func(ctx context.Context) (*bitstream.Bitstream, vivado.Minutes, error) {
+				total := d.StaticResources.Add(d.ReconfigurableResources())
+				full, t, err := tool.WriteFullBitstream(ctx, d.Cfg.Name+".bit", total, opt.Compress)
+				if err != nil {
+					return nil, 0, err
+				}
+				return full, t, nil
+			},
+			func(full *bitstream.Bitstream, t vivado.Minutes) {
+				res.FullBitstream = full
+				fullT = t
+			})
+		must(g.AddCached("bitgen/full", StageBitgen, implIDs, bfProbe, bfRun))
 		for i, rp := range d.RPs {
 			i, rp := i, rp
 			deps := implIDs
 			if id, ok := implFor[rp.Name]; ok {
 				deps = []string{id}
 			}
-			must(g.Add("bitgen/"+rp.Name, StageBitgen, deps, func(ctx context.Context) (vivado.Minutes, error) {
-				pb, ok := res.Plan.Pblocks[rp.Name]
-				if !ok {
-					return 0, fmt.Errorf("flow: no pblock for partition %s", rp.Name)
-				}
-				name := fmt.Sprintf("%s.%s.pbs", d.Cfg.Name, rp.Name)
-				bs, t, err := tool.WritePartialBitstream(ctx, name, pb, rp.Resources, opt.Compress)
-				if err != nil {
-					return 0, err
-				}
-				partials[i] = bs
-				partialT[i] = t
-				return t, nil
-			}))
+			bpProbe, bpRun := cachedStage(sk, sk.partialKeyFor(rp.Name),
+				func(ctx context.Context) (*bitstream.Bitstream, vivado.Minutes, error) {
+					pb, ok := res.Plan.Pblocks[rp.Name]
+					if !ok {
+						return nil, 0, fmt.Errorf("flow: no pblock for partition %s", rp.Name)
+					}
+					name := fmt.Sprintf("%s.%s.pbs", d.Cfg.Name, rp.Name)
+					bs, t, err := tool.WritePartialBitstream(ctx, name, pb, rp.Resources, opt.Compress)
+					if err != nil {
+						return nil, 0, err
+					}
+					return bs, t, nil
+				},
+				func(bs *bitstream.Bitstream, t vivado.Minutes) {
+					partials[i] = bs
+					partialT[i] = t
+				})
+			must(g.AddCached("bitgen/"+rp.Name, StageBitgen, deps, bpProbe, bpRun))
 		}
 	}
 

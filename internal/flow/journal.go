@@ -30,6 +30,9 @@ type JournalEntry struct {
 	Stage    string         `json:"stage,omitempty"`
 	Minutes  vivado.Minutes `json:"minutes,omitempty"`
 	Attempts int            `json:"attempts,omitempty"`
+	// Skipped marks a job whose stage-artifact probe hit: its cached
+	// result was reused and Run never executed (Attempts is zero).
+	Skipped bool `json:"skipped,omitempty"`
 	// CacheKey and Checkpoint carry a synthesis job's product for
 	// resume (absent on plan/impl/bitgen jobs, whose recomputation is
 	// deterministic and costs no real time in the simulated tool).
@@ -132,6 +135,23 @@ func (j *Journal) Completed(jobID string, stage Stage, minutes vivado.Minutes, a
 		Attempts:   attempts,
 		CacheKey:   cacheKey,
 		Checkpoint: ck,
+	})
+}
+
+// Skip records one job whose stage-artifact probe hit — the cached
+// result was reused at its original modelled cost without re-running.
+func (j *Journal) Skip(jobID string, stage Stage, minutes vivado.Minutes) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.append(JournalEntry{
+		Kind:    "job",
+		Job:     jobID,
+		Stage:   stage.String(),
+		Minutes: minutes,
+		Skipped: true,
 	})
 }
 

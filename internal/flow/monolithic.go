@@ -76,10 +76,3 @@ func RunMonolithic(ctx context.Context, d *socgen.Design, opt Options) (*Result,
 	res.Total = res.SynthWall + res.PRWall
 	return res, nil
 }
-
-// RunMonolithicContext runs the monolithic baseline flow.
-//
-// Deprecated: RunMonolithic now takes the context directly.
-func RunMonolithicContext(ctx context.Context, d *socgen.Design, opt Options) (*Result, error) {
-	return RunMonolithic(ctx, d, opt)
-}

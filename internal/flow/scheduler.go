@@ -90,6 +90,13 @@ type Job struct {
 	// Run performs the work. It must honour ctx promptly: the scheduler
 	// passes the execution context so cancelled flows stop mid-graph.
 	Run func(ctx context.Context) (vivado.Minutes, error)
+	// Probe, when set, asks the stage-artifact cache before Run: a hit
+	// returns the cached job's modelled minutes (the probe is expected to
+	// publish the cached result as a side effect) and the scheduler skips
+	// Run entirely, counting the job as Skipped rather than executed. A
+	// miss falls through to Run. Probes run on worker goroutines and must
+	// be safe to call concurrently with other jobs' probes.
+	Probe func() (vivado.Minutes, bool)
 	// order is the insertion index, the deterministic error-priority key.
 	order int
 }
@@ -129,6 +136,17 @@ func (g *Graph) Add(id string, stage Stage, deps []string, run func(ctx context.
 	return nil
 }
 
+// AddCached registers a job with a stage-artifact cache probe: before
+// Run is dispatched, probe is consulted, and a hit skips the job (see
+// Job.Probe). A nil probe makes AddCached equivalent to Add.
+func (g *Graph) AddCached(id string, stage Stage, deps []string, probe func() (vivado.Minutes, bool), run func(ctx context.Context) (vivado.Minutes, error)) error {
+	if err := g.Add(id, stage, deps, run); err != nil {
+		return err
+	}
+	g.jobs[id].Probe = probe
+	return nil
+}
+
 // Len returns the number of registered jobs.
 func (g *Graph) Len() int { return len(g.seq) }
 
@@ -146,9 +164,22 @@ type JobStats struct {
 	PlanJobs   int
 	ImplJobs   int
 	BitgenJobs int
-	// Cancelled counts jobs skipped because a dependency failed or the
+	// Cancelled counts jobs dropped because a dependency failed or the
 	// context was cancelled before they were dispatched.
 	Cancelled int
+	// Skipped counts jobs whose stage-artifact probe hit: their cached
+	// result was reused without running, so they appear in neither the
+	// per-stage executed counts nor SimMinutes. Executed + Skipped +
+	// Cancelled always sums to the graph size.
+	Skipped int
+	// SkippedByStage breaks Skipped down per stage (nil when nothing was
+	// skipped).
+	SkippedByStage map[Stage]int
+	// StageCacheMisses counts probed jobs whose artifact key missed and
+	// that therefore executed normally. Jobs without a probe (synthesis,
+	// which the checkpoint cache covers) contribute to neither this nor
+	// Skipped.
+	StageCacheMisses int
 	// Retries counts re-runs of failed job attempts (a job that
 	// succeeds on its third attempt contributes two).
 	Retries int
@@ -212,8 +243,11 @@ type JobOutcome struct {
 	// Minutes is the job's accounted simulated time (all attempts plus
 	// virtual backoff).
 	Minutes vivado.Minutes
-	// Attempts is how many times the job ran.
+	// Attempts is how many times the job ran (0 when Skipped).
 	Attempts int
+	// Skipped reports that the job's stage-artifact probe hit and Run
+	// never executed; Minutes is the cached modelled duration.
+	Skipped bool
 	// Err is nil when the job ultimately succeeded.
 	Err error
 }
@@ -271,6 +305,8 @@ type jobDone struct {
 	job      *Job
 	runtime  vivado.Minutes
 	attempts int
+	skipped  bool // stage-artifact probe hit; Run never executed
+	probed   bool // job had a probe (skipped or missed)
 	err      error
 }
 
@@ -354,6 +390,8 @@ func (g *Graph) ExecuteCtx(ctx context.Context, opt ExecOptions) (JobStats, []Jo
 	jobsFailed := reg.Counter("flow_jobs_failed_total")
 	jobsCancelled := reg.Counter("flow_jobs_cancelled_total")
 	jobRetries := reg.Counter("flow_job_retries_total")
+	stageCacheHits := reg.Counter("flow_stage_cache_hits")
+	stageCacheMisses := reg.Counter("flow_stage_cache_misses")
 	stageMinutes := map[Stage]*obs.Histogram{
 		StageSynth:  reg.Histogram("flow_stage_minutes_synth"),
 		StagePlan:   reg.Histogram("flow_stage_minutes_plan"),
@@ -378,8 +416,25 @@ func (g *Graph) ExecuteCtx(ctx context.Context, opt ExecOptions) (JobStats, []Jo
 			defer wg.Done()
 			for j := range work {
 				busy.Add(1)
+				// A probe hit skips the job: no "job" span is recorded (the
+				// observed-span == executed-jobs invariant holds), just a
+				// stage-skip instant on the worker's lane.
+				if j.Probe != nil {
+					if m, ok := j.Probe(); ok {
+						if tr != nil {
+							tr.Instant("stage-skip", j.ID, tid, map[string]any{
+								"stage":       j.Stage.String(),
+								"sim_minutes": float64(m),
+							})
+						}
+						busy.Add(-1)
+						results <- jobDone{job: j, runtime: m, skipped: true, probed: true}
+						continue
+					}
+				}
 				start := tr.Now()
 				d := runWithRetry(ctx, j, opt, tr, tid)
+				d.probed = j.Probe != nil
 				if tr != nil {
 					args := map[string]any{
 						"stage":       j.Stage.String(),
@@ -425,6 +480,26 @@ func (g *Graph) ExecuteCtx(ctx context.Context, opt ExecOptions) (JobStats, []Jo
 	}
 	account := func(d jobDone) {
 		completed[d.job.ID] = true
+		if d.skipped {
+			// A cache skip is reuse, not execution: it stays out of the
+			// per-stage executed counts, SimMinutes and flow_jobs_total so
+			// every executed-jobs invariant (span counts, journal replays)
+			// holds; only the skip-side books move.
+			stats.Skipped++
+			if stats.SkippedByStage == nil {
+				stats.SkippedByStage = make(map[Stage]int)
+			}
+			stats.SkippedByStage[d.job.Stage]++
+			stageCacheHits.Inc()
+			if opt.OnJobDone != nil {
+				opt.OnJobDone(d.job, JobOutcome{Minutes: d.runtime, Skipped: true})
+			}
+			return
+		}
+		if d.probed {
+			stats.StageCacheMisses++
+			stageCacheMisses.Inc()
+		}
 		stats.count(d.job.Stage)
 		stats.SimMinutes += d.runtime
 		stats.Retries += d.attempts - 1
@@ -511,8 +586,8 @@ func (g *Graph) ExecuteCtx(ctx context.Context, opt ExecOptions) (JobStats, []Jo
 	wg.Wait()
 
 	if aborted || stopped {
-		// Never-dispatched jobs count as cancelled so Executed +
-		// Cancelled always sums to the graph size.
+		// Never-dispatched jobs count as cancelled so Executed + Skipped
+		// + Cancelled always sums to the graph size.
 		for _, j := range g.seq {
 			if !completed[j.ID] && !cancelled[j.ID] {
 				cancelled[j.ID] = true

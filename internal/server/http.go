@@ -12,11 +12,15 @@ import (
 )
 
 // errorEnvelope is the wire form of every API error: a stable machine
-// code plus a human message, pinned by the golden-file tests.
+// code plus a human message, pinned by the golden-file tests. Errors
+// that carry a Retry-After header (429 queue_full, 503 circuit_open)
+// mirror the hint in retry_after_s so machine clients never have to
+// parse headers to back off correctly.
 type errorEnvelope struct {
 	Error struct {
-		Code    string `json:"code"`
-		Message string `json:"message"`
+		Code       string `json:"code"`
+		Message    string `json:"message"`
+		RetryAfter int    `json:"retry_after_s,omitempty"`
 	} `json:"error"`
 }
 
@@ -83,8 +87,7 @@ func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 		if secs < 1 {
 			secs = 1
 		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		writeError(w, http.StatusServiceUnavailable, "circuit_open", open.Error())
+		writeErrorRetry(w, http.StatusServiceUnavailable, "circuit_open", open.Error(), secs)
 	case errors.As(err, &mism):
 		writeError(w, http.StatusConflict, "idempotency_mismatch", mism.Error())
 	case errors.As(err, &qf):
@@ -95,8 +98,7 @@ func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 		if secs < 1 {
 			secs = 1
 		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		writeError(w, http.StatusTooManyRequests, "queue_full", qf.Error())
+		writeErrorRetry(w, http.StatusTooManyRequests, "queue_full", qf.Error(), secs)
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "draining", ErrDraining.Error())
 	case errors.As(err, &bad):
@@ -175,5 +177,17 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 	var env errorEnvelope
 	env.Error.Code = code
 	env.Error.Message = msg
+	writeJSON(w, status, env)
+}
+
+// writeErrorRetry is writeError for backpressure responses: the same
+// hint goes out twice, as the standard Retry-After header and as
+// retry_after_s inside the envelope.
+func writeErrorRetry(w http.ResponseWriter, status int, code, msg string, secs int) {
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	var env errorEnvelope
+	env.Error.Code = code
+	env.Error.Message = msg
+	env.Error.RetryAfter = secs
 	writeJSON(w, status, env)
 }

@@ -243,7 +243,16 @@ type ResultView struct {
 	JobsExecuted   int     `json:"jobs_executed"`
 	CacheHits      int     `json:"cache_hits"`
 	CacheMisses    int     `json:"cache_misses"`
-	Retries        int     `json:"retries,omitempty"`
+	// JobsSkipped counts stage jobs satisfied from the stage-artifact
+	// cache instead of executing; SkippedByStage breaks the count down
+	// per stage and StageCacheMisses counts probes that found nothing.
+	// A resubmitted spec that edits one kernel shows exactly the edited
+	// partition's impl+bitgen jobs here as misses, everything else as
+	// skips. Absent on cold runs.
+	JobsSkipped      int            `json:"jobs_skipped,omitempty"`
+	SkippedByStage   map[string]int `json:"skipped_by_stage,omitempty"`
+	StageCacheMisses int            `json:"stage_cache_misses,omitempty"`
+	Retries          int            `json:"retries,omitempty"`
 	Partial        bool    `json:"partial,omitempty"`
 	Partitions     int     `json:"partitions"`
 	JournalEntries int     `json:"journal_entries"`
@@ -263,12 +272,20 @@ func summarizeResult(spec Spec, res *flow.Result, journalEntries int) *ResultVie
 		PRWallMin:      float64(res.PRWall),
 		BitgenWallMin:  float64(res.BitgenWall),
 		TotalMin:       float64(res.Total),
-		JobsExecuted:   res.Jobs.Executed(),
-		CacheHits:      res.Jobs.CacheHits,
-		CacheMisses:    res.Jobs.CacheMisses,
-		Retries:        res.Jobs.Retries,
+		JobsExecuted:     res.Jobs.Executed(),
+		CacheHits:        res.Jobs.CacheHits,
+		CacheMisses:      res.Jobs.CacheMisses,
+		JobsSkipped:      res.Jobs.Skipped,
+		StageCacheMisses: res.Jobs.StageCacheMisses,
+		Retries:          res.Jobs.Retries,
 		Partial:        res.Partial,
 		JournalEntries: journalEntries,
+	}
+	if len(res.Jobs.SkippedByStage) > 0 {
+		rv.SkippedByStage = make(map[string]int, len(res.Jobs.SkippedByStage))
+		for st, n := range res.Jobs.SkippedByStage {
+			rv.SkippedByStage[st.String()] = n
+		}
 	}
 	if res.Strategy != nil {
 		rv.Strategy = res.Strategy.Kind.String()

@@ -55,6 +55,16 @@ type Config struct {
 	// and is the second half of the dedup story: even non-identical
 	// jobs reuse each other's synthesis checkpoints.
 	Cache *vivado.CheckpointCache
+	// StageCache is the shared stage-artifact cache backing incremental
+	// re-flow: floorplan solutions, per-partition implementation runs and
+	// bitstream images are content-addressed, so resubmitting an edited
+	// spec re-runs only the stages whose inputs changed and ResultView
+	// reports the reuse. Nil creates a fresh one (sharing Cache's disk
+	// tier when present) unless NoStageCache is set.
+	StageCache *vivado.StageCache
+	// NoStageCache disables stage-artifact caching entirely: every
+	// submission runs every stage cold, as before incremental re-flow.
+	NoStageCache bool
 	// Observer records server_* metrics and per-job trace spans, and
 	// backs the /metrics endpoint (nil = no observation).
 	Observer *obs.Observer
@@ -145,6 +155,7 @@ type Server struct {
 	cfg   Config
 	now   func() time.Time
 	cache *vivado.CheckpointCache
+	stage *vivado.StageCache // nil when Config.NoStageCache
 
 	// runFlow is the execution seam; tests substitute it to control
 	// run timing without touching the scheduling machinery.
@@ -227,6 +238,7 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		now:        cfg.Now,
 		cache:      cfg.Cache,
+		stage:      cfg.StageCache,
 		journalDir: cfg.JournalDir,
 		jobs:       make(map[string]*Job),
 		flights:    make(map[string]*group),
@@ -239,6 +251,14 @@ func New(cfg Config) *Server {
 	}
 	if s.cache == nil {
 		s.cache = vivado.NewCheckpointCache()
+	}
+	if cfg.NoStageCache {
+		s.stage = nil
+	} else if s.stage == nil {
+		s.stage = vivado.NewStageCache()
+	}
+	if s.stage != nil && s.stage.Disk() == nil && s.cache.Disk() != nil {
+		s.stage.SetDiskStore(s.cache.Disk())
 	}
 	s.runFlow = func(ctx context.Context, cs *compiledSpec, opt flow.Options) (*flow.Result, error) {
 		return flow.RunFlow(ctx, cs.spec.Flow, cs.design, opt)
@@ -531,6 +551,7 @@ func (s *Server) execute(slot int, g *group) {
 		SkipBitstreams: g.cs.spec.SkipBitstreams,
 		Workers:        s.cfg.JobWorkers,
 		Cache:          s.cache,
+		StageCache:     s.stage,
 		MaxJobRetries:  g.cs.spec.Retries,
 		FaultPlan:      g.cs.faults,
 		Journal:        journal,

@@ -78,10 +78,15 @@ type DiskStore struct {
 	hStore   *obs.Histogram
 }
 
-// diskEntryExt is the filename suffix of a live entry; quarantined
-// files carry diskQuarantineExt appended to their full name.
+// diskEntryExt is the filename suffix of a live checkpoint entry,
+// diskArtifactExt the suffix of a stage-artifact entry (floorplan
+// solutions, implementation results, bitstream images — see StageCache);
+// quarantined files carry diskQuarantineExt appended to their full name.
+// The two live kinds must stay distinct: checkpoint entries are decoded
+// strictly as SynthCheckpoint, artifact entries as opaque JSON.
 const (
 	diskEntryExt      = ".ckpt"
+	diskArtifactExt   = ".art"
 	diskQuarantineExt = ".bad"
 )
 
@@ -238,6 +243,11 @@ func (ds *DiskStore) path(key string) string {
 	return filepath.Join(ds.dir, key+diskEntryExt)
 }
 
+// artifactPath maps a stage-artifact key to its entry file.
+func (ds *DiskStore) artifactPath(key string) string {
+	return filepath.Join(ds.dir, key+diskArtifactExt)
+}
+
 // Load fetches the checkpoint stored under key. A present, verified
 // entry is returned (and its access time refreshed for the GC's
 // oldest-first ordering); a missing one is a miss; a corrupt one is
@@ -291,6 +301,13 @@ func (ds *DiskStore) Store(key string, ck *SynthCheckpoint) error {
 	if err != nil {
 		return fmt.Errorf("vivado: disk store: %w", err)
 	}
+	return ds.writeEntryLocked(path, data)
+}
+
+// writeEntryLocked persists one sealed entry with an atomic
+// CreateTemp+Rename write, then applies the byte budget. Callers hold
+// ds.mu.
+func (ds *DiskStore) writeEntryLocked(path string, data []byte) error {
 	tmp, err := os.CreateTemp(ds.dir, ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("vivado: disk store: %w", err)
@@ -314,21 +331,19 @@ func (ds *DiskStore) Store(key string, ck *SynthCheckpoint) error {
 	return nil
 }
 
-// encodeDiskEntry renders the on-disk form: the checkpoint as one JSON
-// line followed by the CRC-32 (IEEE) trailer of everything before it.
-func encodeDiskEntry(ck *SynthCheckpoint) ([]byte, error) {
-	body, err := json.Marshal(ck)
-	if err != nil {
-		return nil, err
-	}
-	body = append(body, '\n')
-	return append(body, fmt.Sprintf("crc32:%08x\n", crc32.ChecksumIEEE(body))...), nil
+// sealDiskPayload renders the on-disk form shared by checkpoint and
+// artifact entries: the JSON body as one line followed by the CRC-32
+// (IEEE) trailer of everything before it.
+func sealDiskPayload(body []byte) []byte {
+	body = append(append([]byte(nil), body...), '\n')
+	return append(body, fmt.Sprintf("crc32:%08x\n", crc32.ChecksumIEEE(body))...)
 }
 
-// decodeDiskEntry verifies and decodes one entry file: trailer present,
-// CRC matching, body decodable. Any failure means the file cannot be
-// trusted and must be quarantined by the caller.
-func decodeDiskEntry(data []byte) (*SynthCheckpoint, error) {
+// openDiskPayload verifies the CRC trailer of one entry file and
+// returns the body (including its terminating newline): trailer
+// present, byte-exact, CRC matching. Any failure means the file cannot
+// be trusted and must be quarantined by the caller.
+func openDiskPayload(data []byte) ([]byte, error) {
 	if len(data) < diskTrailerLen {
 		return nil, fmt.Errorf("short entry (%d bytes)", len(data))
 	}
@@ -355,6 +370,26 @@ func decodeDiskEntry(data []byte) (*SynthCheckpoint, error) {
 	if got := crc32.ChecksumIEEE(body); got != want {
 		return nil, fmt.Errorf("CRC mismatch (got %08x, want %08x)", got, want)
 	}
+	return body, nil
+}
+
+// encodeDiskEntry renders a checkpoint's on-disk form.
+func encodeDiskEntry(ck *SynthCheckpoint) ([]byte, error) {
+	body, err := json.Marshal(ck)
+	if err != nil {
+		return nil, err
+	}
+	return sealDiskPayload(body), nil
+}
+
+// decodeDiskEntry verifies and decodes one checkpoint entry file:
+// trailer present, CRC matching, body decodable. Any failure means the
+// file cannot be trusted and must be quarantined by the caller.
+func decodeDiskEntry(data []byte) (*SynthCheckpoint, error) {
+	body, err := openDiskPayload(data)
+	if err != nil {
+		return nil, err
+	}
 	ck := &SynthCheckpoint{}
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
@@ -365,6 +400,72 @@ func decodeDiskEntry(data []byte) (*SynthCheckpoint, error) {
 		return nil, fmt.Errorf("entry has no module name")
 	}
 	return ck, nil
+}
+
+// decodeDiskArtifact verifies one stage-artifact entry file and returns
+// its JSON body (without the body's terminating newline). Artifacts are
+// opaque to the store beyond being valid JSON — the flow layer owns
+// their schema — but the same CRC discipline applies: a damaged file is
+// quarantined, never served.
+func decodeDiskArtifact(data []byte) ([]byte, error) {
+	body, err := openDiskPayload(data)
+	if err != nil {
+		return nil, err
+	}
+	body = bytes.TrimSuffix(body, []byte("\n"))
+	if !json.Valid(body) {
+		return nil, fmt.Errorf("artifact body is not valid JSON")
+	}
+	return body, nil
+}
+
+// LoadArtifact fetches the stage-artifact JSON stored under key, with
+// the same verify/touch/quarantine semantics as Load.
+func (ds *DiskStore) LoadArtifact(key string) ([]byte, bool) {
+	if key == "" {
+		return nil, false
+	}
+	start := time.Now()
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	defer func() { ds.hLoad.Observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
+	path := ds.artifactPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		count(&ds.misses, &ds.exported.misses, ds.mMisses)
+		return nil, false
+	}
+	body, err := decodeDiskArtifact(data)
+	if err != nil {
+		ds.quarantineLocked(path, int64(len(data)))
+		count(&ds.misses, &ds.exported.misses, ds.mMisses)
+		return nil, false
+	}
+	now := time.Now()
+	os.Chtimes(path, now, now) //nolint:errcheck // best-effort recency hint
+	count(&ds.hits, &ds.exported.hits, ds.mHits)
+	return body, true
+}
+
+// StoreArtifact persists a stage-artifact JSON body under key with the
+// same atomic-write and byte-budget semantics as Store. Keys are
+// content addresses, so an already-present key is a no-op.
+func (ds *DiskStore) StoreArtifact(key string, body []byte) error {
+	if key == "" || len(body) == 0 {
+		return fmt.Errorf("vivado: disk store: empty artifact key or body")
+	}
+	if !json.Valid(body) {
+		return fmt.Errorf("vivado: disk store: artifact body is not valid JSON")
+	}
+	start := time.Now()
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	defer func() { ds.hStore.Observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
+	path := ds.artifactPath(key)
+	if _, err := os.Stat(path); err == nil {
+		return nil // content-addressed: the entry is already durable
+	}
+	return ds.writeEntryLocked(path, sealDiskPayload(body))
 }
 
 // quarantineLocked moves a corrupt entry aside as <name>.bad (deleting
@@ -380,7 +481,8 @@ func (ds *DiskStore) quarantineLocked(path string, size int64) {
 	count(&ds.corrupt, &ds.exported.corrupt, ds.mCorrupt)
 }
 
-// entryNamesLocked lists the live entry file names. Callers hold ds.mu.
+// entryNamesLocked lists the live entry file names — checkpoints and
+// stage artifacts. Callers hold ds.mu.
 func (ds *DiskStore) entryNamesLocked() ([]string, error) {
 	des, err := os.ReadDir(ds.dir)
 	if err != nil {
@@ -388,15 +490,16 @@ func (ds *DiskStore) entryNamesLocked() ([]string, error) {
 	}
 	names := make([]string, 0, len(des))
 	for _, de := range des {
-		if de.Type().IsRegular() && filepath.Ext(de.Name()) == diskEntryExt {
+		if de.Type().IsRegular() && isLiveEntry(de.Name()) {
 			names = append(names, de.Name())
 		}
 	}
 	return names, nil
 }
 
-// verifyAll scans the store at open: every entry is read and checked,
-// corrupt ones are quarantined, and the byte budget (if any) applied.
+// verifyAll scans the store at open: every entry is read and checked
+// against the codec of its kind, corrupt ones are quarantined, and the
+// byte budget (if any) applied.
 func (ds *DiskStore) verifyAll() error {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
@@ -411,7 +514,13 @@ func (ds *DiskStore) verifyAll() error {
 		if err != nil {
 			continue // vanished between ReadDir and read; nothing to count
 		}
-		if _, err := decodeDiskEntry(data); err != nil {
+		var decodeErr error
+		if filepath.Ext(name) == diskArtifactExt {
+			_, decodeErr = decodeDiskArtifact(data)
+		} else {
+			_, decodeErr = decodeDiskEntry(data)
+		}
+		if decodeErr != nil {
 			ds.quarantineLocked(path, 0)
 			continue
 		}
@@ -429,9 +538,12 @@ type diskFile struct {
 }
 
 // isLiveEntry / isQuarantined classify store files by name. A
-// quarantined file is "<key>.ckpt.bad", so its filepath.Ext is ".bad"
-// and the two predicates are disjoint.
-func isLiveEntry(name string) bool   { return filepath.Ext(name) == diskEntryExt }
+// quarantined file is "<key>.ckpt.bad" or "<key>.art.bad", so its
+// filepath.Ext is ".bad" and the two predicates are disjoint.
+func isLiveEntry(name string) bool {
+	ext := filepath.Ext(name)
+	return ext == diskEntryExt || ext == diskArtifactExt
+}
 func isQuarantined(name string) bool { return strings.HasSuffix(name, diskQuarantineExt) }
 
 // scanLocked lists the regular files matching keep, oldest mtime first

@@ -49,6 +49,7 @@ type Platform struct {
 	reg   *accel.Registry
 	model *vivado.CostModel
 	cache *vivado.CheckpointCache
+	stage *vivado.StageCache
 }
 
 // NewPlatform builds a platform for the named evaluation board (VC707,
@@ -69,6 +70,7 @@ func NewPlatform(board string) (*Platform, error) {
 		reg:   reg,
 		model: vivado.DefaultCostModel(),
 		cache: vivado.NewCheckpointCache(),
+		stage: vivado.NewStageCache(),
 	}, nil
 }
 
@@ -78,6 +80,14 @@ func NewPlatform(board string) (*Platform, error) {
 // synthesis jobs.
 func (p *Platform) CacheStats() (hits, misses int64) {
 	return p.cache.Stats()
+}
+
+// StageCacheStats reports the platform-wide stage-artifact cache behind
+// incremental re-flow: lookup hits and misses accumulated over every
+// flow run's floorplan, implementation and bitgen probes. A re-run of
+// an edited design hits on every stage the edit did not invalidate.
+func (p *Platform) StageCacheStats() (hits, misses int64) {
+	return p.stage.Stats()
 }
 
 // DiskCache is a crash-safe persistent tier for synthesis checkpoints:
@@ -104,6 +114,9 @@ func (p *Platform) AttachDiskCache(dir string) error {
 		return err
 	}
 	p.cache.SetDiskStore(store)
+	// The stage-artifact cache shares the tier (distinct file
+	// extensions), so incremental re-flow hits survive restarts too.
+	p.stage.SetDiskStore(store)
 	return nil
 }
 
@@ -170,14 +183,18 @@ func (p *Platform) BuildSoC(cfg *socgen.Config) (*SoC, error) {
 type FlowOptions = flow.Options
 
 // flowOptions fills the platform-owned knobs (cost model, shared
-// synthesis-checkpoint cache) the caller left unset — the single
-// conversion point between the facade and the flow engine.
+// synthesis-checkpoint cache, stage-artifact cache) the caller left
+// unset — the single conversion point between the facade and the flow
+// engine.
 func (p *Platform) flowOptions(opt FlowOptions) flow.Options {
 	if opt.Model == nil {
 		opt.Model = p.model
 	}
 	if opt.Cache == nil {
 		opt.Cache = p.cache
+	}
+	if opt.StageCache == nil {
+		opt.StageCache = p.stage
 	}
 	return opt
 }
@@ -195,24 +212,10 @@ func (p *Platform) RunFlow(ctx context.Context, s *SoC, opt FlowOptions) (*FlowR
 	return flow.RunPRESP(ctx, s.Design, p.flowOptions(opt))
 }
 
-// RunFlowContext runs the PR-ESP flow.
-//
-// Deprecated: RunFlow now takes the context directly.
-func (p *Platform) RunFlowContext(ctx context.Context, s *SoC, opt FlowOptions) (*FlowResult, error) {
-	return p.RunFlow(ctx, s, opt)
-}
-
 // RunMonolithicFlow executes the monolithic (flat, single-instance)
 // baseline the paper compares compile times against, bounded by ctx.
 func (p *Platform) RunMonolithicFlow(ctx context.Context, s *SoC, opt FlowOptions) (*FlowResult, error) {
 	return flow.RunMonolithic(ctx, s.Design, p.flowOptions(opt))
-}
-
-// RunMonolithicFlowContext runs the monolithic baseline flow.
-//
-// Deprecated: RunMonolithicFlow now takes the context directly.
-func (p *Platform) RunMonolithicFlowContext(ctx context.Context, s *SoC, opt FlowOptions) (*FlowResult, error) {
-	return p.RunMonolithicFlow(ctx, s, opt)
 }
 
 // RunStandardDFXFlow executes the vendor DFX flow baseline, bounded by
@@ -220,13 +223,6 @@ func (p *Platform) RunMonolithicFlowContext(ctx context.Context, s *SoC, opt Flo
 // implemented sequentially in one tool instance.
 func (p *Platform) RunStandardDFXFlow(ctx context.Context, s *SoC, opt FlowOptions) (*FlowResult, error) {
 	return flow.RunStandardDFX(ctx, s.Design, p.flowOptions(opt))
-}
-
-// RunStandardDFXFlowContext runs the standard-DFX baseline flow.
-//
-// Deprecated: RunStandardDFXFlow now takes the context directly.
-func (p *Platform) RunStandardDFXFlowContext(ctx context.Context, s *SoC, opt FlowOptions) (*FlowResult, error) {
-	return p.RunStandardDFXFlow(ctx, s, opt)
 }
 
 // ChooseStrategy runs only the size-driven decision (metrics,
@@ -293,11 +289,15 @@ type FlowJob = server.JobView
 func NewFlowService(cfg FlowServiceConfig) *FlowService { return server.New(cfg) }
 
 // NewFlowService starts a flow service that shares the platform's
-// synthesis-checkpoint cache, so service jobs and in-process RunFlow
-// calls reuse each other's checkpoints.
+// synthesis-checkpoint and stage-artifact caches, so service jobs and
+// in-process RunFlow calls reuse each other's checkpoints and stage
+// results.
 func (p *Platform) NewFlowService(cfg FlowServiceConfig) *FlowService {
 	if cfg.Cache == nil {
 		cfg.Cache = p.cache
+	}
+	if cfg.StageCache == nil {
+		cfg.StageCache = p.stage
 	}
 	return server.New(cfg)
 }
@@ -356,13 +356,6 @@ func (p *Platform) StageBitstreams(ctx context.Context, rt *Runtime, alloc map[s
 		}
 	}
 	return bss, nil
-}
-
-// StageBitstreamsContext stages the allocation's bitstreams.
-//
-// Deprecated: StageBitstreams now takes the context directly.
-func (p *Platform) StageBitstreamsContext(ctx context.Context, rt *Runtime, alloc map[string][]string, compress bool) (map[string]map[string]*bitstream.Bitstream, error) {
-	return p.StageBitstreams(ctx, rt, alloc, compress)
 }
 
 // Invoke runs an accelerator on a reconfigurable tile and blocks (in
