@@ -30,8 +30,12 @@ staticcheck:
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test (and subtest-sibling) execution order:
+# any test that leans on a neighbour's side effects fails loudly here
+# instead of rotting silently. Failures print the shuffle seed for
+# reproduction.
 test:
-	$(GO) test -timeout $(TEST_TIMEOUT) ./...
+	$(GO) test -shuffle=on -timeout $(TEST_TIMEOUT) ./...
 
 race:
 	$(GO) test -race -timeout $(TEST_TIMEOUT) ./...
@@ -86,8 +90,13 @@ fuzz-smoke:
 # job WAL truncated at every record boundary (plus a torn tail), kill -9
 # a real daemon child mid-flow and after admission, and recover — zero
 # lost or duplicated jobs, byte-identical bitstream CRCs, watchdog and
-# breaker semantics under the race detector.
+# breaker semantics under the race detector. The scrub soak leg rides
+# along: a rotating accelerator workload under a sustained SEU storm in
+# which every invocation must return correct results while the readback
+# scrubber detects and repairs behind it.
 chaos-smoke:
 	$(GO) test -race -count=1 -timeout $(TEST_TIMEOUT) \
 		-run 'TestWAL|TestCrash|TestKill9|TestRecover|TestWatchdog|TestBreaker' \
 		./internal/server/
+	$(GO) test -race -count=1 -timeout $(TEST_TIMEOUT) \
+		-run 'TestScrubSoak' ./internal/reconfig/

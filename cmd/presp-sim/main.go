@@ -8,6 +8,7 @@
 //	presp-sim -soc SoC_Y -frames 10 -edge 128
 //	presp-sim -soc SoC_Z -no-compress     # compression ablation
 //	presp-sim -faults 'seed=7,icap=0.2,crc=0.1'   # seeded fault storm
+//	presp-sim -faults 'seed=7,seu@t0=0.01' -scrub-interval 500us  # SEU + scrubber
 //	presp-sim -soc SoC_Z -trace run.json  # Chrome trace of the runtime
 //
 // With -trace, the run records every partial reconfiguration (with its
@@ -39,13 +40,14 @@ import (
 
 // cliOptions is the parsed, validated command line.
 type cliOptions struct {
-	soc       string
-	frames    int
-	edge      int
-	iters     int
-	compress  bool
-	faultPlan *faultinject.Plan
-	tracePath string
+	soc           string
+	frames        int
+	edge          int
+	iters         int
+	compress      bool
+	scrubInterval time.Duration
+	faultPlan     *faultinject.Plan
+	tracePath     string
 }
 
 // parseCLI parses and validates argv (without the program name). It is
@@ -60,6 +62,8 @@ func parseCLI(args []string) (*cliOptions, error) {
 	fs.IntVar(&o.edge, "edge", 128, "frame edge length in pixels")
 	fs.IntVar(&o.iters, "lk-iters", 1, "Lucas-Kanade iterations per frame")
 	fs.BoolVar(&noCompress, "no-compress", false, "disable bitstream compression")
+	fs.DurationVar(&o.scrubInterval, "scrub-interval", 0,
+		"configuration-memory scrub period in virtual time (e.g. 500us); 0 disables the scrubber")
 	cu.RegisterFaults(fs, "seed=7,icap=0.2,crc@rt_2=0.1,transfer@dma:after=3:count=1")
 	cu.RegisterTrace(fs, "virtual time")
 	if err := fs.Parse(args); err != nil {
@@ -72,6 +76,9 @@ func parseCLI(args []string) (*cliOptions, error) {
 	o.compress = !noCompress
 	if o.frames < 1 {
 		return nil, fmt.Errorf("-frames must be >= 1, got %d", o.frames)
+	}
+	if o.scrubInterval < 0 {
+		return nil, fmt.Errorf("-scrub-interval must be >= 0, got %v", o.scrubInterval)
 	}
 	return o, nil
 }
@@ -107,6 +114,7 @@ func run(o *cliOptions) error {
 	}
 	rcfg := reconfig.DefaultConfig()
 	rcfg.FaultPlan = o.faultPlan
+	rcfg.ScrubInterval = o.scrubInterval
 	// The observer traces the runtime only: runtime spans carry virtual
 	// timestamps, which must not share a tracer with the wall-clock
 	// flow that generates the bitstreams below.
@@ -179,6 +187,17 @@ func run(o *cliOptions) error {
 		for _, name := range rt.Tiles() {
 			if dead, _ := rt.Dead(name); dead {
 				fmt.Printf("  tile %s declared dead — its kernels degraded to the processor\n", name)
+			}
+		}
+	}
+	if o.scrubInterval > 0 {
+		ss := rt.ScrubStats()
+		fmt.Printf("scrubber: %d cycles, %d upsets injected; %d detected, %d repaired, %d healed, %d uncorrectable\n",
+			ss.Cycles, ss.Upsets, ss.Detected, ss.Repaired, ss.Healed, ss.Uncorrectable)
+		for _, name := range rt.Tiles() {
+			if h, err := rt.ConfigHealth(name); err == nil && h.Corrupted {
+				fmt.Printf("  tile %s config memory still corrupted (%d upset bits in %d frames)\n",
+					name, h.UpsetBits, h.UpsetFrames)
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"testing"
+	"time"
 
 	"presp/internal/faultinject"
 	"presp/internal/obs"
@@ -16,7 +17,7 @@ func TestParseCLIDefaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	if o.soc != "SoC_Y" || o.frames != 6 || o.edge != 128 || o.iters != 1 ||
-		!o.compress || o.faultPlan != nil || o.tracePath != "" {
+		!o.compress || o.faultPlan != nil || o.tracePath != "" || o.scrubInterval != 0 {
 		t.Fatalf("defaults wrong: %+v", o)
 	}
 }
@@ -29,13 +30,14 @@ func TestParseCLIFlags(t *testing.T) {
 		"-lk-iters", "2",
 		"-no-compress",
 		"-trace", "out.json",
+		"-scrub-interval", "500us",
 		"-faults", "seed=7,icap=0.2,crc@rt_2=0.1",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if o.soc != "SoC_Z" || o.frames != 3 || o.edge != 64 || o.iters != 2 ||
-		o.compress || o.tracePath != "out.json" {
+		o.compress || o.tracePath != "out.json" || o.scrubInterval != 500*time.Microsecond {
 		t.Fatalf("parsed: %+v", o)
 	}
 	if o.faultPlan == nil || o.faultPlan.Seed != 7 || len(o.faultPlan.Rules) != 2 {
@@ -54,6 +56,8 @@ func TestParseCLIRejects(t *testing.T) {
 		{"-frames", "x"},
 		{"-soc", "SoC_Y", "stray-arg"},
 		{"-no-such-flag"},
+		{"-scrub-interval", "-1ms"},
+		{"-faults", "seu@rt_1=0"},
 	}
 	for _, args := range cases {
 		if _, err := parseCLI(args); err == nil {
@@ -73,6 +77,20 @@ func TestRunUnknownSoC(t *testing.T) {
 	}
 	if err := run(o); err == nil {
 		t.Fatal("unknown SoC accepted")
+	}
+}
+
+// TestRunWithScrubber drives the binary end to end with an SEU storm
+// and the readback scrubber enabled; the run must complete and produce
+// correct frames (run() checks pipeline results internally).
+func TestRunWithScrubber(t *testing.T) {
+	o, err := parseCLI([]string{"-soc", "SoC_Z", "-frames", "2", "-edge", "32",
+		"-faults", "seed=7,seu=0.05", "-scrub-interval", "200us"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(o); err != nil {
+		t.Fatalf("scrubbed run failed: %v", err)
 	}
 }
 

@@ -53,6 +53,14 @@ const (
 	OpCADBitgen
 	// OpCADDRC is the DFX design rule check on a partition.
 	OpCADDRC
+	// OpSEU is a configuration-memory single-event upset: a radiation-
+	// induced bit flip in a tile's resident configuration image. SEU
+	// occurrences are the runtime's periodic per-tile config-memory
+	// sample ticks (reconfig.Config.SEUCheckInterval apart in virtual
+	// time), checked through a StableInjector so each tile's upset
+	// schedule is a pure function of (seed, rule, tile, tick) — never of
+	// what other tiles or operations did first.
+	OpSEU
 	numOps
 )
 
@@ -81,6 +89,8 @@ func (o Op) String() string {
 		return "bitgen"
 	case OpCADDRC:
 		return "drc"
+	case OpSEU:
+		return "seu"
 	default:
 		return fmt.Sprintf("op-%d", int(o))
 	}
@@ -145,7 +155,13 @@ func (r Rule) validate() error {
 		return fmt.Errorf("faultinject: rule %s: rate %g outside [0,1]", r, r.Rate)
 	}
 	if r.Rate == 0 && r.Count == 0 {
-		return fmt.Errorf("faultinject: rule %s: deterministic rule with count 0 never fires", r)
+		// A zero-rate, zero-count rule can never fire. Spell out the fix
+		// for the seu op, where the dead rule is an easy typo
+		// ("seu@t0=0" instead of "seu@t0=0.01").
+		if r.Op == OpSEU {
+			return fmt.Errorf("faultinject: rule %s: seu rule with zero rate and no count injects no upsets; give it a rate (seu@t0=0.01) or a count (seu@t0:count=3)", r)
+		}
+		return fmt.Errorf("faultinject: rule %s: zero rate and no count — the rule never fires (set a rate or a count)", r)
 	}
 	return nil
 }

@@ -150,6 +150,43 @@ func TestValidation(t *testing.T) {
 	}
 }
 
+// TestSEURuleParseAndValidation: the seu op round-trips through the
+// plan grammar, and the dead-rule shapes — zero rate with no count —
+// are rejected with an error that names the fix instead of being
+// silently accepted.
+func TestSEURuleParseAndValidation(t *testing.T) {
+	p, err := ParsePlan("seed=9,seu@rt_1=0.01,seu@t0:after=10:count=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Op: OpSEU, Site: "rt_1", Rate: 0.01},
+		{Op: OpSEU, Site: "t0", After: 10, Count: 3},
+	}
+	for i, w := range want {
+		if p.Rules[i] != w {
+			t.Errorf("rule %d: got %+v want %+v", i, p.Rules[i], w)
+		}
+	}
+	if _, err := ParsePlan(p.String()); err != nil {
+		t.Fatalf("seu plan does not round-trip: %q: %v", p.String(), err)
+	}
+	for _, dead := range []string{"seu@rt_1=0", "seu=0.0", "seu@t0:count=0"} {
+		_, err := ParsePlan(dead)
+		if err == nil {
+			t.Errorf("dead seu rule %q accepted", dead)
+			continue
+		}
+		if !strings.Contains(err.Error(), "seu rule") || !strings.Contains(err.Error(), "rate") {
+			t.Errorf("dead seu rule %q: error does not name the fix: %v", dead, err)
+		}
+	}
+	// The generic dead-rule shape gets the generic clear error.
+	if _, err := ParsePlan("icap=0"); err == nil || !strings.Contains(err.Error(), "never fires") {
+		t.Errorf("dead icap rule: %v", err)
+	}
+}
+
 func TestNilInjectorIsInert(t *testing.T) {
 	var inj *Injector
 	if inj.Check(OpICAP, "rt_1") != nil {

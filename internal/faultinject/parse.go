@@ -27,6 +27,19 @@ import (
 // occurrence counter), which is what keeps injected CAD faults
 // byte-identical for any worker count.
 //
+// The seu operation models configuration-memory single-event upsets:
+// a matching occurrence flips one bit in the target tile's resident
+// configuration image (detected and repaired by the readback scrubber
+// when reconfig.Config.ScrubInterval is set). Occurrences are the
+// runtime's periodic per-tile config-memory sample ticks
+// (reconfig.Config.SEUCheckInterval apart in virtual time), and —
+// like the CAD ops — seu rules are evaluated by a StableInjector, so
+// each tile's upset schedule is a pure function of (seed, rule, tile,
+// tick), independent of every other tile's. <site> is a tile name or
+// the name of the accelerator the tile holds. A seu rule with a zero
+// rate and no count is rejected with an explicit error: it would
+// inject nothing.
+//
 // A rule without a rate is deterministic and fires once by default;
 // count=-1 makes it persistent (stuck-at). Examples:
 //
@@ -37,6 +50,8 @@ import (
 //	synth@rt_1:count=1           crash the partition's first synthesis
 //	impl=0.3                     fail 30% of P&R runs (seeded, per site)
 //	bitgen@rt_2:count=-1         bitstream writer permanently wedged
+//	seu@rt_1=0.01                upset rt_1's config memory at 1%/tick
+//	seu@t0:after=10:count=3      three upsets from the 10th sample on
 func ParsePlan(s string) (*Plan, error) {
 	p := &Plan{}
 	s = strings.TrimSpace(s)

@@ -225,6 +225,10 @@ func (n *Network) SetFaultHook(h FaultHook) { n.faults = h }
 
 // Decouple gates the NoC queues of the tile at c, as the reconfigurable
 // tile's decoupling logic does during partial reconfiguration.
+// Decoupling an already-gated tile is idempotent: the decoupler is a
+// level signal, not an edge, so asserting it twice is the same state
+// (the fault hook is still consulted — a stuck decoupler faults every
+// engage attempt, first or repeated).
 func (n *Network) Decouple(c Coord) error {
 	if !n.Contains(c) {
 		return fmt.Errorf("noc: decouple %s outside mesh", c)
@@ -240,6 +244,10 @@ func (n *Network) Decouple(c Coord) error {
 
 // Recouple re-enables the NoC queues of the tile at c (with the queue
 // reset the decoupler performs after a successful reconfiguration).
+// Recoupling a tile that was never decoupled is likewise idempotent —
+// the de-asserted level plus a queue reset of already-empty queues —
+// so it returns nil rather than inventing an error the hardware does
+// not have.
 func (n *Network) Recouple(c Coord) error {
 	if !n.Contains(c) {
 		return fmt.Errorf("noc: recouple %s outside mesh", c)
@@ -255,9 +263,19 @@ func (n *Network) Recouple(c Coord) error {
 
 // ResetTile force-disengages the decoupler at c, bypassing any fault
 // hook — the PRC's dedicated reset line, which error recovery asserts
-// when a normal disengage cannot be trusted. It is a no-op for tiles
-// that are not gated.
-func (n *Network) ResetTile(c Coord) { delete(n.gated, c) }
+// when a normal disengage cannot be trusted. Unlike Decouple and
+// Recouple it cannot fail (a reset line that could fail would be
+// useless for recovery), but it validates the coord the same way: it
+// reports whether a gated tile inside the mesh was actually reset, so
+// a recovery path aiming the reset line at the wrong tile reads false
+// instead of silently "succeeding" against a phantom coordinate.
+func (n *Network) ResetTile(c Coord) bool {
+	if !n.Contains(c) || !n.gated[c] {
+		return false
+	}
+	delete(n.gated, c)
+	return true
+}
 
 // Decoupled reports whether the tile at c is currently gated.
 func (n *Network) Decoupled(c Coord) bool { return n.gated[c] }

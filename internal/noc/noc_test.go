@@ -342,7 +342,9 @@ func TestFaultHookVetoesOperations(t *testing.T) {
 	}
 	// Recovery path: ResetTile bypasses the stuck decoupler.
 	h.recouple = boom
-	n.ResetTile(Coord{1, 1})
+	if !n.ResetTile(Coord{1, 1}) {
+		t.Fatal("ResetTile did not report resetting a gated tile")
+	}
 	if n.Decoupled(Coord{1, 1}) {
 		t.Fatal("ResetTile did not clear the gate")
 	}
@@ -353,6 +355,60 @@ func TestFaultHookVetoesOperations(t *testing.T) {
 	}
 	if err := n.Recouple(Coord{1, 1}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDecoupleTrioCoherence pins the decoupler trio's edge semantics:
+// the decoupler is a level signal, so double-decouple and
+// recouple-without-decouple are idempotent successes, while ResetTile
+// validates its coord like the other two and reports whether it
+// actually reset anything instead of silently clearing phantom state.
+func TestDecoupleTrioCoherence(t *testing.T) {
+	_, n := mesh(t, 2, 2)
+	c := Coord{1, 0}
+
+	// Double-decouple: asserting the level twice is the same state.
+	if err := n.Decouple(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Decouple(c); err != nil {
+		t.Fatalf("double decouple: %v", err)
+	}
+	if !n.Decoupled(c) {
+		t.Fatal("tile not gated after double decouple")
+	}
+	if err := n.Recouple(c); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recouple-without-decouple: de-asserting an already-low level.
+	if err := n.Recouple(c); err != nil {
+		t.Fatalf("recouple of never-decoupled tile: %v", err)
+	}
+	if n.Decoupled(c) {
+		t.Fatal("recouple gated the tile")
+	}
+
+	// Out-of-mesh coords: all three validate the same way.
+	out := Coord{5, 5}
+	if err := n.Decouple(out); err == nil {
+		t.Fatal("out-of-mesh decouple accepted")
+	}
+	if err := n.Recouple(out); err == nil {
+		t.Fatal("out-of-mesh recouple accepted")
+	}
+	if n.ResetTile(out) {
+		t.Fatal("out-of-mesh ResetTile claimed to reset a tile")
+	}
+	// Resetting an in-mesh tile that is not gated is a no-op, reported.
+	if n.ResetTile(c) {
+		t.Fatal("ResetTile claimed to reset an un-gated tile")
+	}
+	if err := n.Decouple(c); err != nil {
+		t.Fatal(err)
+	}
+	if !n.ResetTile(c) {
+		t.Fatal("ResetTile did not reset a gated tile")
 	}
 }
 

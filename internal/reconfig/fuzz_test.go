@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"presp/internal/faultinject"
 	"presp/internal/noc"
@@ -21,6 +22,9 @@ func FuzzFaultPlan(f *testing.F) {
 	f.Add(uint64(9), "decouple@rt_1:count=-1")
 	f.Add(uint64(42), "recouple@rt_1:after=1:count=2,kernel@gemm=0.4")
 	f.Add(uint64(3), "icap=1.0,crc=1.0,transfer=0.9")
+	f.Add(uint64(7), "seu@rt_1=0.01")
+	f.Add(uint64(5), "seu@rt_1=0.5,icap@rt_1:count=1")
+	f.Add(uint64(11), "seu@rt_1:after=2:count=3,crc=0.2")
 	f.Fuzz(func(t *testing.T, seed uint64, spec string) {
 		if len(spec) > 128 {
 			t.Skip()
@@ -30,7 +34,12 @@ func FuzzFaultPlan(f *testing.F) {
 			t.Skip() // malformed plans are rejected at parse time
 		}
 		run := func() string {
-			tb := newFaultTestbed(t, faultCfg(plan, 1, 2), 1)
+			// Scrubbing is on so seu rules exercise the full
+			// detect/repair path, not just the injection site.
+			cfg := faultCfg(plan, 1, 2)
+			cfg.ScrubInterval = 20 * time.Microsecond
+			cfg.SEUCheckInterval = 5 * time.Microsecond
+			tb := newFaultTestbed(t, cfg, 1)
 			for _, acc := range []string{"gemm", "sort", "fft"} {
 				_ = reconfigureSync(tb, "rt_1", acc)
 			}

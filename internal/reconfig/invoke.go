@@ -36,6 +36,8 @@ func (r *Runtime) InvokeOn(tileName, accName string, in [][]float64, done func(*
 	if done == nil {
 		done = func(*InvokeResult, error) {}
 	}
+	done = r.trackAppInvoke(done)
+	r.wakeHealth()
 	ts, err := r.tile(tileName)
 	if err != nil {
 		done(nil, err)
@@ -205,6 +207,8 @@ func (r *Runtime) RunOnCPU(accName string, in [][]float64, done func(*InvokeResu
 	if done == nil {
 		done = func(*InvokeResult, error) {}
 	}
+	done = r.trackAppInvoke(done)
+	r.wakeHealth()
 	desc, err := r.reg.Lookup(accName)
 	if err != nil {
 		done(nil, err)

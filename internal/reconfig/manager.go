@@ -30,6 +30,8 @@ func (r *Runtime) RequestReconfig(tileName, accName string, done func(error)) {
 	if done == nil {
 		done = func(error) {}
 	}
+	done = r.trackApp(done)
+	r.wakeHealth()
 	ts, err := r.tile(tileName)
 	if err != nil {
 		done(err)
@@ -131,6 +133,9 @@ func (r *Runtime) traceReconfigSpan(ts *tileState, req *request, start sim.Time,
 	args := map[string]any{
 		"accelerator": req.accName,
 		"attempts":    attempt,
+	}
+	if req.repair {
+		args["repair"] = true
 	}
 	if bytes > 0 {
 		args["bytes"] = bytes
@@ -245,6 +250,7 @@ func (r *Runtime) attemptReconfig(req *request, start sim.Time, attempt int) {
 				}
 				ts.loaded = req.accName
 				ts.driver = req.accName
+				ts.programConfigMem(bs)
 				ts.reconfig = false
 				ts.failures = 0
 				if ts.pending == req.accName {
@@ -263,6 +269,7 @@ func (r *Runtime) attemptReconfig(req *request, start sim.Time, attempt int) {
 					Start: start, End: r.eng.Now(),
 					Tile: ts.t.Name, Accel: req.accName,
 					Bytes: bs.Size(), Attempts: attempt,
+					Repair: req.repair,
 				})
 				if e := r.cfg.ReconfigEnergyPerByte * float64(bs.Size()); e > 0 {
 					if err := r.meter.AddEnergy("config", e); err != nil {
@@ -341,6 +348,7 @@ func (r *Runtime) failReconfig(req *request, ts *tileState, start sim.Time, atte
 		Start: start, End: r.eng.Now(),
 		Tile: ts.t.Name, Accel: req.accName,
 		Attempts: attempt, Failed: true, Err: err.Error(),
+		Repair: req.repair,
 	})
 	r.prcBusy = false
 	req.done(err)

@@ -111,12 +111,31 @@ type Config struct {
 	// CPU fallback; a successful reconfiguration resets the count.
 	// Zero never declares tiles dead.
 	TileDeadThreshold int
+	// ScrubInterval, when positive, arms the configuration-memory
+	// readback scrubber: every interval of virtual time the runtime
+	// CRC-compares each tile's resident configuration image against its
+	// golden bitstream and repairs mismatches by re-writing the golden
+	// partial bitstream through the ordinary ICAP path (decouple, DMA
+	// fetch, program, recouple), arbitrated against demand
+	// reconfigurations by the single PRC. Zero disables scrubbing:
+	// upsets then accumulate until a demand swap happens to reprogram
+	// the tile.
+	ScrubInterval sim.Time
+	// SEUCheckInterval is the virtual-time period of the per-tile
+	// config-memory sample ticks that drive seu fault-plan rules (each
+	// tick is one StableInjector occurrence per tile). Zero derives it
+	// from ScrubInterval/4, falling back to 50µs — scrubbing coarser
+	// than the upset process keeps multi-bit accumulation observable.
+	SEUCheckInterval sim.Time
 	// FaultPlan, when non-nil, arms the deterministic fault injector
 	// against this runtime's substrate: NoC transfers (sites: plane
 	// and endpoint tile names), decoupler engage/disengage (site: tile
 	// name), ICAP programming and fetch CRC corruption (sites: tile
-	// and accelerator names) and kernel execution (sites: accelerator
-	// and tile names).
+	// and accelerator names), kernel execution (sites: accelerator
+	// and tile names) and configuration-memory SEUs (sites: tile and
+	// resident accelerator names; seu rules are sampled every
+	// SEUCheckInterval of virtual time through a StableInjector, so the
+	// upset schedule is invariant under flow worker count).
 	FaultPlan *faultinject.Plan
 	// Observer, when non-nil, attaches the observability layer: the
 	// runtime records every reconfiguration as a Chrome-trace span in
@@ -166,6 +185,22 @@ type tileState struct {
 	failures  int    // consecutive exhausted-retry reconfig failures
 	waiters   []func()
 	bitstream map[string]*bitstream.Bitstream
+	// mem is the tile's resident configuration image (nil until the
+	// first program); repairPending and detectedAt track an upset the
+	// scrubber has detected but not yet repaired.
+	mem           *configMem
+	repairPending bool
+	detectedAt    sim.Time
+}
+
+// programConfigMem records a successful ICAP program in the tile's
+// config-memory model; programming rewrites the covered frames, so it
+// clears any accumulated upsets.
+func (ts *tileState) programConfigMem(bs *bitstream.Bitstream) {
+	if ts.mem == nil {
+		ts.mem = newConfigMem()
+	}
+	ts.mem.program(bs)
 }
 
 // TimelineEvent records one completed partial reconfiguration for
@@ -185,6 +220,9 @@ type TimelineEvent struct {
 	// timeline precisely so they are observable after the fact.
 	Failed bool
 	Err    string
+	// Repair marks a scrubber-initiated rewrite of the resident module
+	// after a detected configuration-memory upset.
+	Repair bool
 }
 
 // Stats aggregates runtime counters.
@@ -211,6 +249,8 @@ type Stats struct {
 	// DeadTiles counts tiles declared dead (their kernels degrade to
 	// the CPU fallback).
 	DeadTiles int
+	// Scrub aggregates the configuration-memory health counters.
+	Scrub ScrubStats
 }
 
 // Runtime is the reconfiguration manager bound to one simulated SoC.
@@ -233,6 +273,22 @@ type Runtime struct {
 	// inj is the armed fault injector (nil when no FaultPlan is set).
 	inj *faultinject.Injector
 
+	// Config-memory health subsystem (see confmem.go). seuInj evaluates
+	// seu rules order-independently; the tick chain is parked whenever
+	// it would be the only pending event, so Engine.Run(0) still drains.
+	healthArmed     bool
+	healthScheduled bool
+	healthTickNo    int64
+	seuTick         sim.Time
+	scrubEvery      int
+	seuInj          *faultinject.StableInjector
+	seuSeed         uint64
+	// appInFlight counts outstanding application requests (demand
+	// reconfigs, invocations, CPU runs). The health tick chain runs
+	// only while it is positive — scrub repairs deliberately do not
+	// count, so a storm cannot sustain itself on its own ICAP traffic.
+	appInFlight int
+
 	// The single DFXC serializes reconfigurations; queued requests wait
 	// in the kernel workqueue.
 	prcBusy   bool
@@ -254,6 +310,15 @@ type Runtime struct {
 	mFailures  *obs.Counter
 	mDeadTiles *obs.Counter
 	mBytes     *obs.Counter
+	// Scrubber instruments: counters mirror Stats.Scrub, and the MTTR
+	// histogram observes detection-to-repair latency in virtual µs.
+	mScrubCycles        *obs.Counter
+	mScrubUpsets        *obs.Counter
+	mScrubDetected      *obs.Counter
+	mScrubRepaired      *obs.Counter
+	mScrubHealed        *obs.Counter
+	mScrubUncorrectable *obs.Counter
+	hScrubMTTR          *obs.Histogram
 	// tileTID maps tile names to trace lanes (manager events go to
 	// lane 0, tiles to 1..n in sorted-name order).
 	tileTID map[string]int
@@ -262,7 +327,10 @@ type Runtime struct {
 type request struct {
 	tileName string
 	accName  string
-	done     func(error)
+	// repair marks a scrubber-initiated rewrite of the golden image the
+	// tile already holds (demand swaps always change the module).
+	repair bool
+	done   func(error)
 }
 
 // New builds a runtime for design d with accelerator registry reg and
@@ -295,6 +363,15 @@ func New(eng *sim.Engine, d *socgen.Design, reg *accel.Registry, plan *floorplan
 		}
 		r.inj = inj
 		net.SetFaultHook(&nocFaultAdapter{r: r})
+	}
+	if cfg.ScrubInterval < 0 {
+		return nil, fmt.Errorf("reconfig: negative scrub interval %v", cfg.ScrubInterval)
+	}
+	if cfg.SEUCheckInterval < 0 {
+		return nil, fmt.Errorf("reconfig: negative SEU check interval %v", cfg.SEUCheckInterval)
+	}
+	if err := r.armHealth(); err != nil {
+		return nil, err
 	}
 	var haveMem, haveAux, haveCPU bool
 	for i := range d.Cfg.Tiles {
@@ -351,6 +428,13 @@ func New(eng *sim.Engine, d *socgen.Design, reg *accel.Registry, plan *floorplan
 	r.mFailures = mreg.Counter("reconfig_failures_total")
 	r.mDeadTiles = mreg.Counter("reconfig_dead_tiles_total")
 	r.mBytes = mreg.Counter("reconfig_bytes_total")
+	r.mScrubCycles = mreg.Counter("scrub_cycles_total")
+	r.mScrubUpsets = mreg.Counter("scrub_upsets_total")
+	r.mScrubDetected = mreg.Counter("scrub_detected_total")
+	r.mScrubRepaired = mreg.Counter("scrub_repaired_total")
+	r.mScrubHealed = mreg.Counter("scrub_healed_total")
+	r.mScrubUncorrectable = mreg.Counter("scrub_uncorrectable_total")
+	r.hScrubMTTR = mreg.Histogram("scrub_mttr_usec", 10, 50, 100, 500, 1000, 5000, 10000, 100000, 1e6)
 	net.SetObserver(cfg.Observer)
 	if r.tr != nil {
 		r.tr.SetProcessName("presp runtime (virtual time)")
@@ -368,6 +452,35 @@ func New(eng *sim.Engine, d *socgen.Design, reg *accel.Registry, plan *floorplan
 		r.setTileIdlePower(r.tiles[n])
 	}
 	return r, nil
+}
+
+// trackApp marks one application request in flight for the health tick
+// chain and returns a done callback that releases it (exactly once —
+// re-entrant paths wrap the already-wrapped callback, and each layer
+// balances its own increment).
+func (r *Runtime) trackApp(done func(error)) func(error) {
+	r.appInFlight++
+	released := false
+	return func(err error) {
+		if !released {
+			released = true
+			r.appInFlight--
+		}
+		done(err)
+	}
+}
+
+// trackAppInvoke is trackApp for the invocation callback signature.
+func (r *Runtime) trackAppInvoke(done func(*InvokeResult, error)) func(*InvokeResult, error) {
+	r.appInFlight++
+	released := false
+	return func(res *InvokeResult, err error) {
+		if !released {
+			released = true
+			r.appInFlight--
+		}
+		done(res, err)
+	}
 }
 
 // nocFaultAdapter translates NoC operations into fault-injector sites:
@@ -405,9 +518,12 @@ func (r *Runtime) faultCheck(op faultinject.Op, sites ...string) error {
 	return r.inj.Check(op, sites...)
 }
 
-// FaultsInjected reports how many faults the armed injector has
-// delivered so far (zero without a FaultPlan).
-func (r *Runtime) FaultsInjected() int { return r.inj.Injected() }
+// FaultsInjected reports how many faults the armed injectors have
+// delivered so far (zero without a FaultPlan). SEUs are counted by
+// their own stable injector, so they are included here.
+func (r *Runtime) FaultsInjected() int {
+	return r.inj.Injected() + r.seuInj.InjectedBy(faultinject.OpSEU)
+}
 
 // Engine exposes the simulation engine (for scheduling application work).
 func (r *Runtime) Engine() *sim.Engine { return r.eng }
@@ -493,6 +609,13 @@ func (r *Runtime) RegisterBitstream(tileName, accName string, bs *bitstream.Bits
 		return fmt.Errorf("reconfig: %s/%s: %w", tileName, accName, err)
 	}
 	ts.bitstream[accName] = bs
+	// A tile booted with this accelerator got its frames from the full
+	// bitstream; registering the matching partial image gives the
+	// scrubber its golden reference, so install it as the resident
+	// config memory now (later swaps install theirs on ICAP success).
+	if ts.loaded == accName && ts.mem == nil {
+		ts.programConfigMem(bs)
+	}
 	return nil
 }
 

@@ -63,6 +63,12 @@ type (
 	// ErrTileDead reports a request against a tile the runtime declared
 	// dead after repeated reconfiguration failures.
 	ErrTileDead = reconfig.ErrTileDead
+	// ScrubStats counts the configuration-memory scrubber's activity
+	// (see Runtime.ScrubStats; enabled by RuntimeConfig.ScrubInterval).
+	ScrubStats = reconfig.ScrubStats
+	// ConfigHealth is a tile's configuration-memory readback state
+	// (see Runtime.ConfigHealth).
+	ConfigHealth = reconfig.ConfigHealth
 	// Minutes is the cost model's modelled-runtime unit.
 	Minutes = vivado.Minutes
 	// Journal records a flow run's completed jobs (JSON lines) so an
@@ -100,6 +106,7 @@ const (
 	FaultICAP     = faultinject.OpICAP
 	FaultFetchCRC = faultinject.OpFetchCRC
 	FaultKernel   = faultinject.OpKernel
+	FaultSEU      = faultinject.OpSEU
 
 	FaultCADSynth     = faultinject.OpCADSynth
 	FaultCADFloorplan = faultinject.OpCADFloorplan
